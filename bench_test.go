@@ -1,0 +1,364 @@
+package cludistream_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each BenchmarkFigN
+// executes the corresponding experiment at the Quick profile and reports
+// figure-specific metrics (bytes, ratios, average log-likelihoods) through
+// b.ReportMetric, so a bench run doubles as a reproduction report. The
+// micro-benchmarks at the bottom cover the hot paths the figures aggregate.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cludistream/internal/em"
+	"cludistream/internal/experiments"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+	"cludistream/internal/smem"
+	"cludistream/internal/stream"
+
+	cludistream "cludistream"
+)
+
+// nan returns NaN without importing math at every use site.
+func nan() float64 { return math.NaN() }
+
+// benchParams returns the Quick profile with a bench-stable seed.
+func benchParams() experiments.Params {
+	p := experiments.Quick()
+	p.Seed = 1
+	return p
+}
+
+// runFigure executes one experiment per iteration and lets the caller
+// export headline metrics from the final table.
+func runFigure(b *testing.B, run func(experiments.Params) (*experiments.Table, error), report func(*testing.B, *experiments.Table)) {
+	b.Helper()
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tb, err := run(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tb
+	}
+	if report != nil && last != nil {
+		report(b, last)
+	}
+}
+
+func BenchmarkFig1MergeCriterion(b *testing.B) {
+	runFigure(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Fig1(p, true)
+	}, nil)
+}
+
+func BenchmarkFig2CommunicationCost(b *testing.B) {
+	runFigure(b, experiments.Fig2a, func(b *testing.B, tb *experiments.Table) {
+		last := tb.Rows[len(tb.Rows)-1]
+		b.ReportMetric(last[1], "clud-bytes")
+		b.ReportMetric(last[2], "sem-bytes")
+		if last[1] > 0 {
+			b.ReportMetric(last[2]/last[1], "sem/clud-ratio")
+		}
+	})
+}
+
+func BenchmarkFig2bCommunicationCostPd(b *testing.B) {
+	runFigure(b, experiments.Fig2b, func(b *testing.B, tb *experiments.Table) {
+		last := tb.Rows[len(tb.Rows)-1]
+		b.ReportMetric(last[1], "clud-bytes-pd0.1")
+		b.ReportMetric(last[3], "clud-bytes-pd0.5")
+		b.ReportMetric(last[4], "sem-bytes")
+	})
+}
+
+func BenchmarkFig3Histograms(b *testing.B) {
+	runFigure(b, experiments.Fig3, nil)
+}
+
+func BenchmarkFig4NoiseRobustness(b *testing.B) {
+	runFigure(b, experiments.Fig4, nil)
+}
+
+func BenchmarkFig5HorizonQuality(b *testing.B) {
+	runFigure(b, experiments.Fig5, func(b *testing.B, tb *experiments.Table) {
+		last := tb.Rows[len(tb.Rows)-1]
+		b.ReportMetric(last[1], "clud-avgLL")
+		b.ReportMetric(last[2], "sem-avgLL")
+	})
+}
+
+func BenchmarkFig6LandmarkQuality(b *testing.B) {
+	runFigure(b, experiments.Fig6, func(b *testing.B, tb *experiments.Table) {
+		last := tb.Rows[len(tb.Rows)-1]
+		b.ReportMetric(last[1], "clud-avgLL")
+		b.ReportMetric(last[2], "sem-avgLL")
+		b.ReportMetric(last[3], "sampling-avgLL")
+	})
+}
+
+func BenchmarkFig7CoordinatorQuality(b *testing.B) {
+	runFigure(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Fig7(p, false)
+	}, func(b *testing.B, tb *experiments.Table) {
+		last := tb.Rows[len(tb.Rows)-1]
+		b.ReportMetric(last[1], "clud-avgLL")
+		b.ReportMetric(last[2], "central-sem-avgLL")
+	})
+}
+
+func BenchmarkFig8Throughput(b *testing.B) {
+	runFigure(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Fig8(p, false)
+	}, func(b *testing.B, tb *experiments.Table) {
+		last := tb.Rows[len(tb.Rows)-1]
+		b.ReportMetric(last[0]/last[1], "clud-updates/s")
+		b.ReportMetric(last[0]/last[2], "sem-updates/s")
+	})
+}
+
+func BenchmarkFig9aVaryK(b *testing.B) {
+	runFigure(b, experiments.Fig9a, nil)
+}
+
+func BenchmarkFig9bVaryD(b *testing.B) {
+	runFigure(b, experiments.Fig9b, nil)
+}
+
+func BenchmarkFig10Memory(b *testing.B) {
+	runFigure(b, experiments.Fig10a, func(b *testing.B, tb *experiments.Table) {
+		last := tb.Rows[len(tb.Rows)-1]
+		b.ReportMetric(last[1], "clud-bytes")
+		b.ReportMetric(last[2], "sem-bytes")
+	})
+}
+
+func BenchmarkFig10bMemoryModel(b *testing.B) {
+	runFigure(b, experiments.Fig10b, nil)
+}
+
+func BenchmarkFig11VaryEpsilon(b *testing.B) {
+	runFigure(b, experiments.Fig11, nil)
+}
+
+func BenchmarkFig12VaryDelta(b *testing.B) {
+	runFigure(b, experiments.Fig12, nil)
+}
+
+func BenchmarkFig13VaryCmax(b *testing.B) {
+	runFigure(b, experiments.Fig13, func(b *testing.B, tb *experiments.Table) {
+		b.ReportMetric(tb.Rows[0][2], "em-runs-cmax1")
+		b.ReportMetric(tb.Rows[3][2], "em-runs-cmax4")
+	})
+}
+
+func BenchmarkFig14VaryPd(b *testing.B) {
+	runFigure(b, experiments.Fig14, func(b *testing.B, tb *experiments.Table) {
+		b.ReportMetric(tb.Rows[0][1], "sec-pd0.1")
+		b.ReportMetric(tb.Rows[len(tb.Rows)-1][1], "sec-pd1.0")
+	})
+}
+
+func BenchmarkAblationAlwaysCluster(b *testing.B) {
+	runFigure(b, experiments.AblationTestAndCluster, func(b *testing.B, tb *experiments.Table) {
+		b.ReportMetric(tb.Rows[0][3], "speedup-pd0.1")
+	})
+}
+
+func BenchmarkAblationMergeFit(b *testing.B) {
+	runFigure(b, experiments.AblationMergeFit, func(b *testing.B, tb *experiments.Table) {
+		b.ReportMetric(tb.Rows[0][0], "moment-L1")
+		b.ReportMetric(tb.Rows[0][1], "simplex-L1")
+	})
+}
+
+func BenchmarkAblationCovType(b *testing.B) {
+	runFigure(b, experiments.AblationCovType, nil)
+}
+
+func BenchmarkAblationTestStatistic(b *testing.B) {
+	runFigure(b, experiments.AblationSharpTest, nil)
+}
+
+func BenchmarkAblationVsDEM(b *testing.B) {
+	runFigure(b, experiments.AblationVsDEM, func(b *testing.B, tb *experiments.Table) {
+		b.ReportMetric(tb.Rows[0][0], "clud-bytes")
+		b.ReportMetric(tb.Rows[0][1], "dem-bytes")
+	})
+}
+
+func BenchmarkAblationMergeTree(b *testing.B) {
+	runFigure(b, experiments.AblationMergeTree, func(b *testing.B, tb *experiments.Table) {
+		b.ReportMetric(tb.Rows[0][0], "merged-K")
+		b.ReportMetric(tb.Rows[0][1], "flat-K")
+	})
+}
+
+// --- micro-benchmarks over the hot paths ---
+
+func benchMixture(k, d int) *gaussian.Mixture {
+	rng := rand.New(rand.NewSource(1))
+	comps := make([]*gaussian.Component, k)
+	ws := make([]float64, k)
+	for j := range comps {
+		mean := linalg.NewVector(d)
+		for i := range mean {
+			mean[i] = rng.NormFloat64() * 5
+		}
+		comps[j] = gaussian.Spherical(mean, 1+rng.Float64())
+		ws[j] = 1
+	}
+	return gaussian.MustMixture(ws, comps)
+}
+
+func BenchmarkMixtureLogPDF(b *testing.B) {
+	m := benchMixture(5, 4)
+	x := linalg.Vector{1, -1, 0.5, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.LogPDF(x)
+	}
+}
+
+func BenchmarkMixturePosterior(b *testing.B) {
+	m := benchMixture(5, 4)
+	x := linalg.Vector{1, -1, 0.5, 2}
+	dst := make([]float64, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.PosteriorInto(x, dst)
+	}
+}
+
+func BenchmarkEMFitChunk(b *testing.B) {
+	m := benchMixture(5, 4)
+	data := m.SampleN(rand.New(rand.NewSource(2)), 314)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Fit(data, em.Config{K: 5, Seed: 1, MaxIter: 50, Tol: 1e-3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSiteObserve(b *testing.B) {
+	st, err := site.New(site.Config{
+		SiteID: 1, Dim: 4, K: 5, Epsilon: 0.1, FitEps: 0.8, Delta: 0.01, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := stream.NewSynthetic(stream.SyntheticConfig{Dim: 4, K: 5, Pd: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := stream.Take(gen, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Observe(data[i%len(data)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSystemFeed(b *testing.B) {
+	sys, err := cludistream.New(cludistream.Config{NumSites: 4, Dim: 4, K: 5, Epsilon: 0.1, FitEps: 0.8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := stream.NewSynthetic(stream.SyntheticConfig{Dim: 4, K: 5, Pd: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := stream.Take(gen, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Feed(i%4, data[i%len(data)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSnapshots(b *testing.B) {
+	runFigure(b, experiments.AblationSnapshots, func(b *testing.B, tb *experiments.Table) {
+		b.ReportMetric(tb.Rows[0][2], "event-driven-accuracy")
+		b.ReportMetric(tb.Rows[3][2], "sparse-snapshot-accuracy")
+	})
+}
+
+func BenchmarkAblationHierarchy(b *testing.B) {
+	runFigure(b, experiments.AblationHierarchy, func(b *testing.B, tb *experiments.Table) {
+		b.ReportMetric(tb.Rows[0][2], "flat-steady-bytes")
+		b.ReportMetric(tb.Rows[1][2], "tree-steady-bytes")
+	})
+}
+
+func BenchmarkAblationIncomplete(b *testing.B) {
+	runFigure(b, experiments.AblationIncomplete, func(b *testing.B, tb *experiments.Table) {
+		b.ReportMetric(tb.Rows[0][1], "avgLL-clean")
+		b.ReportMetric(tb.Rows[2][1], "avgLL-30pct-missing")
+	})
+}
+
+func BenchmarkEMFitIncomplete(b *testing.B) {
+	m := benchMixture(5, 4)
+	rng := rand.New(rand.NewSource(6))
+	data := m.SampleN(rng, 314)
+	for _, x := range data {
+		if rng.Float64() < 0.5 {
+			x[rng.Intn(4)] = nan()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.FitIncomplete(data, em.Config{K: 5, Seed: 1, MaxIter: 50, Tol: 1e-3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMEMFit(b *testing.B) {
+	m := benchMixture(3, 2)
+	data := m.SampleN(rand.New(rand.NewSource(7)), 600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := smem.Fit(data, smem.Config{EM: em.Config{K: 3, Seed: 1, MaxIter: 40, Tol: 1e-3}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskyDecompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	d := 8
+	cov := linalg.NewSym(d)
+	for t := 0; t < d+2; t++ {
+		v := linalg.NewVector(d)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		cov.AddOuterScaled(1, v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.CholeskyDecompose(cov); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitMerge(b *testing.B) {
+	a := gaussian.Spherical(linalg.Vector{-1, 0, 0, 0}, 1)
+	c := gaussian.Spherical(linalg.Vector{1, 0.5, 0, 0}, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = gaussian.FitMerge(0.5, a, 0.5, c, gaussian.MergeOptions{Seed: 1})
+	}
+}

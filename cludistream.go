@@ -1,0 +1,300 @@
+// Package cludistream is a from-scratch Go implementation of CluDistream,
+// the EM-based framework for clustering distributed data streams of Zhou,
+// Cao, Yan, Sha and He (ICDE 2007).
+//
+// A System wires r remote sites to one coordinator over a simulated network
+// with exact communication-cost accounting. Each site runs the paper's
+// test-and-cluster strategy (Algorithm 1): incoming records are grouped
+// into chunks of the Theorem-1 size M(d, ε, δ); a chunk that fits the
+// current Gaussian mixture model only bumps a counter and transmits
+// nothing, while a chunk that does not fit is re-clustered with EM and the
+// new model synopsis is shipped to the coordinator. The coordinator merges
+// per-site components into a global mixture with the M_merge / M_split /
+// M_remerge criteria (Algorithm 2).
+//
+// The subpackages under internal/ expose the substrates — EM, Gaussian
+// mixtures, the SEM baseline, stream generators, the discrete-event network
+// simulator — and internal/experiments regenerates every figure of the
+// paper's evaluation.
+package cludistream
+
+import (
+	"fmt"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/em"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/netsim"
+	"cludistream/internal/site"
+	"cludistream/internal/transport"
+	"cludistream/internal/window"
+)
+
+// Config assembles a distributed deployment. Zero values select the
+// paper's defaults where one exists.
+type Config struct {
+	// NumSites is r, the number of remote sites (paper default 20).
+	NumSites int
+	// Dim is the record dimensionality d (paper default 4).
+	Dim int
+	// K is the number of mixture components per site model (paper default 5).
+	K int
+	// Epsilon is ε, the average-log-likelihood error bound (paper default
+	// 0.02).
+	Epsilon float64
+	// FitEps optionally decouples the J_fit threshold from ε (see
+	// site.Config.FitEps). Zero keeps the paper's coupling FitEps = ε.
+	FitEps float64
+	// Delta is δ, the probability error bound (paper default 0.01).
+	Delta float64
+	// CMax is c_max, the maximum tests per chunk (paper default 4).
+	CMax int
+	// Seed drives all deterministic initialization.
+	Seed int64
+	// ChunkSize overrides the Theorem-1 chunk size when positive.
+	ChunkSize int
+	// EM tunes the inner EM runs (tolerance ϖ, iteration caps, covariance
+	// type).
+	EM em.Config
+	// Merge tunes the coordinator's component merging.
+	Merge gaussian.MergeOptions
+	// SharpTest selects the max-component J_fit statistic.
+	SharpTest bool
+	// UseSMEM clusters chunks with split-and-merge EM (requires K ≥ 3).
+	UseSMEM bool
+	// AutoKMax, when positive, lets every site pick each model's K by BIC
+	// over [AutoKMin, AutoKMax] instead of the fixed K.
+	AutoKMax int
+	// AutoKMin is the lower bound of the AutoKMax sweep (default 1).
+	AutoKMin int
+
+	// LinkLatency is the one-way site→coordinator delay in simulated
+	// seconds (default 0.05).
+	LinkLatency float64
+	// LinkBandwidth is bytes/second per link; 0 means unlimited.
+	LinkBandwidth float64
+	// ArrivalRate is records/second/site on the simulated clock (default
+	// 1000, the paper's observed CluDistream processing rate).
+	ArrivalRate float64
+
+	// SlidingHorizonChunks, when positive, ages records out of a sliding
+	// window of that many chunks per site, emitting deletion messages
+	// (Section 7). Zero keeps the landmark-window behaviour.
+	SlidingHorizonChunks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumSites == 0 {
+		c.NumSites = 20
+	}
+	if c.Dim == 0 {
+		c.Dim = 4
+	}
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.02
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.01
+	}
+	if c.CMax == 0 {
+		c.CMax = 4
+	}
+	if c.LinkLatency == 0 {
+		c.LinkLatency = 0.05
+	}
+	if c.ArrivalRate == 0 {
+		c.ArrivalRate = 1000
+	}
+	return c
+}
+
+// System is a running deployment: r sites, one coordinator, and the links
+// between them on a discrete-event simulated network.
+type System struct {
+	cfg      Config
+	sim      *netsim.Simulator
+	sites    []*site.Site
+	trackers []*window.Tracker
+	links    []*netsim.Link
+	coord    *coordinator.Coordinator
+	fed      []int // records fed per site (drives the virtual clock)
+
+	deliveryErr error
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumSites < 1 {
+		return nil, fmt.Errorf("cludistream: NumSites = %d", cfg.NumSites)
+	}
+	coord, err := coordinator.New(coordinator.Config{Dim: cfg.Dim, Merge: cfg.Merge})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:   cfg,
+		sim:   netsim.NewSimulator(),
+		coord: coord,
+		fed:   make([]int, cfg.NumSites),
+	}
+	for i := 0; i < cfg.NumSites; i++ {
+		st, err := site.New(site.Config{
+			SiteID:    i + 1,
+			Dim:       cfg.Dim,
+			K:         cfg.K,
+			Epsilon:   cfg.Epsilon,
+			FitEps:    cfg.FitEps,
+			Delta:     cfg.Delta,
+			CMax:      cfg.CMax,
+			EM:        cfg.EM,
+			Seed:      cfg.Seed + int64(i)*7919, // distinct, deterministic
+			SharpTest: cfg.SharpTest,
+			UseSMEM:   cfg.UseSMEM,
+			AutoKMax:  cfg.AutoKMax,
+			AutoKMin:  cfg.AutoKMin,
+			ChunkSize: cfg.ChunkSize,
+			// Sliding windows require the coordinator's weights to track
+			// the site counters, or deletions would underflow.
+			EmitFitWeightUpdates: cfg.SlidingHorizonChunks > 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.sites = append(s.sites, st)
+		link := s.sim.NewLink(cfg.LinkLatency, cfg.LinkBandwidth, s.deliver)
+		s.links = append(s.links, link)
+		if cfg.SlidingHorizonChunks > 0 {
+			tr, err := window.NewTracker(st, cfg.SlidingHorizonChunks)
+			if err != nil {
+				return nil, err
+			}
+			s.trackers = append(s.trackers, tr)
+		}
+	}
+	return s, nil
+}
+
+// deliver runs inside the simulation when a message arrives at the
+// coordinator.
+func (s *System) deliver(payload []byte) {
+	msg, err := transport.Decode(payload)
+	if err != nil {
+		s.deliveryErr = err
+		return
+	}
+	switch msg.Kind {
+	case transport.MsgDeletion:
+		err = s.coord.HandleDeletion(int(msg.SiteID), int(msg.ModelID), int(msg.Count))
+	default:
+		err = s.coord.HandleUpdate(msg.ToSiteUpdate())
+	}
+	if err != nil && s.deliveryErr == nil {
+		s.deliveryErr = err
+	}
+}
+
+// Feed delivers one record to site siteIdx (0-based). The simulated clock
+// advances to the record's arrival time (records arrive at ArrivalRate per
+// site); any updates the site emits are encoded and sent on the site's
+// link.
+func (s *System) Feed(siteIdx int, x linalg.Vector) error {
+	if siteIdx < 0 || siteIdx >= len(s.sites) {
+		return fmt.Errorf("cludistream: site index %d of %d", siteIdx, len(s.sites))
+	}
+	t := float64(s.fed[siteIdx]) / s.cfg.ArrivalRate
+	s.fed[siteIdx]++
+	s.sim.RunUntil(t)
+
+	ups, err := s.sites[siteIdx].Observe(x)
+	if err != nil {
+		return err
+	}
+	for _, u := range ups {
+		s.links[siteIdx].Send(transport.Encode(transport.FromSiteUpdate(u)))
+	}
+	if s.trackers != nil {
+		for _, d := range s.trackers[siteIdx].Expire(siteIdx + 1) {
+			msg := transport.Message{
+				Kind:    transport.MsgDeletion,
+				SiteID:  int32(d.SiteID),
+				ModelID: int32(d.ModelID),
+				Count:   int64(d.Count),
+			}
+			s.links[siteIdx].Send(transport.Encode(msg))
+		}
+	}
+	return s.deliveryErr
+}
+
+// FeedRoundRobin distributes the records across all sites in round-robin
+// order — the simplest way to drive a whole deployment from one stream.
+func (s *System) FeedRoundRobin(records []linalg.Vector) error {
+	for i, x := range records {
+		if err := s.Feed(i%len(s.sites), x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain runs the simulation until all in-flight messages are delivered.
+// Call it before reading coordinator state at the end of a run.
+func (s *System) Drain() error {
+	s.sim.Run()
+	return s.deliveryErr
+}
+
+// GlobalMixture returns the coordinator's merged model (after Drain).
+func (s *System) GlobalMixture() *gaussian.Mixture { return s.coord.GlobalMixture() }
+
+// Site returns site i (0-based).
+func (s *System) Site(i int) *site.Site { return s.sites[i] }
+
+// NumSites returns r.
+func (s *System) NumSites() int { return len(s.sites) }
+
+// Coordinator exposes the coordinator for inspection.
+func (s *System) Coordinator() *coordinator.Coordinator { return s.coord }
+
+// Now returns the simulated time in seconds.
+func (s *System) Now() float64 { return s.sim.Now() }
+
+// TotalBytes returns the total site→coordinator traffic so far.
+func (s *System) TotalBytes() int {
+	var total int
+	for _, l := range s.links {
+		total += l.BytesSent()
+	}
+	return total
+}
+
+// TotalMessages returns the number of messages sent.
+func (s *System) TotalMessages() int {
+	var total int
+	for _, l := range s.links {
+		total += l.Messages()
+	}
+	return total
+}
+
+// CostSeries returns the cumulative communication cost sampled every width
+// simulated seconds — the paper's per-second cost collection.
+func (s *System) CostSeries(width float64) []int {
+	series := make([][]int, len(s.links))
+	until := s.sim.Now()
+	if until <= 0 {
+		until = width
+	}
+	for i, l := range s.links {
+		series[i] = l.CostSeries(width, until)
+	}
+	return netsim.MergeCostSeries(series...)
+}
+
+// ChunkSize returns the chunk size M in effect at every site.
+func (s *System) ChunkSize() int { return s.sites[0].ChunkSize() }

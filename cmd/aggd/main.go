@@ -1,0 +1,106 @@
+// Command aggd is the multi-layer aggregator daemon (Section 7's
+// tree-structured network over real links): it accepts connections from
+// children (sited or further aggd processes) on one port, merges their
+// models in a local coordinator, and uploads its locally-observed global
+// mixture to a parent coordinator (coordd or another aggd) only when that
+// mixture changes.
+//
+// Usage:
+//
+//	coordd -listen :7070 -dim 4 &
+//	aggd   -listen :7071 -connect localhost:7070 -node-id 100 -dim 4 &
+//	sited  -connect localhost:7071 -site-id 1 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/netio"
+)
+
+func main() {
+	listen := flag.String("listen", ":7071", "TCP address to accept children on")
+	connect := flag.String("connect", "", "parent coordinator address (empty: act as a root, no uploads)")
+	nodeID := flag.Int("node-id", 100, "pseudo-site id this aggregator uses at its parent")
+	dim := flag.Int("dim", 4, "data dimensionality d")
+	interval := flag.Duration("interval", 2*time.Second, "how often to check for model changes to upload")
+	flag.Parse()
+
+	coord, err := coordinator.New(coordinator.Config{Dim: *dim})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	srv, err := netio.NewServer(*listen, coord)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("aggd %d: accepting children on %v\n", *nodeID, srv.Addr())
+
+	var up *netio.Uploader
+	if *connect != "" {
+		conn, err := netio.DialConn(*connect, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer conn.Close()
+		up = netio.NewUploader(conn, *nodeID)
+		fmt.Printf("aggd %d: uploading to %s\n", *nodeID, *connect)
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-ticker.C:
+			if up == nil {
+				continue
+			}
+			var mix *coordinatorSnapshot
+			srv.Snapshot(func(c *coordinator.Coordinator) {
+				var total float64
+				for _, g := range c.Groups() {
+					total += g.Weight()
+				}
+				mix = &coordinatorSnapshot{m: c.GlobalMixture(), weight: total}
+			})
+			if mix == nil || mix.m == nil {
+				continue
+			}
+			sent, err := up.Sync(mix.m, mix.weight)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aggd %d: upload: %v\n", *nodeID, err)
+				os.Exit(1)
+			}
+			if sent {
+				fmt.Printf("aggd %d: uploaded refreshed model (K=%d)\n", *nodeID, mix.m.K())
+			}
+		case sig := <-sigCh:
+			fmt.Printf("aggd %d: %v — shutting down\n", *nodeID, sig)
+			_ = srv.Close()
+			srv.Snapshot(func(c *coordinator.Coordinator) {
+				fmt.Printf("aggd %d: final state — %d child models, %d groups\n",
+					*nodeID, c.NumModels(), len(c.Groups()))
+			})
+			return
+		}
+	}
+}
+
+// coordinatorSnapshot carries state out of the Snapshot closure.
+type coordinatorSnapshot struct {
+	m      *gaussian.Mixture
+	weight float64
+}

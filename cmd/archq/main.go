@@ -1,0 +1,109 @@
+// Command archq queries a site archive written by `sited -archive` (or the
+// persist package): the offline form of Section 7's evolving analysis.
+//
+// Usage:
+//
+//	archq -in site1.arch                    # summary: models + event table
+//	archq -in site1.arch -window 5:12      # mixture covering chunks 5..12
+//	archq -in site1.arch -at 7             # which model governed chunk 7
+//	archq -in site1.arch -eval data.csv    # avg log-likelihood of the
+//	                                       # landmark model on a CSV data set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cludistream/internal/persist"
+	"cludistream/internal/stream"
+)
+
+func main() {
+	in := flag.String("in", "", "archive file (required)")
+	window := flag.String("window", "", "chunk window start:end to rebuild")
+	at := flag.Int("at", 0, "report the model governing this chunk")
+	eval := flag.String("eval", "", "CSV file to score under the landmark model")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "archq: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	a, err := persist.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("archive: site %d, d=%d, chunk size %d, %d chunks seen\n",
+		a.SiteID, a.Dim, a.ChunkSize, a.ChunksSeen)
+	fmt.Printf("models: %d | events: %d closed spans\n", len(a.Models), len(a.Events))
+	for _, m := range a.Models {
+		fmt.Printf("  model %d: K=%d, %d records, ref avgLL %.4f\n",
+			m.ID, m.Mixture.K(), m.Counter, m.RefAvgLL)
+	}
+	for _, e := range a.Events {
+		fmt.Printf("  event %v\n", e)
+	}
+
+	if *at > 0 {
+		if id, ok := a.ModelAt(*at); ok {
+			fmt.Printf("chunk %d was governed by model %d\n", *at, id)
+		} else {
+			fmt.Printf("chunk %d is outside the archive's range\n", *at)
+		}
+	}
+
+	if *window != "" {
+		parts := strings.SplitN(*window, ":", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "archq: -window wants start:end")
+			os.Exit(2)
+		}
+		start, err1 := strconv.Atoi(parts[0])
+		end, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			fmt.Fprintln(os.Stderr, "archq: -window wants integer start:end")
+			os.Exit(2)
+		}
+		m := a.WindowMixture(start, end)
+		if m == nil {
+			fmt.Printf("window %d:%d covers no chunks\n", start, end)
+		} else {
+			fmt.Printf("window %d:%d mixture (K=%d):\n", start, end, m.K())
+			for j := 0; j < m.K(); j++ {
+				fmt.Printf("  weight %.4f, mean %v\n", m.Weight(j), m.Component(j).Mean())
+			}
+		}
+	}
+
+	if *eval != "" {
+		ef, err := os.Open(*eval)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := stream.ReadCSV(ef)
+		ef.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lm := a.LandmarkMixture()
+		if lm == nil {
+			fmt.Println("archive has no models to evaluate")
+			return
+		}
+		fmt.Printf("landmark model avg log-likelihood on %d records: %.4f\n",
+			len(data), lm.AvgLogLikelihood(data))
+	}
+}

@@ -1,0 +1,76 @@
+// Command coordd is the coordinator daemon: it listens for remote-site
+// connections (cmd/sited) on TCP and maintains the merged global mixture.
+// On SIGINT/SIGTERM it prints a final model summary and exits; with
+// -status it also prints a periodic one-line status.
+//
+// Usage:
+//
+//	coordd -listen :7070 -dim 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/netio"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "TCP address to listen on")
+	dim := flag.Int("dim", 4, "data dimensionality d")
+	status := flag.Duration("status", 10*time.Second, "status print interval (0 disables)")
+	flag.Parse()
+
+	coord, err := coordinator.New(coordinator.Config{Dim: *dim})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	srv, err := netio.NewServer(*listen, coord)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("coordd: listening on %v (d=%d)\n", srv.Addr(), *dim)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *status > 0 {
+		ticker = time.NewTicker(*status)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+
+	for {
+		select {
+		case <-tick:
+			bytesIn, messages, errs := srv.Stats()
+			srv.Snapshot(func(c *coordinator.Coordinator) {
+				fmt.Printf("coordd: %d models / %d leaves / %d groups | %d msgs, %d bytes, %d errors\n",
+					c.NumModels(), c.NumLeaves(), len(c.Groups()), messages, bytesIn, errs)
+			})
+		case sig := <-sigCh:
+			fmt.Printf("coordd: %v — shutting down\n", sig)
+			_ = srv.Close()
+			srv.Snapshot(func(c *coordinator.Coordinator) {
+				fmt.Printf("coordd: final state — %d site models, %d merged groups\n",
+					c.NumModels(), len(c.Groups()))
+				if gm := c.GlobalMixture(); gm != nil {
+					for j := 0; j < gm.K(); j++ {
+						fmt.Printf("  component %2d: weight %.4f, mean %v\n",
+							j, gm.Weight(j), gm.Component(j).Mean())
+					}
+				}
+			})
+			return
+		}
+	}
+}

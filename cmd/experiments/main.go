@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's figures as text tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [-profile quick|paper] [-seed N] [name ...]
+//
+// With no names, the whole suite runs in paper order. Each experiment
+// prints its table (series + notes comparing the measured shape with the
+// paper's claim) to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cludistream/internal/experiments"
+)
+
+func main() {
+	profile := flag.String("profile", "quick", "parameter profile: quick or paper")
+	seed := flag.Int64("seed", 1, "global random seed")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Suite() {
+			fmt.Println(r.Name)
+		}
+		return
+	}
+
+	var p experiments.Params
+	switch *profile {
+	case "quick":
+		p = experiments.Quick()
+	case "paper":
+		p = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want quick or paper)\n", *profile)
+		os.Exit(2)
+	}
+	p.Seed = *seed
+
+	runners := experiments.Suite()
+	if names := flag.Args(); len(names) > 0 {
+		runners = runners[:0]
+		for _, name := range names {
+			r := experiments.Find(name)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", name)
+				os.Exit(2)
+			}
+			runners = append(runners, *r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		tb, err := r.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Print(tb.Render())
+		fmt.Printf("# [%s completed in %v]\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

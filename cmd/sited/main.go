@@ -1,0 +1,145 @@
+// Command sited is the remote-site agent: it consumes a stream (synthetic,
+// NFD-like, or CSV on stdin), runs the test-and-cluster site processing,
+// and ships model updates to a coordd coordinator over TCP.
+//
+// Usage:
+//
+//	sited -connect localhost:7070 -site-id 1 -kind synthetic -updates 100000
+//	datagen -kind nfd -n 50000 | sited -connect host:7070 -site-id 2 -kind csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cludistream/internal/linalg"
+	"cludistream/internal/netio"
+	"cludistream/internal/persist"
+	"cludistream/internal/site"
+	"cludistream/internal/stream"
+)
+
+func main() {
+	connect := flag.String("connect", "localhost:7070", "coordinator address")
+	siteID := flag.Int("site-id", 1, "unique site identifier")
+	kind := flag.String("kind", "synthetic", "stream kind: synthetic, nfd or csv (stdin)")
+	updates := flag.Int("updates", 100_000, "records to process (generated kinds)")
+	dim := flag.Int("dim", 4, "dimensionality (synthetic)")
+	k := flag.Int("k", 5, "mixture components per model")
+	eps := flag.Float64("epsilon", 0.02, "error bound ε")
+	fitEps := flag.Float64("fit-eps", 0.25, "J_fit threshold (0 couples to ε)")
+	delta := flag.Float64("delta", 0.01, "probability error bound δ")
+	cmax := flag.Int("cmax", 4, "maximal tests per chunk")
+	pd := flag.Float64("pd", 0.1, "new-distribution probability per regime boundary")
+	rate := flag.Float64("rate", 0, "records/second throttle (0 = as fast as possible)")
+	horizon := flag.Int("sliding-chunks", 0, "sliding-window horizon in chunks (0 = landmark)")
+	seed := flag.Int64("seed", 1, "random seed")
+	archive := flag.String("archive", "", "write the site's model/event archive here on exit")
+	flag.Parse()
+
+	var gen stream.Generator
+	var csvData []linalg.Vector
+	var err error
+	switch *kind {
+	case "synthetic":
+		gen, err = stream.NewSynthetic(stream.SyntheticConfig{Dim: *dim, K: *k, Pd: *pd, Seed: *seed})
+	case "nfd":
+		var g *stream.NFD
+		g, err = stream.NewNFD(stream.NFDConfig{Pd: *pd, Seed: *seed})
+		if err == nil {
+			gen = g
+			*dim = stream.NFDDim
+		}
+	case "csv":
+		csvData, err = stream.ReadCSV(os.Stdin)
+		if err == nil {
+			if len(csvData) == 0 {
+				err = fmt.Errorf("no CSV records on stdin")
+			} else {
+				*dim = len(csvData[0])
+				*updates = len(csvData)
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	st, err := site.New(site.Config{
+		SiteID:               *siteID,
+		Dim:                  *dim,
+		K:                    *k,
+		Epsilon:              *eps,
+		FitEps:               *fitEps,
+		Delta:                *delta,
+		CMax:                 *cmax,
+		Seed:                 *seed,
+		EmitFitWeightUpdates: *horizon > 0,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	client, err := netio.Dial(*connect, st, *siteID, netio.DialOptions{SlidingHorizonChunks: *horizon})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer client.Close()
+	fmt.Printf("sited %d: connected to %s, chunk size M=%d\n", *siteID, *connect, st.ChunkSize())
+
+	var throttle <-chan time.Time
+	if *rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+		defer t.Stop()
+		throttle = t.C
+	}
+
+	start := time.Now()
+	for i := 0; i < *updates; i++ {
+		var x linalg.Vector
+		if csvData != nil {
+			x = csvData[i]
+		} else {
+			x = gen.Next()
+		}
+		if throttle != nil {
+			<-throttle
+		}
+		if err := client.Observe(x); err != nil {
+			fmt.Fprintf(os.Stderr, "sited %d: %v\n", *siteID, err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start)
+
+	bytesOut, messages := client.Stats()
+	stats := st.Stats()
+	fmt.Printf("sited %d: %d records in %v (%.0f/s) | %d chunks, %d fits, %d EM runs | sent %d msgs / %d bytes\n",
+		*siteID, *updates, elapsed.Round(time.Millisecond),
+		float64(*updates)/elapsed.Seconds(),
+		stats.Chunks, stats.Fits, stats.EMRuns, messages, bytesOut)
+
+	if *archive != "" {
+		f, err := os.Create(*archive)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := persist.Save(f, persist.FromSite(st)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("sited %d: archive written to %s\n", *siteID, *archive)
+	}
+}

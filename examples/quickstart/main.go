@@ -1,0 +1,73 @@
+// Quickstart: one remote site, one coordinator, one evolving stream.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+//
+// The example feeds an evolving Gaussian stream through a minimal
+// CluDistream deployment and prints what the framework learned: how many
+// distinct distributions the site detected, how little it had to transmit,
+// and the global mixture the coordinator assembled.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cludistream/internal/stream"
+
+	cludistream "cludistream"
+)
+
+func main() {
+	// A deployment with a single remote site. Epsilon drives the Theorem-1
+	// chunk size; FitEps is the calibrated J_fit threshold (see DESIGN.md).
+	sys, err := cludistream.New(cludistream.Config{
+		NumSites: 1,
+		Dim:      2,
+		K:        3,
+		Epsilon:  0.05, // chunk size M = 2·2·ln(1/(δ(2−δ)))/ε ≈ 314
+		FitEps:   0.8,
+		Delta:    0.01,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 2-d stream whose underlying mixture is redrawn with probability 0.5
+	// every 1000 records.
+	gen, err := stream.NewSynthetic(stream.SyntheticConfig{
+		Dim: 2, K: 3, Pd: 0.5, RegimeLen: 1000, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const updates = 20_000
+	for i := 0; i < updates; i++ {
+		if err := sys.Feed(0, gen.Next()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Drain(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := sys.Site(0)
+	fmt.Printf("stream: %d records, %d true distribution regimes\n", updates, gen.Regimes())
+	fmt.Printf("site: %d chunks of %d records; %d fit an existing model, %d EM re-clusterings\n",
+		st.ChunksSeen(), sys.ChunkSize(), st.Stats().Fits, st.Stats().EMRuns)
+	fmt.Printf("site model list: %d models; event table: %d closed spans\n",
+		len(st.Models()), st.Events().Len())
+	fmt.Printf("communication: %d messages, %d bytes (vs %d bytes of raw data)\n",
+		sys.TotalMessages(), sys.TotalBytes(), updates*2*8)
+
+	gm := sys.GlobalMixture()
+	fmt.Printf("coordinator global mixture: %d merged components\n", gm.K())
+	for j := 0; j < gm.K(); j++ {
+		c := gm.Component(j)
+		fmt.Printf("  component %d: weight %.3f, mean (%.2f, %.2f)\n",
+			j, gm.Weight(j), c.Mean()[0], c.Mean()[1])
+	}
+}

@@ -1,0 +1,3 @@
+module cludistream
+
+go 1.22

@@ -1,0 +1,89 @@
+// Package chunk implements the chunking layer of CluDistream's remote-site
+// processing: the Theorem-1 chunk size M(d, ε, δ) and a Chunker that cuts
+// an arriving stream into consecutive chunks of that size.
+package chunk
+
+import (
+	"fmt"
+	"math"
+
+	"cludistream/internal/linalg"
+)
+
+// Size returns the Theorem-1 chunk size
+//
+//	M = ⌈ -2·d·ln(δ·(2-δ)) / ε ⌉
+//
+// which guarantees that the squared Mahalanobis distance between a chunk's
+// sample mean and the distribution mean is below ε with probability at
+// least 1-δ. It panics on out-of-range parameters — they are configuration
+// constants, not data.
+func Size(d int, epsilon, delta float64) int {
+	if d < 1 {
+		panic(fmt.Sprintf("chunk: dimension %d < 1", d))
+	}
+	if epsilon <= 0 {
+		panic(fmt.Sprintf("chunk: epsilon %v must be positive", epsilon))
+	}
+	if delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("chunk: delta %v must be in (0,1)", delta))
+	}
+	m := -2 * float64(d) * math.Log(delta*(2-delta)) / epsilon
+	return int(math.Ceil(m))
+}
+
+// Chunker accumulates records and emits full chunks. It owns the single
+// per-site data buffer that Theorem 3 charges M records of memory for.
+type Chunker struct {
+	size    int
+	dim     int
+	buf     []linalg.Vector
+	emitted int
+}
+
+// NewChunker returns a Chunker producing chunks of exactly size records of
+// dimension dim.
+func NewChunker(size, dim int) *Chunker {
+	if size < 1 {
+		panic(fmt.Sprintf("chunk: size %d < 1", size))
+	}
+	if dim < 1 {
+		panic(fmt.Sprintf("chunk: dim %d < 1", dim))
+	}
+	return &Chunker{size: size, dim: dim, buf: make([]linalg.Vector, 0, size)}
+}
+
+// Size returns the chunk size.
+func (c *Chunker) Size() int { return c.size }
+
+// Add appends one record. When the buffer reaches the chunk size, the full
+// chunk is returned (ownership transfers to the caller) and the buffer
+// resets; otherwise Add returns nil. Records of the wrong dimension are
+// rejected with an error.
+func (c *Chunker) Add(x linalg.Vector) ([]linalg.Vector, error) {
+	if len(x) != c.dim {
+		return nil, fmt.Errorf("chunk: record dim %d, want %d", len(x), c.dim)
+	}
+	c.buf = append(c.buf, x)
+	if len(c.buf) < c.size {
+		return nil, nil
+	}
+	out := c.buf
+	c.buf = make([]linalg.Vector, 0, c.size)
+	c.emitted++
+	return out, nil
+}
+
+// Pending returns the number of buffered records not yet forming a chunk.
+func (c *Chunker) Pending() int { return len(c.buf) }
+
+// Emitted returns how many full chunks have been produced.
+func (c *Chunker) Emitted() int { return c.emitted }
+
+// Flush returns the partial buffer (possibly empty) and resets it. Used at
+// stream end or when a window query must account for in-flight records.
+func (c *Chunker) Flush() []linalg.Vector {
+	out := c.buf
+	c.buf = make([]linalg.Vector, 0, c.size)
+	return out
+}

@@ -1,0 +1,145 @@
+package chunk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cludistream/internal/linalg"
+)
+
+func TestSizePaperDefaults(t *testing.T) {
+	// Paper defaults: d=4, δ=0.01, ε=0.02.
+	// M = ⌈-2·4·ln(0.01·1.99)/0.02⌉ = ⌈1566.95...⌉ = 1567.
+	if got := Size(4, 0.02, 0.01); got != 1567 {
+		t.Fatalf("Size(4, 0.02, 0.01) = %d, want 1567", got)
+	}
+}
+
+func TestSizeMonotonicity(t *testing.T) {
+	// M grows with d, shrinks with ε, shrinks with δ.
+	if Size(8, 0.02, 0.01) <= Size(4, 0.02, 0.01) {
+		t.Error("M not increasing in d")
+	}
+	if Size(4, 0.04, 0.01) >= Size(4, 0.02, 0.01) {
+		t.Error("M not decreasing in ε")
+	}
+	if Size(4, 0.02, 0.05) >= Size(4, 0.02, 0.01) {
+		t.Error("M not decreasing in δ")
+	}
+}
+
+func TestSizeExactDoubling(t *testing.T) {
+	// M is linear in d and 1/ε.
+	f := func(dRaw, eRaw uint8) bool {
+		d := int(dRaw%20) + 1
+		eps := 0.01 + float64(eRaw%50)/1000
+		m1 := -2 * float64(d) * math.Log(0.01*1.99) / eps
+		m2 := -2 * float64(2*d) * math.Log(0.01*1.99) / eps
+		return math.Abs(m2-2*m1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"d=0", func() { Size(0, 0.02, 0.01) }},
+		{"eps=0", func() { Size(4, 0, 0.01) }},
+		{"delta=0", func() { Size(4, 0.02, 0) }},
+		{"delta=1", func() { Size(4, 0.02, 1) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestChunkerEmitsExactChunks(t *testing.T) {
+	c := NewChunker(3, 1)
+	var chunks [][]linalg.Vector
+	for i := 0; i < 10; i++ {
+		got, err := c.Add(linalg.Vector{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != nil {
+			chunks = append(chunks, got)
+		}
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("emitted %d chunks, want 3", len(chunks))
+	}
+	for i, ch := range chunks {
+		if len(ch) != 3 {
+			t.Fatalf("chunk %d has %d records", i, len(ch))
+		}
+	}
+	if chunks[1][0][0] != 3 {
+		t.Fatalf("chunk order wrong: %v", chunks[1][0])
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Pending())
+	}
+	if c.Emitted() != 3 {
+		t.Fatalf("Emitted = %d", c.Emitted())
+	}
+}
+
+func TestChunkerFlush(t *testing.T) {
+	c := NewChunker(5, 2)
+	_, _ = c.Add(linalg.Vector{1, 2})
+	_, _ = c.Add(linalg.Vector{3, 4})
+	rest := c.Flush()
+	if len(rest) != 2 {
+		t.Fatalf("flush returned %d records", len(rest))
+	}
+	if c.Pending() != 0 {
+		t.Fatal("Pending after flush")
+	}
+	if got := c.Flush(); len(got) != 0 {
+		t.Fatal("second flush not empty")
+	}
+}
+
+func TestChunkerDimValidation(t *testing.T) {
+	c := NewChunker(2, 3)
+	if _, err := c.Add(linalg.Vector{1}); err == nil {
+		t.Fatal("wrong-dim record accepted")
+	}
+}
+
+func TestChunkerConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewChunker(0, 1) },
+		func() { NewChunker(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestChunkerNoAliasing(t *testing.T) {
+	c := NewChunker(1, 1)
+	first, _ := c.Add(linalg.Vector{1})
+	second, _ := c.Add(linalg.Vector{2})
+	if first[0][0] != 1 || second[0][0] != 2 {
+		t.Fatal("returned chunks alias internal buffer")
+	}
+}

@@ -1,0 +1,112 @@
+package chunk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+)
+
+// TestTheorem1Coverage verifies the paper's Theorem 1 empirically: for a
+// Gaussian N(μ, Σ) and chunk size M = Size(d, ε, δ), the squared
+// Mahalanobis distance from the sample mean of M records to μ is below ε
+// with probability at least 1−δ.
+func TestTheorem1Coverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	cases := []struct {
+		d     int
+		eps   float64
+		delta float64
+	}{
+		{1, 0.02, 0.01},
+		{2, 0.05, 0.01},
+		{4, 0.02, 0.01},
+		{4, 0.1, 0.05},
+		{8, 0.05, 0.02},
+	}
+	for _, tc := range cases {
+		m := Size(tc.d, tc.eps, tc.delta)
+		// Random non-trivial Gaussian.
+		mean := linalg.NewVector(tc.d)
+		for i := range mean {
+			mean[i] = rng.NormFloat64() * 3
+		}
+		cov := linalg.NewSym(tc.d)
+		for k := 0; k < tc.d+2; k++ {
+			v := linalg.NewVector(tc.d)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			cov.AddOuterScaled(0.7, v)
+		}
+		for i := 0; i < tc.d; i++ {
+			cov.Add(i, i, 0.3)
+		}
+		comp := gaussian.MustComponent(mean, cov)
+
+		const trials = 300
+		var exceed int
+		sum := linalg.NewVector(tc.d)
+		x := linalg.NewVector(tc.d)
+		for trial := 0; trial < trials; trial++ {
+			for i := range sum {
+				sum[i] = 0
+			}
+			for rec := 0; rec < m; rec++ {
+				comp.SampleInto(rng, x)
+				sum.AddInPlace(x)
+			}
+			sum.ScaleInPlace(1 / float64(m))
+			if comp.MahalanobisSq(sum) >= tc.eps {
+				exceed++
+			}
+		}
+		rate := float64(exceed) / trials
+		// The theorem guarantees rate ≤ δ; allow binomial noise
+		// (3σ ≈ 3·sqrt(δ/trials)).
+		limit := tc.delta + 3*math.Sqrt(tc.delta/trials) + 0.01
+		if rate > limit {
+			t.Errorf("d=%d ε=%v δ=%v M=%d: exceed rate %.4f > %v", tc.d, tc.eps, tc.delta, m, rate, limit)
+		}
+	}
+}
+
+// TestTheorem1Tightness checks the bound is not absurdly loose in the
+// other direction: halving M should produce noticeably more exceedances
+// at small δ — i.e. M actually matters.
+func TestTheorem1Tightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	const d = 2
+	eps, delta := 0.05, 0.01
+	comp := gaussian.Spherical(linalg.Vector{0, 0}, 1)
+	m := Size(d, eps, delta)
+
+	rate := func(m int) float64 {
+		const trials = 400
+		var exceed int
+		sum := linalg.NewVector(d)
+		x := linalg.NewVector(d)
+		for trial := 0; trial < trials; trial++ {
+			sum[0], sum[1] = 0, 0
+			for rec := 0; rec < m; rec++ {
+				comp.SampleInto(rng, x)
+				sum.AddInPlace(x)
+			}
+			sum.ScaleInPlace(1 / float64(m))
+			if comp.MahalanobisSq(sum) >= eps {
+				exceed++
+			}
+		}
+		return float64(exceed) / trials
+	}
+	atM := rate(m)
+	atTenth := rate(m / 10)
+	if atTenth <= atM {
+		t.Errorf("exceed rate did not grow when shrinking M: %.4f at M=%d vs %.4f at M=%d", atM, m, atTenth, m/10)
+	}
+	if atTenth < 0.05 {
+		t.Errorf("M/10 still satisfies the bound comfortably (%.4f) — M would be vacuous", atTenth)
+	}
+}

@@ -1,0 +1,446 @@
+// Package coordinator implements CluDistream's coordinator-site processing
+// (Section 5.2 of the paper). The coordinator receives model updates from r
+// remote sites and maintains a two-level tree of Gaussian mixture models:
+// per-site components (leaves) grouped under merged father nodes. Placement
+// uses the transmit-free M_merge criterion (Eq. 5); merged fathers are
+// fitted by minimizing the L1 accuracy-loss with downhill simplex; and on
+// every update Algorithm 2 re-checks affected components with the
+// M_split / M_remerge pair (Eq. 6), splitting drifted components from their
+// fathers and re-merging them into the nearest sibling mixture.
+package coordinator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/kdtree"
+	"cludistream/internal/site"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Dim is the data dimensionality.
+	Dim int
+	// MaxMergeDistance is the largest CrossMahalanobisSq (the reciprocal of
+	// M_merge) at which a new component still joins an existing group; a
+	// component farther than this from every group seeds a new group.
+	// Default 4·d: means within ~√2 pooled standard deviations merge.
+	MaxMergeDistance float64
+	// Merge tunes the pairwise merge fitting (simplex budget, samples,
+	// MomentOnly ablation).
+	Merge gaussian.MergeOptions
+	// IndexMinGroups is the group count above which placement queries the
+	// k-d index over representative means instead of scanning every group
+	// (the paper's future-work "index structure to accelerate merge and
+	// split"). Default 32. The index pre-selects nearest-mean candidates;
+	// the exact M_merge criterion is still evaluated on them, so results
+	// only differ when the best group is not among the nearest means —
+	// rare, and bounded by the same MaxMergeDistance gate.
+	IndexMinGroups int
+	// DisableIndex forces exhaustive scans (the ablation baseline).
+	DisableIndex bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxMergeDistance <= 0 {
+		c.MaxMergeDistance = 4 * float64(c.Dim)
+	}
+	if c.Merge.Seed == 0 {
+		c.Merge.Seed = 1
+	}
+	if c.IndexMinGroups <= 0 {
+		c.IndexMinGroups = 32
+	}
+	return c
+}
+
+// indexCandidates is how many nearest-mean groups the index hands to the
+// exact criterion.
+const indexCandidates = 8
+
+// Stats counts coordinator work for the experiments.
+type Stats struct {
+	UpdatesHandled int
+	NewModels      int
+	WeightUpdates  int
+	Deletions      int
+	Splits         int
+	Remerges       int
+	GroupsCreated  int
+	GroupsRemoved  int
+}
+
+// siteModel tracks one registered remote-site model and its record counter.
+type siteModel struct {
+	siteID  int
+	modelID int
+	mix     *gaussian.Mixture
+	counter int
+}
+
+// Coordinator is the central site.
+type Coordinator struct {
+	cfg    Config
+	groups []*Group // insertion order; compacted in place
+	byID   map[int]*Group
+	nextID int
+	// index holds representative means for accelerated placement; nil when
+	// disabled.
+	index *kdtree.Tree
+
+	models map[int]map[int]*siteModel // siteID → modelID → model
+	// location maps each leaf to the id of the group holding it.
+	location map[MemberKey]int
+
+	stats Stats
+}
+
+// New constructs a Coordinator for streams of the given dimensionality.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("coordinator: Dim = %d", cfg.Dim)
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		byID:     make(map[int]*Group),
+		nextID:   1,
+		models:   make(map[int]map[int]*siteModel),
+		location: make(map[MemberKey]int),
+	}
+	if !cfg.DisableIndex {
+		c.index = kdtree.New(cfg.Dim)
+	}
+	return c, nil
+}
+
+// HandleUpdate applies one site update (Algorithm 2's trigger: "if remote
+// site r_i updated").
+func (c *Coordinator) HandleUpdate(u site.Update) error {
+	c.stats.UpdatesHandled++
+	switch u.Kind {
+	case site.NewModel:
+		return c.handleNewModel(u)
+	case site.WeightUpdate:
+		return c.handleWeightUpdate(u)
+	default:
+		return fmt.Errorf("coordinator: unknown update kind %v", u.Kind)
+	}
+}
+
+func (c *Coordinator) handleNewModel(u site.Update) error {
+	if u.Mixture == nil {
+		return fmt.Errorf("coordinator: NewModel update from site %d without mixture", u.SiteID)
+	}
+	if u.Mixture.Dim() != c.cfg.Dim {
+		return fmt.Errorf("coordinator: site %d model dim %d, want %d", u.SiteID, u.Mixture.Dim(), c.cfg.Dim)
+	}
+	byModel := c.models[u.SiteID]
+	if byModel == nil {
+		byModel = make(map[int]*siteModel)
+		c.models[u.SiteID] = byModel
+	}
+	if _, dup := byModel[u.ModelID]; dup {
+		return fmt.Errorf("coordinator: duplicate model %d from site %d", u.ModelID, u.SiteID)
+	}
+	sm := &siteModel{siteID: u.SiteID, modelID: u.ModelID, mix: u.Mixture, counter: u.Count}
+	byModel[u.ModelID] = sm
+	c.stats.NewModels++
+
+	for j := 0; j < sm.mix.K(); j++ {
+		key := MemberKey{SiteID: u.SiteID, ModelID: u.ModelID, Comp: j}
+		m := &member{
+			key:    key,
+			comp:   sm.mix.Component(j),
+			weight: sm.mix.Weight(j) * float64(sm.counter),
+		}
+		c.place(m)
+	}
+	c.checkSiteModel(sm)
+	return nil
+}
+
+func (c *Coordinator) handleWeightUpdate(u site.Update) error {
+	sm := c.lookup(u.SiteID, u.ModelID)
+	if sm == nil {
+		return fmt.Errorf("coordinator: weight update for unknown model %d of site %d", u.ModelID, u.SiteID)
+	}
+	c.stats.WeightUpdates++
+	return c.shiftWeight(sm, u.Count)
+}
+
+// HandleDeletion applies a negative-weight message (Section 7, sliding
+// windows): count records of the given site model expired from the window.
+// When the model's counter reaches zero its components leave the tree.
+func (c *Coordinator) HandleDeletion(siteID, modelID, count int) error {
+	sm := c.lookup(siteID, modelID)
+	if sm == nil {
+		return fmt.Errorf("coordinator: deletion for unknown model %d of site %d", modelID, siteID)
+	}
+	c.stats.Deletions++
+	return c.shiftWeight(sm, -count)
+}
+
+// shiftWeight adjusts a model's counter and propagates the new absolute
+// weights to the model's leaves, then runs the Algorithm-2 check.
+func (c *Coordinator) shiftWeight(sm *siteModel, delta int) error {
+	sm.counter += delta
+	if sm.counter <= 0 {
+		// "The model is deleted from the model list if its weight becomes
+		// non-positive."
+		for j := 0; j < sm.mix.K(); j++ {
+			key := MemberKey{SiteID: sm.siteID, ModelID: sm.modelID, Comp: j}
+			c.removeLeaf(key)
+		}
+		delete(c.models[sm.siteID], sm.modelID)
+		return nil
+	}
+	for j := 0; j < sm.mix.K(); j++ {
+		key := MemberKey{SiteID: sm.siteID, ModelID: sm.modelID, Comp: j}
+		g := c.groupOf(key)
+		if g == nil {
+			continue
+		}
+		i := g.find(key)
+		m := g.members[i]
+		newW := sm.mix.Weight(j) * float64(sm.counter)
+		g.weight += newW - m.weight
+		m.weight = newW
+	}
+	// Weights changed every father containing a leaf of this model;
+	// refresh their representatives and re-check stability.
+	c.refreshModelGroups(sm)
+	c.checkSiteModel(sm)
+	return nil
+}
+
+// refreshModelGroups recomputes representatives of all groups touching sm.
+func (c *Coordinator) refreshModelGroups(sm *siteModel) {
+	seen := map[int]bool{}
+	for j := 0; j < sm.mix.K(); j++ {
+		key := MemberKey{SiteID: sm.siteID, ModelID: sm.modelID, Comp: j}
+		if g := c.groupOf(key); g != nil && !seen[g.id] {
+			seen[g.id] = true
+			c.refreshGroup(g)
+		}
+	}
+	c.compact()
+}
+
+// place inserts a leaf into the group with the largest M_merge against the
+// group representative, or seeds a new group when every group is farther
+// than MaxMergeDistance. Above IndexMinGroups groups, the k-d index
+// pre-selects the nearest-mean candidates and the exact criterion is
+// evaluated on those only.
+func (c *Coordinator) place(m *member) {
+	var best *Group
+	bestDist := math.Inf(1)
+	for _, g := range c.candidates(m) {
+		if g == nil || g.rep == nil {
+			continue
+		}
+		d := gaussian.CrossMahalanobisSq(m.comp, g.rep)
+		if d < bestDist {
+			best, bestDist = g, d
+		}
+	}
+	if best == nil || bestDist > c.cfg.MaxMergeDistance {
+		g := &Group{id: c.nextID}
+		c.nextID++
+		c.stats.GroupsCreated++
+		g.insert(m)
+		c.refreshGroup(g)
+		m.mremergeAtJoin = math.Inf(1) // own group: perfectly stable
+		c.groups = append(c.groups, g)
+		c.byID[g.id] = g
+		c.location[m.key] = g.id
+		return
+	}
+	m.mremergeAtJoin = 1 / bestDist
+	best.insert(m)
+	c.refreshGroup(best)
+	c.location[m.key] = best.id
+	c.stats.Remerges++
+}
+
+// candidates returns the groups to evaluate for placement: all of them
+// below the index threshold, otherwise the nearest-mean short list.
+func (c *Coordinator) candidates(m *member) []*Group {
+	if c.index == nil || len(c.groups) < c.cfg.IndexMinGroups {
+		return c.groups
+	}
+	nbs := c.index.NearestK(m.comp.Mean(), indexCandidates)
+	out := make([]*Group, 0, len(nbs))
+	for _, nb := range nbs {
+		out = append(out, c.byID[nb.ID])
+	}
+	return out
+}
+
+// refreshGroup recomputes a group's representative and keeps the index in
+// sync with the new mean.
+func (c *Coordinator) refreshGroup(g *Group) {
+	g.recomputeRep(c.cfg.Merge)
+	if c.index == nil {
+		return
+	}
+	if g.rep == nil {
+		c.index.Remove(g.id)
+		return
+	}
+	c.index.Insert(g.id, g.rep.Mean())
+}
+
+// checkSiteModel is Algorithm 2's loop: for each component of the updated
+// site model, compare M_split against the stored 1/M_remerge; split and
+// re-merge components that drifted.
+func (c *Coordinator) checkSiteModel(sm *siteModel) {
+	for j := 0; j < sm.mix.K(); j++ {
+		key := MemberKey{SiteID: sm.siteID, ModelID: sm.modelID, Comp: j}
+		g := c.groupOf(key)
+		if g == nil || g.Size() <= 1 {
+			continue
+		}
+		i := g.find(key)
+		m := g.members[i]
+		msplit := gaussian.MSplitComp(m.comp, g.rep)
+		if msplit <= 1/m.mremergeAtJoin {
+			continue // stable: no need to split
+		}
+		// Split from the father...
+		c.stats.Splits++
+		g.remove(i)
+		c.refreshGroup(g)
+		delete(c.location, key)
+		// ...and re-merge into the sibling mixture with the largest
+		// M_remerge (which may be a brand-new group if none is close).
+		c.place(m)
+	}
+	c.compact()
+}
+
+// removeLeaf deletes a leaf from its group entirely.
+func (c *Coordinator) removeLeaf(key MemberKey) {
+	g := c.groupOf(key)
+	if g == nil {
+		return
+	}
+	if i := g.find(key); i >= 0 {
+		g.remove(i)
+		c.refreshGroup(g)
+	}
+	delete(c.location, key)
+	c.compact()
+}
+
+// compact drops empty groups.
+func (c *Coordinator) compact() {
+	out := c.groups[:0]
+	for _, g := range c.groups {
+		if g.Size() > 0 {
+			out = append(out, g)
+			continue
+		}
+		c.stats.GroupsRemoved++
+		delete(c.byID, g.id)
+		if c.index != nil {
+			c.index.Remove(g.id)
+		}
+	}
+	c.groups = out
+}
+
+func (c *Coordinator) lookup(siteID, modelID int) *siteModel {
+	if byModel := c.models[siteID]; byModel != nil {
+		return byModel[modelID]
+	}
+	return nil
+}
+
+func (c *Coordinator) groupOf(key MemberKey) *Group {
+	id, ok := c.location[key]
+	if !ok {
+		return nil
+	}
+	return c.byID[id]
+}
+
+// Groups returns the current father nodes, ordered by id.
+func (c *Coordinator) Groups() []*Group {
+	out := append([]*Group(nil), c.groups...)
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// GlobalMixture returns the coordinator's answer to a mining request: the
+// mixture of group representatives weighted by group mass. Returns nil
+// before any model has arrived.
+func (c *Coordinator) GlobalMixture() *gaussian.Mixture {
+	var comps []*gaussian.Component
+	var weights []float64
+	for _, g := range c.Groups() {
+		if g.rep == nil || g.weight <= 0 {
+			continue
+		}
+		comps = append(comps, g.rep)
+		weights = append(weights, g.weight)
+	}
+	if len(comps) == 0 {
+		return nil
+	}
+	mix, err := gaussian.NewMixture(weights, comps)
+	if err != nil {
+		return nil
+	}
+	return mix
+}
+
+// FlatMixture returns the naive union of all leaf components (the "combine
+// all Gaussian models from each site directly" strategy the paper rejects
+// as non-scalable). Kept as the merge ablation baseline.
+func (c *Coordinator) FlatMixture() *gaussian.Mixture {
+	var comps []*gaussian.Component
+	var weights []float64
+	for _, g := range c.Groups() {
+		for _, m := range g.members {
+			if m.weight <= 0 {
+				continue
+			}
+			comps = append(comps, m.comp)
+			weights = append(weights, m.weight)
+		}
+	}
+	if len(comps) == 0 {
+		return nil
+	}
+	mix, err := gaussian.NewMixture(weights, comps)
+	if err != nil {
+		return nil
+	}
+	return mix
+}
+
+// NumLeaves returns the number of leaf components in the tree.
+func (c *Coordinator) NumLeaves() int { return len(c.location) }
+
+// NumModels returns the number of registered site models.
+func (c *Coordinator) NumModels() int {
+	var n int
+	for _, byModel := range c.models {
+		n += len(byModel)
+	}
+	return n
+}
+
+// Stats returns a copy of the work counters.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// MemoryBytes estimates coordinator memory: every leaf plus every group
+// representative at (1 + d + d(d+1)/2) floats each.
+func (c *Coordinator) MemoryBytes() int {
+	d := c.cfg.Dim
+	per := 8 * (1 + d + d*(d+1)/2)
+	return (c.NumLeaves() + len(c.groups)) * per
+}

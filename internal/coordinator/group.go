@@ -1,0 +1,114 @@
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+
+	"cludistream/internal/gaussian"
+)
+
+// MemberKey identifies one Gaussian component of one model of one remote
+// site — a leaf of the coordinator's model tree.
+type MemberKey struct {
+	SiteID  int
+	ModelID int
+	Comp    int
+}
+
+func (k MemberKey) String() string {
+	return fmt.Sprintf("site%d/model%d/comp%d", k.SiteID, k.ModelID, k.Comp)
+}
+
+// less orders keys deterministically (site, model, component).
+func (k MemberKey) less(o MemberKey) bool {
+	if k.SiteID != o.SiteID {
+		return k.SiteID < o.SiteID
+	}
+	if k.ModelID != o.ModelID {
+		return k.ModelID < o.ModelID
+	}
+	return k.Comp < o.Comp
+}
+
+// member is a leaf component together with its absolute weight (the site
+// model's component weight times the model's record counter) and the
+// M_remerge value recorded when it last joined its father — Algorithm 2's
+// stability reference.
+type member struct {
+	key    MemberKey
+	comp   *gaussian.Component
+	weight float64
+	// mremergeAtJoin is M_remerge(member, father) at join time. Algorithm 2
+	// splits the member when M_split grows past 1/mremergeAtJoin.
+	mremergeAtJoin float64
+}
+
+// Group is a father node: a set of member components merged into one
+// representative Gaussian.
+type Group struct {
+	id      int
+	members []*member // kept sorted by key for determinism
+	rep     *gaussian.Component
+	weight  float64
+}
+
+// ID returns the group's stable identifier.
+func (g *Group) ID() int { return g.id }
+
+// Weight returns the total member weight.
+func (g *Group) Weight() float64 { return g.weight }
+
+// Size returns the number of member components.
+func (g *Group) Size() int { return len(g.members) }
+
+// Representative returns the merged Gaussian standing for the whole group.
+func (g *Group) Representative() *gaussian.Component { return g.rep }
+
+// MemberKeys returns the member keys in deterministic order.
+func (g *Group) MemberKeys() []MemberKey {
+	out := make([]MemberKey, len(g.members))
+	for i, m := range g.members {
+		out[i] = m.key
+	}
+	return out
+}
+
+func (g *Group) find(key MemberKey) int {
+	for i, m := range g.members {
+		if m.key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+func (g *Group) insert(m *member) {
+	g.members = append(g.members, m)
+	sort.Slice(g.members, func(a, b int) bool { return g.members[a].key.less(g.members[b].key) })
+	g.weight += m.weight
+}
+
+func (g *Group) remove(i int) *member {
+	m := g.members[i]
+	g.members = append(g.members[:i], g.members[i+1:]...)
+	g.weight -= m.weight
+	return m
+}
+
+// recomputeRep rebuilds the representative by pairwise merging the members
+// in deterministic (key) order. Pair merges use opts (simplex-fitted by
+// default; MomentOnly for the cheap ablation).
+func (g *Group) recomputeRep(opts gaussian.MergeOptions) {
+	if len(g.members) == 0 {
+		g.rep = nil
+		g.weight = 0
+		return
+	}
+	w := g.members[0].weight
+	rep := g.members[0].comp
+	for _, m := range g.members[1:] {
+		w, rep = gaussian.FitMerge(w, rep, m.weight, m.comp, opts)
+	}
+	g.rep = rep
+	g.weight = w
+}

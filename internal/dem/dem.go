@@ -1,0 +1,184 @@
+// Package dem implements the distributed EM algorithm of Nowak ("Distributed
+// EM algorithms for density estimation and clustering in sensor networks",
+// IEEE Trans. Signal Processing, 2003 — reference [20] of the paper), the
+// related-work method CluDistream positions itself against.
+//
+// DEM assumes every node observes data from the *same* K-component mixture.
+// Nodes are arranged in a fixed order (a ring); the model parameters travel
+// around the ring, and each node performs an incremental EM step: it
+// recomputes its local sufficient statistics under the current parameters,
+// swaps them into the global statistics, and re-estimates the parameters
+// before passing them on. Each hop transmits the full parameter set, which
+// is exactly the communication behaviour CluDistream's event-driven
+// stability avoids ("this communication is necessary due to the assumption
+// of the same distributions on all computing nodes").
+package dem
+
+import (
+	"fmt"
+
+	"cludistream/internal/em"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/transport"
+)
+
+// Config parameterizes a DEM run.
+type Config struct {
+	// K is the number of mixture components shared by every node.
+	K int
+	// Cycles is the number of full ring traversals (default 5).
+	Cycles int
+	// EM supplies tolerance / covariance options for the parameter
+	// re-estimation steps and the seed for initialization.
+	EM em.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cycles <= 0 {
+		c.Cycles = 5
+	}
+	c.EM.K = c.K
+	return c
+}
+
+// Result reports a DEM run.
+type Result struct {
+	Mixture *gaussian.Mixture
+	// AvgLogLikelihood is Definition 1 over the union of all node data.
+	AvgLogLikelihood float64
+	// Hops is the number of parameter transmissions (nodes × cycles).
+	Hops int
+	// BytesTransmitted is the wire size of all parameter hops, using the
+	// same encoding as CluDistream's messages for a fair comparison.
+	BytesTransmitted int
+}
+
+// Fit runs DEM over the per-node datasets (node order = slice order).
+func Fit(datasets [][]linalg.Vector, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(datasets) == 0 {
+		return nil, fmt.Errorf("dem: no nodes")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("dem: K = %d", cfg.K)
+	}
+	var dim int
+	var total int
+	for i, ds := range datasets {
+		if len(ds) == 0 {
+			return nil, fmt.Errorf("dem: node %d has no data", i)
+		}
+		if dim == 0 {
+			dim = len(ds[0])
+		}
+		for _, x := range ds {
+			if len(x) != dim {
+				return nil, fmt.Errorf("dem: node %d has mixed dimensions", i)
+			}
+		}
+		total += len(ds)
+	}
+	if total < cfg.K {
+		return nil, em.ErrNotEnoughData
+	}
+
+	// Initialize from node 0's local EM (Nowak: any reasonable start).
+	init, err := em.Fit(datasets[0], cfg.EM)
+	if err != nil {
+		return nil, err
+	}
+	mix := init.Mixture
+
+	// Global and per-node sufficient statistics.
+	r := len(datasets)
+	nodeStats := make([][]*em.SuffStats, r)
+	global := make([]*em.SuffStats, cfg.K)
+	for j := range global {
+		global[j] = em.NewSuffStats(dim)
+	}
+	for i := range nodeStats {
+		nodeStats[i] = make([]*em.SuffStats, cfg.K)
+		for j := range nodeStats[i] {
+			nodeStats[i][j] = em.NewSuffStats(dim)
+		}
+	}
+
+	hopBytes := transport.Message{Kind: transport.MsgNewModel, Mixture: mix}.WireSize()
+	res := &Result{}
+	post := make([]float64, cfg.K)
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		for i, ds := range datasets {
+			// Local E-step under the travelling parameters.
+			fresh := make([]*em.SuffStats, cfg.K)
+			for j := range fresh {
+				fresh[j] = em.NewSuffStats(dim)
+			}
+			for _, x := range ds {
+				mix.PosteriorInto(x, post)
+				for j := 0; j < cfg.K; j++ {
+					if post[j] > 0 {
+						fresh[j].Add(x, post[j])
+					}
+				}
+			}
+			// Swap this node's contribution into the global statistics.
+			for j := 0; j < cfg.K; j++ {
+				global[j].W += fresh[j].W - nodeStats[i][j].W
+				global[j].Sum.AddInPlace(fresh[j].Sum)
+				global[j].Sum.AXPYInPlace(-1, nodeStats[i][j].Sum)
+				global[j].Scatter.AddSym(1, fresh[j].Scatter)
+				global[j].Scatter.AddSym(-1, nodeStats[i][j].Scatter)
+				nodeStats[i][j] = fresh[j]
+			}
+			// Incremental M-step: parameters from the global statistics.
+			next, err := mixtureFromGlobal(global, cfg, dim)
+			if err == nil {
+				mix = next
+			}
+			// Pass the parameters to the next node.
+			res.Hops++
+			res.BytesTransmitted += hopBytes
+		}
+	}
+
+	res.Mixture = mix
+	var sum float64
+	for _, ds := range datasets {
+		for _, x := range ds {
+			sum += mix.LogPDF(x)
+		}
+	}
+	res.AvgLogLikelihood = sum / float64(total)
+	return res, nil
+}
+
+// mixtureFromGlobal is the M-step over the accumulated global statistics.
+func mixtureFromGlobal(global []*em.SuffStats, cfg Config, dim int) (*gaussian.Mixture, error) {
+	minVar := cfg.EM.MinVar
+	if minVar <= 0 {
+		minVar = 1e-6
+	}
+	var totalW float64
+	for _, s := range global {
+		totalW += s.W
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("dem: empty global statistics")
+	}
+	weights := make([]float64, cfg.K)
+	comps := make([]*gaussian.Component, cfg.K)
+	for j, s := range global {
+		if s.W < 1e-9 {
+			return nil, fmt.Errorf("dem: component %d died", j)
+		}
+		c, err := gaussian.NewComponent(s.Mean(), s.Cov(minVar), minVar)
+		if err != nil {
+			return nil, err
+		}
+		comps[j] = c
+		weights[j] = s.W / totalW
+	}
+	return gaussian.NewMixture(weights, comps)
+}

@@ -1,0 +1,123 @@
+package dem
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cludistream/internal/em"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+)
+
+// sharedMixtureData builds r node datasets all drawn from one mixture —
+// DEM's operating assumption.
+func sharedMixtureData(rng *rand.Rand, r, perNode int) ([][]linalg.Vector, *gaussian.Mixture) {
+	mix := gaussian.MustMixture(
+		[]float64{0.5, 0.5},
+		[]*gaussian.Component{
+			gaussian.Spherical(linalg.Vector{-6}, 1),
+			gaussian.Spherical(linalg.Vector{6}, 1),
+		})
+	out := make([][]linalg.Vector, r)
+	for i := range out {
+		out[i] = mix.SampleN(rng, perNode)
+	}
+	return out, mix
+}
+
+func TestDEMConvergesOnSharedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	datasets, _ := sharedMixtureData(rng, 5, 400)
+	res, err := Fit(datasets, Config{K: 2, Cycles: 5, EM: em.Config{Seed: 1, MaxIter: 50, Tol: 1e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := []float64{res.Mixture.Component(0).Mean()[0], res.Mixture.Component(1).Mean()[0]}
+	sort.Float64s(means)
+	if math.Abs(means[0]+6) > 0.3 || math.Abs(means[1]-6) > 0.3 {
+		t.Fatalf("DEM means = %v, want ±6", means)
+	}
+	if res.Hops != 25 {
+		t.Fatalf("hops = %d, want 25", res.Hops)
+	}
+	if res.BytesTransmitted != 25*res.BytesTransmitted/res.Hops {
+		t.Fatal("bytes not per-hop uniform")
+	}
+}
+
+func TestDEMBeatsSingleNodeEstimate(t *testing.T) {
+	// With tiny per-node samples, pooling via the ring must beat the
+	// node-0-only initial model on global likelihood.
+	rng := rand.New(rand.NewSource(22))
+	datasets, _ := sharedMixtureData(rng, 8, 40)
+	cfg := Config{K: 2, Cycles: 4, EM: em.Config{Seed: 3, MaxIter: 50, Tol: 1e-4}}
+	res, err := Fit(datasets, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := em.Fit(datasets[0], func() em.Config { c := cfg.EM; c.K = 2; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []linalg.Vector
+	for _, ds := range datasets {
+		all = append(all, ds...)
+	}
+	if res.AvgLogLikelihood < init.Mixture.AvgLogLikelihood(all) {
+		t.Fatalf("DEM %v worse than single-node init %v", res.AvgLogLikelihood, init.Mixture.AvgLogLikelihood(all))
+	}
+}
+
+func TestDEMLikelihoodImprovesWithCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	datasets, _ := sharedMixtureData(rng, 6, 100)
+	ll := func(cycles int) float64 {
+		res, err := Fit(datasets, Config{K: 2, Cycles: cycles, EM: em.Config{Seed: 5, MaxIter: 50, Tol: 1e-4}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgLogLikelihood
+	}
+	one, five := ll(1), ll(5)
+	if five < one-1e-6 {
+		t.Fatalf("more cycles made DEM worse: %v -> %v", one, five)
+	}
+}
+
+func TestDEMValidation(t *testing.T) {
+	if _, err := Fit(nil, Config{K: 2}); err == nil {
+		t.Fatal("no nodes accepted")
+	}
+	if _, err := Fit([][]linalg.Vector{{}}, Config{K: 2}); err == nil {
+		t.Fatal("empty node accepted")
+	}
+	if _, err := Fit([][]linalg.Vector{{{1}}}, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Fit([][]linalg.Vector{{{1}, {2, 3}}}, Config{K: 1}); err == nil {
+		t.Fatal("ragged node data accepted")
+	}
+	if _, err := Fit([][]linalg.Vector{{{1}}}, Config{K: 5}); err == nil {
+		t.Fatal("fewer records than K accepted")
+	}
+}
+
+func TestDEMCommunicationScalesWithCyclesAndNodes(t *testing.T) {
+	// DEM's cost model: every node hop ships the full parameter set, every
+	// cycle, forever — the contrast to CluDistream's event-driven silence.
+	rng := rand.New(rand.NewSource(24))
+	datasets, _ := sharedMixtureData(rng, 4, 100)
+	res2, err := Fit(datasets, Config{K: 2, Cycles: 2, EM: em.Config{Seed: 1, MaxIter: 30, Tol: 1e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res6, err := Fit(datasets, Config{K: 2, Cycles: 6, EM: em.Config{Seed: 1, MaxIter: 30, Tol: 1e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res6.BytesTransmitted != 3*res2.BytesTransmitted {
+		t.Fatalf("bytes: %d at 2 cycles vs %d at 6 — not linear", res2.BytesTransmitted, res6.BytesTransmitted)
+	}
+}

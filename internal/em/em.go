@@ -1,0 +1,393 @@
+package em
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+)
+
+// CovType selects the covariance structure EM estimates.
+type CovType int
+
+const (
+	// FullCov estimates a full d×d covariance per component.
+	FullCov CovType = iota
+	// DiagCov estimates a diagonal covariance per component — the memory
+	// optimization Theorem 3 mentions ("for diagonal Gaussians, the
+	// covariance can be represented by a d-dimensional vector").
+	DiagCov
+)
+
+func (c CovType) String() string {
+	if c == DiagCov {
+		return "diag"
+	}
+	return "full"
+}
+
+// Config parameterizes a Fit run. The zero value is not usable: K must be
+// at least 1. Defaults are filled in by (*Config).withDefaults.
+type Config struct {
+	// K is the number of mixture components (the paper's K, default 5).
+	K int
+	// MaxIter caps EM iterations (default 100).
+	MaxIter int
+	// Tol is ϖ, the paper's convergence threshold on the change in average
+	// log-likelihood between consecutive iterations (default 1e-4). The
+	// paper applies ϖ to the total log-likelihood; we use the average so
+	// the same tolerance works across chunk sizes.
+	Tol float64
+	// CovType selects full or diagonal covariances.
+	CovType CovType
+	// MinVar floors every covariance diagonal (default 1e-6).
+	MinVar float64
+	// Seed drives initialization. The same seed and data give bitwise
+	// identical results.
+	Seed int64
+	// InitMeans optionally warm-starts the component means (length K).
+	// When set, k-means++ is skipped.
+	InitMeans []linalg.Vector
+	// InitModel optionally warm-starts EM from a full existing mixture
+	// (weights, means and covariances); it takes precedence over InitMeans.
+	// This is how SEM continues from its current model on every refit.
+	InitModel *gaussian.Mixture
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-4
+	}
+	if c.MinVar <= 0 {
+		c.MinVar = 1e-6
+	}
+	return c
+}
+
+// Result is the outcome of an EM fit.
+type Result struct {
+	Mixture *gaussian.Mixture
+	// AvgLogLikelihood is Definition 1 evaluated on the training data under
+	// the final model — the Avg_Pr0 that the site's J_fit test compares
+	// future chunks against.
+	AvgLogLikelihood float64
+	Iterations       int
+	Converged        bool
+}
+
+// ErrNotEnoughData is returned when there are fewer records than
+// components.
+var ErrNotEnoughData = errors.New("em: fewer records than components")
+
+// Fit runs the Gaussian-mixture EM algorithm of Section 3.2 on data.
+func Fit(data []linalg.Vector, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("em: K = %d, need at least 1", cfg.K)
+	}
+	n := len(data)
+	if n < cfg.K {
+		return nil, ErrNotEnoughData
+	}
+	d := len(data[0])
+	for i, x := range data {
+		if len(x) != d {
+			return nil, fmt.Errorf("em: record %d has dim %d, want %d", i, len(x), d)
+		}
+		if !x.IsFinite() {
+			return nil, fmt.Errorf("em: record %d is not finite", i)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	mix, err := initialModel(data, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	post := make([]float64, cfg.K)
+	stats := make([]*SuffStats, cfg.K)
+	for j := range stats {
+		stats[j] = NewSuffStats(d)
+	}
+
+	prevAvgLL := math.Inf(-1)
+	var iter int
+	converged := false
+	avgLL := 0.0
+	for iter = 0; iter < cfg.MaxIter; iter++ {
+		// E-step: responsibilities; M-step statistics accumulated in the
+		// same pass (standard EM fusion — one pass over the data).
+		for j := range stats {
+			stats[j].Reset()
+		}
+		var sumLL float64
+		for _, x := range data {
+			sumLL += mix.PosteriorInto(x, post)
+			for j := 0; j < cfg.K; j++ {
+				if post[j] > 0 {
+					stats[j].Add(x, post[j])
+				}
+			}
+		}
+		avgLL = sumLL / float64(n)
+
+		// M-step: rebuild the mixture from the statistics.
+		mix, err = modelFromStats(stats, data, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+
+		if math.Abs(avgLL-prevAvgLL) <= cfg.Tol {
+			converged = true
+			iter++
+			break
+		}
+		prevAvgLL = avgLL
+	}
+
+	return &Result{
+		Mixture:          mix,
+		AvgLogLikelihood: mix.AvgLogLikelihood(data),
+		Iterations:       iter,
+		Converged:        converged,
+	}, nil
+}
+
+// FitStats runs EM where the "data set" is a collection of weighted
+// sufficient-statistic blocks instead of raw records — the extended EM of
+// the SEM baseline [6]. Each block is treated as mass concentrated at its
+// mean with its own within-block scatter folded into the M-step, which is
+// exact when block members share a posterior (the compression invariant).
+func FitStats(blocks []*SuffStats, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("em: K = %d, need at least 1", cfg.K)
+	}
+	var nonEmpty []*SuffStats
+	for _, b := range blocks {
+		if b.W > 0 {
+			nonEmpty = append(nonEmpty, b)
+		}
+	}
+	if len(nonEmpty) < cfg.K {
+		return nil, ErrNotEnoughData
+	}
+	d := nonEmpty[0].Dim()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initialize from block means (weighted k-means++ would be nicer; block
+	// means with plain k-means++ is adequate and deterministic).
+	means := make([]linalg.Vector, len(nonEmpty))
+	for i, b := range nonEmpty {
+		means[i] = b.Mean()
+	}
+	var mix *gaussian.Mixture
+	if cfg.InitModel != nil {
+		if cfg.InitModel.K() != cfg.K || cfg.InitModel.Dim() != d {
+			return nil, fmt.Errorf("em: InitModel is K=%d d=%d, want K=%d d=%d",
+				cfg.InitModel.K(), cfg.InitModel.Dim(), cfg.K, d)
+		}
+		mix = cfg.InitModel
+	} else {
+		centers := kMeansPlusPlus(means, cfg.K, rng)
+		assign := hardAssign(means, centers)
+		agg := make([]*SuffStats, cfg.K)
+		for j := range agg {
+			agg[j] = NewSuffStats(d)
+		}
+		for i, b := range nonEmpty {
+			agg[assign[i]].Merge(b)
+		}
+		var err error
+		mix, err = mixtureFromAggregates(agg, nonEmpty, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	post := make([]float64, cfg.K)
+	stats := make([]*SuffStats, cfg.K)
+	for j := range stats {
+		stats[j] = NewSuffStats(d)
+	}
+	var totalW float64
+	for _, b := range nonEmpty {
+		totalW += b.W
+	}
+
+	prevAvgLL := math.Inf(-1)
+	converged := false
+	var iter int
+	for iter = 0; iter < cfg.MaxIter; iter++ {
+		for j := range stats {
+			stats[j].Reset()
+		}
+		var sumLL float64
+		for _, b := range nonEmpty {
+			mu := b.Mean()
+			sumLL += b.W * mix.PosteriorInto(mu, post)
+			for j := 0; j < cfg.K; j++ {
+				if post[j] <= 0 {
+					continue
+				}
+				// Scale the whole block (including within-block scatter)
+				// by the block's responsibility at its mean.
+				stats[j].W += post[j] * b.W
+				stats[j].Sum.AXPYInPlace(post[j], b.Sum)
+				stats[j].Scatter.AddSym(post[j], b.Scatter)
+			}
+		}
+		avgLL := sumLL / totalW
+
+		var err error
+		mix, err = mixtureFromAggregates(stats, nonEmpty, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		if math.Abs(avgLL-prevAvgLL) <= cfg.Tol {
+			converged = true
+			iter++
+			break
+		}
+		prevAvgLL = avgLL
+	}
+
+	// Average log-likelihood of the final model over block means.
+	var sumLL float64
+	for _, b := range nonEmpty {
+		sumLL += b.W * mix.LogPDF(b.Mean())
+	}
+	return &Result{
+		Mixture:          mix,
+		AvgLogLikelihood: sumLL / totalW,
+		Iterations:       iter,
+		Converged:        converged,
+	}, nil
+}
+
+// initialModel builds the iteration-0 mixture: k-means++ centers (or the
+// provided warm start), hard assignments, and per-cluster moments.
+func initialModel(data []linalg.Vector, cfg Config, rng *rand.Rand) (*gaussian.Mixture, error) {
+	d := len(data[0])
+	if cfg.InitModel != nil {
+		if cfg.InitModel.K() != cfg.K || cfg.InitModel.Dim() != d {
+			return nil, fmt.Errorf("em: InitModel is K=%d d=%d, want K=%d d=%d",
+				cfg.InitModel.K(), cfg.InitModel.Dim(), cfg.K, d)
+		}
+		return cfg.InitModel, nil
+	}
+	var centers []linalg.Vector
+	if cfg.InitMeans != nil {
+		if len(cfg.InitMeans) != cfg.K {
+			return nil, fmt.Errorf("em: %d InitMeans for K=%d", len(cfg.InitMeans), cfg.K)
+		}
+		centers = cfg.InitMeans
+	} else {
+		centers = kMeansPlusPlus(data, cfg.K, rng)
+	}
+	assign := hardAssign(data, centers)
+	stats := make([]*SuffStats, cfg.K)
+	for j := range stats {
+		stats[j] = NewSuffStats(d)
+	}
+	for i, x := range data {
+		stats[assign[i]].Add(x, 1)
+	}
+	return modelFromStats(stats, data, cfg, rng)
+}
+
+// modelFromStats is the M-step: weights, means and covariances from the
+// per-component sufficient statistics. Empty or near-empty components are
+// re-seeded at a random record with the global covariance so EM can recover
+// rather than divide by zero.
+func modelFromStats(stats []*SuffStats, data []linalg.Vector, cfg Config, rng *rand.Rand) (*gaussian.Mixture, error) {
+	k := len(stats)
+	var totalW float64
+	for _, s := range stats {
+		totalW += s.W
+	}
+	weights := make([]float64, k)
+	comps := make([]*gaussian.Component, k)
+	for j, s := range stats {
+		if s.W < 1e-9 {
+			// Dead component: restart it at a random record.
+			mean := data[rng.Intn(len(data))].Clone()
+			cov := globalCov(data, cfg.MinVar)
+			c, err := gaussian.NewComponent(mean, cov, cfg.MinVar)
+			if err != nil {
+				return nil, err
+			}
+			comps[j] = c
+			weights[j] = 1 / float64(len(data))
+			continue
+		}
+		mean := s.Mean()
+		cov := s.Cov(cfg.MinVar)
+		if cfg.CovType == DiagCov {
+			cov = linalg.Diagonal(cov.Diag())
+		}
+		c, err := gaussian.NewComponent(mean, cov, cfg.MinVar)
+		if err != nil {
+			return nil, err
+		}
+		comps[j] = c
+		weights[j] = s.W / totalW
+	}
+	return gaussian.NewMixture(weights, comps)
+}
+
+// mixtureFromAggregates is modelFromStats for the block-based extended EM:
+// dead components restart at a random block mean.
+func mixtureFromAggregates(stats []*SuffStats, blocks []*SuffStats, cfg Config, rng *rand.Rand) (*gaussian.Mixture, error) {
+	k := len(stats)
+	var totalW float64
+	for _, s := range stats {
+		totalW += s.W
+	}
+	weights := make([]float64, k)
+	comps := make([]*gaussian.Component, k)
+	for j, s := range stats {
+		if s.W < 1e-9 {
+			b := blocks[rng.Intn(len(blocks))]
+			mean := b.Mean()
+			cov := b.Cov(cfg.MinVar)
+			c, err := gaussian.NewComponent(mean, cov, cfg.MinVar)
+			if err != nil {
+				return nil, err
+			}
+			comps[j] = c
+			weights[j] = 1e-6
+			continue
+		}
+		mean := s.Mean()
+		cov := s.Cov(cfg.MinVar)
+		if cfg.CovType == DiagCov {
+			cov = linalg.Diagonal(cov.Diag())
+		}
+		c, err := gaussian.NewComponent(mean, cov, cfg.MinVar)
+		if err != nil {
+			return nil, err
+		}
+		comps[j] = c
+		weights[j] = s.W / totalW
+	}
+	return gaussian.NewMixture(weights, comps)
+}
+
+// globalCov returns the covariance of the full data set, used to re-seed
+// dead components.
+func globalCov(data []linalg.Vector, minVar float64) *linalg.Sym {
+	d := len(data[0])
+	s := NewSuffStats(d)
+	for _, x := range data {
+		s.Add(x, 1)
+	}
+	return s.Cov(minVar)
+}

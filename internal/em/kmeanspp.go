@@ -1,0 +1,69 @@
+package em
+
+import (
+	"math/rand"
+
+	"cludistream/internal/linalg"
+)
+
+// kMeansPlusPlus selects k initial means from data with the k-means++
+// D²-weighting scheme: the first center uniformly, each further center with
+// probability proportional to its squared distance from the nearest chosen
+// center. This keeps EM away from the worst local optima without any extra
+// passes over the stream.
+func kMeansPlusPlus(data []linalg.Vector, k int, rng *rand.Rand) []linalg.Vector {
+	n := len(data)
+	centers := make([]linalg.Vector, 0, k)
+	centers = append(centers, data[rng.Intn(n)].Clone())
+
+	dist := make([]float64, n)
+	for i, x := range data {
+		dist[i] = x.DistSq(centers[0])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, d := range dist {
+			total += d
+		}
+		var next linalg.Vector
+		if total <= 0 {
+			// All points coincide with existing centers; fall back to a
+			// uniform draw so we still return k centers.
+			next = data[rng.Intn(n)].Clone()
+		} else {
+			u := rng.Float64() * total
+			idx := n - 1
+			var acc float64
+			for i, d := range dist {
+				acc += d
+				if u < acc {
+					idx = i
+					break
+				}
+			}
+			next = data[idx].Clone()
+		}
+		centers = append(centers, next)
+		for i, x := range data {
+			if d := x.DistSq(next); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+// hardAssign returns, for each record, the index of the nearest center.
+func hardAssign(data []linalg.Vector, centers []linalg.Vector) []int {
+	out := make([]int, len(data))
+	for i, x := range data {
+		best, bestD := 0, x.DistSq(centers[0])
+		for j := 1; j < len(centers); j++ {
+			if d := x.DistSq(centers[j]); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

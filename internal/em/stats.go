@@ -1,0 +1,90 @@
+// Package em implements the classical EM algorithm for Gaussian mixture
+// models (Section 3.2 of the paper): k-means++ initialization, E/M
+// iterations, and the ϖ-threshold convergence test on the log-likelihood.
+// It also provides weighted sufficient statistics, the building block that
+// the scalable-EM baseline (internal/sem) and the incremental fitting paths
+// share.
+package em
+
+import (
+	"cludistream/internal/linalg"
+)
+
+// SuffStats accumulates the weighted zeroth, first and second moments of a
+// set of records: W = Σ w, Sum = Σ w·x, Scatter = Σ w·x·xᵀ. Together these
+// are exactly what the M-step needs, and what SEM's compression phase
+// stores in place of raw records.
+type SuffStats struct {
+	W       float64
+	Sum     linalg.Vector
+	Scatter *linalg.Sym
+}
+
+// NewSuffStats returns empty statistics for dimension d.
+func NewSuffStats(d int) *SuffStats {
+	return &SuffStats{Sum: linalg.NewVector(d), Scatter: linalg.NewSym(d)}
+}
+
+// Dim returns the dimensionality.
+func (s *SuffStats) Dim() int { return len(s.Sum) }
+
+// Add accumulates record x with weight w.
+func (s *SuffStats) Add(x linalg.Vector, w float64) {
+	s.W += w
+	s.Sum.AXPYInPlace(w, x)
+	s.Scatter.AddOuterScaled(w, x)
+}
+
+// Merge folds other into s.
+func (s *SuffStats) Merge(other *SuffStats) {
+	s.W += other.W
+	s.Sum.AddInPlace(other.Sum)
+	s.Scatter.AddSym(1, other.Scatter)
+}
+
+// Reset zeroes the statistics in place.
+func (s *SuffStats) Reset() {
+	s.W = 0
+	for i := range s.Sum {
+		s.Sum[i] = 0
+	}
+	s.Scatter.ScaleInPlace(0)
+}
+
+// Clone returns an independent copy.
+func (s *SuffStats) Clone() *SuffStats {
+	return &SuffStats{W: s.W, Sum: s.Sum.Clone(), Scatter: s.Scatter.Clone()}
+}
+
+// Mean returns Sum/W. It panics if W == 0.
+func (s *SuffStats) Mean() linalg.Vector {
+	if s.W == 0 {
+		panic("em: Mean of empty SuffStats")
+	}
+	return s.Sum.Scale(1 / s.W)
+}
+
+// Cov returns the weighted covariance Scatter/W − μμᵀ with the diagonal
+// floored at minVar. It panics if W == 0.
+func (s *SuffStats) Cov(minVar float64) *linalg.Sym {
+	mu := s.Mean()
+	cov := s.Scatter.Clone()
+	cov.ScaleInPlace(1 / s.W)
+	cov.AddOuterScaled(-1, mu)
+	floorDiagonal(cov, minVar)
+	return cov
+}
+
+// floorDiagonal raises diagonal entries below minVar up to minVar, the
+// guard the paper's footnote motivates (zero-variance attributes make Σ
+// singular).
+func floorDiagonal(cov *linalg.Sym, minVar float64) {
+	if minVar <= 0 {
+		minVar = 1e-6
+	}
+	for i := 0; i < cov.Order(); i++ {
+		if cov.At(i, i) < minVar {
+			cov.Set(i, i, minVar)
+		}
+	}
+}

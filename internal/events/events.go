@@ -1,0 +1,97 @@
+// Package events implements the remote site's event table (Section 5.1 of
+// the paper): the record of which model governed which span of chunks.
+// Each entry is a <model ID, start chunk, end chunk> triplet; Section 7
+// builds evolving analysis and change detection on queries over this list.
+package events
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry records that the model with ID ModelID explained chunks
+// [StartChunk, EndChunk] (inclusive, 1-based as in Algorithm 1).
+type Entry struct {
+	ModelID    int
+	StartChunk int
+	EndChunk   int
+}
+
+// String renders the paper's <model ID, start, end> triplet.
+func (e Entry) String() string {
+	return fmt.Sprintf("<model %d, chunks %d-%d>", e.ModelID, e.StartChunk, e.EndChunk)
+}
+
+// List is an append-only event table. Entries are closed spans; the
+// currently-active model's open span lives in the site, not here, and is
+// appended when the model is retired.
+type List struct {
+	entries []Entry
+}
+
+// NewList returns an empty event table.
+func NewList() *List { return &List{} }
+
+// Append adds a closed span. Spans must be well-formed and arrive in
+// stream order (non-overlapping, increasing).
+func (l *List) Append(e Entry) error {
+	if e.StartChunk < 1 || e.EndChunk < e.StartChunk {
+		return fmt.Errorf("events: malformed span %v", e)
+	}
+	if n := len(l.entries); n > 0 && e.StartChunk <= l.entries[n-1].EndChunk {
+		return fmt.Errorf("events: span %v overlaps previous %v", e, l.entries[n-1])
+	}
+	l.entries = append(l.entries, e)
+	return nil
+}
+
+// Len returns the number of closed spans.
+func (l *List) Len() int { return len(l.entries) }
+
+// At returns entry i.
+func (l *List) At(i int) Entry { return l.entries[i] }
+
+// All returns a copy of the entries.
+func (l *List) All() []Entry {
+	return append([]Entry(nil), l.entries...)
+}
+
+// ModelAt returns the model ID governing the given chunk number and true,
+// or 0 and false if the chunk falls outside every closed span (e.g. the
+// currently active model's span).
+func (l *List) ModelAt(chunkNum int) (int, bool) {
+	// Spans are sorted by StartChunk; binary search the candidate.
+	i := sort.Search(len(l.entries), func(i int) bool {
+		return l.entries[i].EndChunk >= chunkNum
+	})
+	if i < len(l.entries) && l.entries[i].StartChunk <= chunkNum && chunkNum <= l.entries[i].EndChunk {
+		return l.entries[i].ModelID, true
+	}
+	return 0, false
+}
+
+// Query returns all entries whose span intersects [startChunk, endChunk] —
+// the evolving-analysis primitive of Section 7: "users input a start time
+// and a window size... the algorithm presents a series of Gaussian mixture
+// models to reflect the evolving process within that window".
+func (l *List) Query(startChunk, endChunk int) []Entry {
+	var out []Entry
+	for _, e := range l.entries {
+		if e.EndChunk >= startChunk && e.StartChunk <= endChunk {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Changes returns the chunk numbers at which the governing model changed —
+// each span boundary is a detected distribution change (Section 7's change
+// detection: "a change emerges when new chunk does not fit the existing
+// models").
+func (l *List) Changes() []int {
+	var out []int
+	for i := 1; i < len(l.entries); i++ {
+		out = append(out, l.entries[i].StartChunk)
+	}
+	return out
+}

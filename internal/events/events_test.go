@@ -1,0 +1,119 @@
+package events
+
+import (
+	"testing"
+)
+
+func buildList(t *testing.T) *List {
+	t.Helper()
+	l := NewList()
+	for _, e := range []Entry{
+		{ModelID: 1, StartChunk: 1, EndChunk: 5},
+		{ModelID: 2, StartChunk: 6, EndChunk: 9},
+		{ModelID: 3, StartChunk: 10, EndChunk: 20},
+	} {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestAppendAndLen(t *testing.T) {
+	l := buildList(t)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.At(1).ModelID != 2 {
+		t.Fatalf("At(1) = %v", l.At(1))
+	}
+}
+
+func TestAppendRejectsMalformed(t *testing.T) {
+	l := NewList()
+	if err := l.Append(Entry{ModelID: 1, StartChunk: 0, EndChunk: 2}); err == nil {
+		t.Error("start 0 accepted")
+	}
+	if err := l.Append(Entry{ModelID: 1, StartChunk: 5, EndChunk: 4}); err == nil {
+		t.Error("end < start accepted")
+	}
+	_ = l.Append(Entry{ModelID: 1, StartChunk: 1, EndChunk: 10})
+	if err := l.Append(Entry{ModelID: 2, StartChunk: 5, EndChunk: 15}); err == nil {
+		t.Error("overlapping span accepted")
+	}
+}
+
+func TestModelAt(t *testing.T) {
+	l := buildList(t)
+	cases := []struct {
+		chunk int
+		want  int
+		ok    bool
+	}{
+		{1, 1, true}, {5, 1, true}, {6, 2, true}, {9, 2, true},
+		{10, 3, true}, {20, 3, true}, {21, 0, false}, {0, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := l.ModelAt(tc.chunk)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("ModelAt(%d) = (%d, %v), want (%d, %v)", tc.chunk, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestModelAtGap(t *testing.T) {
+	l := NewList()
+	_ = l.Append(Entry{ModelID: 1, StartChunk: 1, EndChunk: 3})
+	_ = l.Append(Entry{ModelID: 2, StartChunk: 7, EndChunk: 9})
+	if _, ok := l.ModelAt(5); ok {
+		t.Error("chunk in gap reported as covered")
+	}
+}
+
+func TestQueryWindow(t *testing.T) {
+	l := buildList(t)
+	got := l.Query(5, 10)
+	if len(got) != 3 {
+		t.Fatalf("Query(5,10) = %v", got)
+	}
+	got = l.Query(7, 8)
+	if len(got) != 1 || got[0].ModelID != 2 {
+		t.Fatalf("Query(7,8) = %v", got)
+	}
+	if got := l.Query(100, 200); len(got) != 0 {
+		t.Fatalf("Query beyond end = %v", got)
+	}
+}
+
+func TestChanges(t *testing.T) {
+	l := buildList(t)
+	got := l.Changes()
+	want := []int{6, 10}
+	if len(got) != len(want) {
+		t.Fatalf("Changes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Changes = %v, want %v", got, want)
+		}
+	}
+	if got := NewList().Changes(); len(got) != 0 {
+		t.Fatal("empty list has changes")
+	}
+}
+
+func TestAllIsCopy(t *testing.T) {
+	l := buildList(t)
+	all := l.All()
+	all[0].ModelID = 99
+	if l.At(0).ModelID != 1 {
+		t.Fatal("All returned aliased storage")
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{ModelID: 7, StartChunk: 2, EndChunk: 4}
+	if got := e.String(); got != "<model 7, chunks 2-4>" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"cludistream/internal/em"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/metrics"
+	"cludistream/internal/stream"
+)
+
+// Fig1 reproduces Figure 1: with an 8-component model fitted to real-like
+// (NFD) or synthetic data, the transmit-free M_merge criterion tracks
+// SMEM's data-driven J_merge across all 28 component pairs. Both series are
+// min-max normalized exactly as the paper does, and pairs are ordered by
+// descending M_merge (the paper's x-axis is the pair index).
+func Fig1(p Params, useNFD bool) (*Table, error) {
+	const k = 8
+	var gen stream.Generator
+	name := "synthetic"
+	if useNFD {
+		gen = p.nfd()
+		name = "NFD"
+	} else {
+		gen = p.synthetic(0)
+	}
+	n := p.Updates / 10
+	if n < 2000 {
+		n = 2000
+	}
+	data := stream.Take(gen, n)
+	res, err := em.Fit(data, em.Config{K: k, Seed: p.Seed, MaxIter: 60, Tol: 1e-3, MinVar: 1e-5})
+	if err != nil {
+		return nil, err
+	}
+	mix := res.Mixture
+
+	type pair struct{ mm, jm float64 }
+	var pairs []pair
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pairs = append(pairs, pair{
+				mm: gaussian.MMerge(mix.Component(i), mix.Component(j)),
+				jm: gaussian.JMerge(mix, i, j, data),
+			})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].mm > pairs[b].mm })
+	mms := make([]float64, len(pairs))
+	jms := make([]float64, len(pairs))
+	maxFinite := 0.0
+	for _, pr := range pairs {
+		if !math.IsInf(pr.mm, 1) && pr.mm > maxFinite {
+			maxFinite = pr.mm
+		}
+	}
+	for i, pr := range pairs {
+		mms[i] = pr.mm
+		if math.IsInf(mms[i], 1) { // coincident means: winsorize for plotting
+			mms[i] = maxFinite * 10
+		}
+		jms[i] = pr.jm
+	}
+	nm := gaussian.NormalizeSeries(mms)
+	nj := gaussian.NormalizeSeries(jms)
+
+	t := &Table{
+		Title:   "Figure 1 (" + name + "): M_merge vs J_merge across component pairs",
+		Columns: []string{"pair", "M_merge(norm)", "J_merge(norm)"},
+	}
+	for i := range nm {
+		t.AddRow(float64(i+1), nm[i], nj[i])
+	}
+	t.AddNote("paper: the two normalized curves are very similar — M_merge is a sufficient replacement for J_merge")
+	// Rank correlation is the honest agreement measure here: M_merge blows
+	// up for near-coincident components, so min-max normalization squashes
+	// everything else toward 0 and linear correlation understates the
+	// agreement the figure shows.
+	t.AddNote("measured: Spearman rank correlation = %.3f over %d pairs (Pearson %.3f)",
+		metrics.Spearman(mms, jms), len(nm), metrics.Pearson(nm, nj))
+	return t, nil
+}

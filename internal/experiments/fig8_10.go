@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"cludistream/internal/site"
+	"cludistream/internal/stream"
+)
+
+// Fig8 reproduces Figure 8: per-site processing time vs number of updates
+// for CluDistream and SEM. useNFD selects panel (a) vs (b). Both processors
+// consume identical records; times are wall-clock seconds.
+func Fig8(p Params, useNFD bool) (*Table, error) {
+	name := "synthetic"
+	if useNFD {
+		name = "NFD"
+	}
+	t := &Table{
+		Title:   "Figure 8 (" + name + "): processing time vs updates",
+		Columns: []string{"updates", "CluDistream sec", "SEM sec"},
+	}
+	for _, n := range p.checkpointsFor(p.Updates) {
+		q := p
+		var gen1, gen2 stream.Generator
+		if useNFD {
+			q = q.nfdParams()
+			gen1, gen2 = q.nfd(), q.nfd()
+		} else {
+			gen1, gen2 = q.synthetic(0), q.synthetic(0)
+		}
+		st, dClud, err := runSite(q.siteConfig(1), gen1, n)
+		if err != nil {
+			return nil, err
+		}
+		_, dSEM, err := runSEM(q.semConfig(), gen2, n)
+		if err != nil {
+			return nil, err
+		}
+		_ = st
+		t.AddRow(float64(n), dClud.Seconds(), dSEM.Seconds())
+	}
+	t.AddNote("paper: both linear; CluDistream >1000 updates/s vs SEM <400 updates/s")
+	if last := len(t.Rows) - 1; last >= 0 {
+		r := t.Rows[last]
+		t.AddNote("measured: CluDistream %.0f upd/s, SEM %.0f upd/s", r[0]/r[1], r[0]/r[2])
+	}
+	return t, nil
+}
+
+// Fig9a reproduces Figure 9(a): CluDistream processing time vs cluster
+// number K, linear in K.
+func Fig9a(p Params) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 9(a): processing time vs cluster number K",
+		Columns: []string{"K", "CluDistream sec"},
+	}
+	for _, k := range []int{10, 20, 30, 40} {
+		q := p
+		q.K = k
+		cfg := q.siteConfig(1)
+		// Fresh-regime stream per K so EM always has K-cluster structure.
+		gen := q.synthetic(0)
+		_, d, err := runSite(cfg, gen, p.Updates)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(float64(k), d.Seconds())
+	}
+	t.AddNote("paper: processing time linear in K")
+	return t, nil
+}
+
+// Fig9b reproduces Figure 9(b): CluDistream processing time vs
+// dimensionality d, linear in d. The Theorem-1 chunk size grows linearly in
+// d as well, which the paper's setup inherits; we hold the chunk count
+// comparable by fixing the chunk size to its d=10 value so the measured
+// scaling isolates the per-record cost.
+func Fig9b(p Params) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 9(b): processing time vs dimensionality d",
+		Columns: []string{"d", "CluDistream sec"},
+	}
+	base := p
+	base.Dim = 10
+	fixedChunk := chunkSizeFor(base)
+	for _, d := range []int{10, 20, 30, 40} {
+		q := p
+		q.Dim = d
+		cfg := q.siteConfig(1)
+		cfg.ChunkSize = fixedChunk
+		gen := q.synthetic(0)
+		_, dur, err := runSite(cfg, gen, p.Updates)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(float64(d), dur.Seconds())
+	}
+	t.AddNote("paper: processing time scales linearly with dimensionality")
+	return t, nil
+}
+
+// Fig10a reproduces Figure 10(a): per-site memory vs updates on the
+// NFD-like stream, for CluDistream (buffer + model list) and SEM (buffer +
+// discard sets). The paper highlights CluDistream's slow growth: +10 kB
+// from 100k to 500k updates.
+func Fig10a(p Params) (*Table, error) {
+	q := p.nfdParams()
+	cfg := q.siteConfig(1)
+	st, err := site.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	smInst, err := newSEM(q)
+	if err != nil {
+		return nil, err
+	}
+	gen := q.nfd()
+	gen2 := q.nfd()
+	t := &Table{
+		Title:   "Figure 10(a): memory usage vs updates (NFD)",
+		Columns: []string{"updates", "CluDistream bytes", "SEM bytes"},
+	}
+	checkpoints := p.checkpointsFor(p.Updates)
+	next := 0
+	for rec := 1; rec <= p.Updates; rec++ {
+		if _, err := st.Observe(gen.Next()); err != nil {
+			return nil, err
+		}
+		if err := smInst.Observe(gen2.Next()); err != nil {
+			return nil, err
+		}
+		if next < len(checkpoints) && rec == checkpoints[next] {
+			next++
+			t.AddRow(float64(rec), float64(st.ModelListBytes()+st.BufferBytes()), float64(smInst.MemoryBytes()))
+		}
+	}
+	t.AddNote("paper: CluDistream memory grows very slowly with the stream (only +10kB over 100k→500k updates)")
+	return t, nil
+}
+
+// Fig10b reproduces Figure 10(b): memory consumption linear in K with
+// slopes growing in d. Memory here is the analytic Theorem-3 model with
+// B = 1 (a single active model), matching the paper's single-distribution
+// measurement.
+func Fig10b(p Params) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 10(b): model memory vs K for several d",
+		Columns: []string{"K", "bytes d=10", "bytes d=20", "bytes d=30", "bytes d=40"},
+	}
+	for _, k := range []int{10, 20, 30, 40} {
+		row := []float64{float64(k)}
+		for _, d := range []int{10, 20, 30, 40} {
+			perComp := 8 * (1 + d + d*(d+1)/2)
+			row = append(row, float64(k*perComp))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: memory linear in K; larger d gives steeper slopes")
+	return t, nil
+}

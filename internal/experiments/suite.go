@@ -1,0 +1,55 @@
+package experiments
+
+// Runner is one registered experiment.
+type Runner struct {
+	// Name is the CLI identifier, e.g. "fig2a".
+	Name string
+	// Run executes the experiment at the given scale.
+	Run func(Params) (*Table, error)
+}
+
+// Suite lists every reproducible figure and ablation in paper order.
+func Suite() []Runner {
+	return []Runner{
+		{"fig1-nfd", func(p Params) (*Table, error) { return Fig1(p, true) }},
+		{"fig1-synth", func(p Params) (*Table, error) { return Fig1(p, false) }},
+		{"fig2a", Fig2a},
+		{"fig2b", Fig2b},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+		{"fig7a", func(p Params) (*Table, error) { return Fig7(p, true) }},
+		{"fig7b", func(p Params) (*Table, error) { return Fig7(p, false) }},
+		{"fig8a", func(p Params) (*Table, error) { return Fig8(p, true) }},
+		{"fig8b", func(p Params) (*Table, error) { return Fig8(p, false) }},
+		{"fig9a", Fig9a},
+		{"fig9b", Fig9b},
+		{"fig10a", Fig10a},
+		{"fig10b", Fig10b},
+		{"fig11", Fig11},
+		{"fig12", Fig12},
+		{"fig13", Fig13},
+		{"fig14", Fig14},
+		{"ablation-test-and-cluster", AblationTestAndCluster},
+		{"ablation-merge-fit", AblationMergeFit},
+		{"ablation-cov-type", AblationCovType},
+		{"ablation-sharp-test", AblationSharpTest},
+		{"ablation-merge-tree", AblationMergeTree},
+		{"ablation-vs-dem", AblationVsDEM},
+		{"ablation-incomplete", AblationIncomplete},
+		{"ablation-snapshots", AblationSnapshots},
+		{"ablation-hierarchy", AblationHierarchy},
+	}
+}
+
+// Find returns the runner with the given name, or nil.
+func Find(name string) *Runner {
+	for _, r := range Suite() {
+		if r.Name == name {
+			r := r
+			return &r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+package experiments
+
+import "fmt"
+
+// fmtSscan wraps fmt.Sscan for note-parsing assertions.
+func fmtSscan(s string, args ...any) (int, error) {
+	return fmt.Sscan(s, args...)
+}

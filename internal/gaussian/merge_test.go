@@ -1,0 +1,155 @@
+package gaussian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cludistream/internal/linalg"
+)
+
+func TestMomentMergeIdenticalComponents(t *testing.T) {
+	c := Spherical(linalg.Vector{1, 2}, 2)
+	w, mean, cov := MomentMerge(0.3, c, 0.7, c)
+	if math.Abs(w-1) > 1e-15 {
+		t.Fatalf("w = %v", w)
+	}
+	if !mean.Equal(linalg.Vector{1, 2}, 1e-12) {
+		t.Fatalf("mean = %v", mean)
+	}
+	if !cov.Equal(c.Cov(), 1e-12) {
+		t.Fatalf("cov diag = %v", cov.Diag())
+	}
+}
+
+func TestMomentMergeKnown1D(t *testing.T) {
+	// Equal weights, unit variances, means ±1: merged μ=0,
+	// σ² = 1 + 1 = mean of (σ²+μ²) − μ̄² = (1+1+1+1)/2 − 0 = 2.
+	a := Spherical(linalg.Vector{-1}, 1)
+	b := Spherical(linalg.Vector{1}, 1)
+	w, mean, cov := MomentMerge(0.5, a, 0.5, b)
+	if w != 1 || math.Abs(mean[0]) > 1e-15 {
+		t.Fatalf("w=%v mean=%v", w, mean)
+	}
+	if math.Abs(cov.At(0, 0)-2) > 1e-12 {
+		t.Fatalf("var = %v, want 2", cov.At(0, 0))
+	}
+}
+
+func TestMomentMergeMatchesMixtureMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a, b := randComponent(rng, 3), randComponent(rng, 3)
+	wi, wj := 0.3, 0.5
+	_, mean, cov := MomentMerge(wi, a, wj, b)
+	// Compare with Moments() of the normalized 2-component mixture.
+	m := MustMixture([]float64{wi, wj}, []*Component{a, b})
+	mMean, mCov := m.Moments()
+	if !mean.Equal(mMean, 1e-12) {
+		t.Fatalf("mean %v vs %v", mean, mMean)
+	}
+	if !cov.Equal(mCov, 1e-10) {
+		t.Fatalf("cov mismatch")
+	}
+}
+
+func TestL1LossZeroForPerfectMerge(t *testing.T) {
+	// Merging a component with itself: the moment merge is exact, so the
+	// L1 loss must be ~0.
+	rng := rand.New(rand.NewSource(62))
+	c := Spherical(linalg.Vector{0, 0}, 1)
+	_, mean, cov := MomentMerge(0.5, c, 0.5, c)
+	merged := MustComponent(mean, cov)
+	loss := L1Loss(0.5, c, 0.5, c, merged, 512, rng)
+	if loss > 1e-10 {
+		t.Fatalf("L1 loss for identity merge = %v", loss)
+	}
+}
+
+func TestL1LossPositiveForBadMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	a := Spherical(linalg.Vector{-4}, 1)
+	b := Spherical(linalg.Vector{4}, 1)
+	good := func() *Component {
+		_, mean, cov := MomentMerge(0.5, a, 0.5, b)
+		return MustComponent(mean, cov)
+	}()
+	bad := Spherical(linalg.Vector{50}, 1) // nowhere near the mass
+	lGood := L1Loss(0.5, a, 0.5, b, good, 512, rng)
+	lBad := L1Loss(0.5, a, 0.5, b, bad, 512, rand.New(rand.NewSource(63)))
+	if lGood >= lBad {
+		t.Fatalf("good merge loss %v should beat bad %v", lGood, lBad)
+	}
+	// Totally wrong merged density: |a − b| ≈ a everywhere mass lives, so
+	// loss ≈ total weight = 1.
+	if math.Abs(lBad-1) > 0.05 {
+		t.Fatalf("bad merge loss = %v, want ≈ 1", lBad)
+	}
+}
+
+func TestL1LossBounded(t *testing.T) {
+	// l(x) = ∫|a−b| ≤ ∫a + ∫b = 2w. Monte-Carlo noise stays within ~10%.
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 10; i++ {
+		a, b := randComponent(rng, 2), randComponent(rng, 2)
+		merged := randComponent(rng, 2)
+		loss := L1Loss(0.5, a, 0.5, b, merged, 512, rng)
+		if loss < 0 || loss > 2.2 {
+			t.Fatalf("loss out of bounds: %v", loss)
+		}
+	}
+}
+
+func TestFitMergeImprovesOrMatchesMoment(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	a := Spherical(linalg.Vector{-2, 0}, 1)
+	b := Spherical(linalg.Vector{2, 0}, 1)
+	w, fitted := FitMerge(0.5, a, 0.5, b, MergeOptions{Samples: 256, Seed: 7})
+	if math.Abs(w-1) > 1e-12 {
+		t.Fatalf("w = %v", w)
+	}
+	_, mean0, cov0 := MomentMerge(0.5, a, 0.5, b)
+	base := MustComponent(mean0, cov0)
+	crn := func(c *Component) float64 {
+		return L1Loss(0.5, a, 0.5, b, c, 256, rand.New(rand.NewSource(7)))
+	}
+	if crn(fitted) > crn(base)+1e-12 {
+		t.Fatalf("fitted loss %v worse than moment %v", crn(fitted), crn(base))
+	}
+	_ = rng
+}
+
+func TestFitMergeMomentOnly(t *testing.T) {
+	a := Spherical(linalg.Vector{-1}, 1)
+	b := Spherical(linalg.Vector{1}, 1)
+	w, c := FitMerge(0.4, a, 0.6, b, MergeOptions{MomentOnly: true})
+	_, mean, cov := MomentMerge(0.4, a, 0.6, b)
+	want := MustComponent(mean, cov)
+	if math.Abs(w-1) > 1e-12 || !c.Equal(want, 1e-12) {
+		t.Fatal("MomentOnly did not return the moment merge")
+	}
+}
+
+func TestFitMergeDeterministic(t *testing.T) {
+	a := Spherical(linalg.Vector{-2, 1}, 1.5)
+	b := Spherical(linalg.Vector{2, -1}, 0.8)
+	_, c1 := FitMerge(0.5, a, 0.5, b, MergeOptions{Samples: 128, Seed: 3})
+	_, c2 := FitMerge(0.5, a, 0.5, b, MergeOptions{Samples: 128, Seed: 3})
+	if !c1.Equal(c2, 0) {
+		t.Fatal("FitMerge not deterministic for fixed seed")
+	}
+}
+
+func TestFitMergePreservesTotalWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for i := 0; i < 5; i++ {
+		a, b := randComponent(rng, 2), randComponent(rng, 2)
+		wi, wj := rng.Float64()+0.1, rng.Float64()+0.1
+		w, merged := FitMerge(wi, a, wj, b, MergeOptions{Samples: 64, Seed: int64(i + 1), MaxIter: 40})
+		if math.Abs(w-(wi+wj)) > 1e-12 {
+			t.Fatalf("weight not preserved: %v vs %v", w, wi+wj)
+		}
+		if merged.Dim() != 2 {
+			t.Fatal("dimension changed")
+		}
+	}
+}

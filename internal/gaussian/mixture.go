@@ -1,0 +1,310 @@
+package gaussian
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cludistream/internal/linalg"
+)
+
+// Mixture is a Gaussian mixture model p(x) = Σ_j w_j p(x|j) (Eq. 1 of the
+// paper), the representation CluDistream uses for every cluster model on
+// both remote sites and the coordinator.
+type Mixture struct {
+	weights []float64
+	comps   []*Component
+}
+
+// ErrEmptyMixture is returned by constructors given no components.
+var ErrEmptyMixture = errors.New("gaussian: mixture needs at least one component")
+
+// NewMixture builds a mixture from parallel weight/component slices. The
+// weights are copied and normalized to sum to 1; they must be non-negative
+// with a positive sum, and every component must share one dimensionality.
+func NewMixture(weights []float64, comps []*Component) (*Mixture, error) {
+	if len(comps) == 0 {
+		return nil, ErrEmptyMixture
+	}
+	if len(weights) != len(comps) {
+		return nil, fmt.Errorf("gaussian: %d weights for %d components", len(weights), len(comps))
+	}
+	d := comps[0].Dim()
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("gaussian: negative or NaN weight %v at %d", w, i)
+		}
+		if comps[i].Dim() != d {
+			return nil, fmt.Errorf("gaussian: component %d has dim %d, want %d", i, comps[i].Dim(), d)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, errors.New("gaussian: weights sum to zero")
+	}
+	ws := make([]float64, len(weights))
+	for i, w := range weights {
+		ws[i] = w / sum
+	}
+	cs := make([]*Component, len(comps))
+	copy(cs, comps)
+	return &Mixture{weights: ws, comps: cs}, nil
+}
+
+// MustMixture is NewMixture that panics on error.
+func MustMixture(weights []float64, comps []*Component) *Mixture {
+	m, err := NewMixture(weights, comps)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Uniform builds a mixture with equal weights over comps.
+func Uniform(comps []*Component) (*Mixture, error) {
+	ws := make([]float64, len(comps))
+	for i := range ws {
+		ws[i] = 1
+	}
+	return NewMixture(ws, comps)
+}
+
+// K returns the number of components.
+func (m *Mixture) K() int { return len(m.comps) }
+
+// Dim returns the data dimensionality.
+func (m *Mixture) Dim() int { return m.comps[0].Dim() }
+
+// Weight returns w_j.
+func (m *Mixture) Weight(j int) float64 { return m.weights[j] }
+
+// Weights returns a copy of the weight vector.
+func (m *Mixture) Weights() []float64 {
+	return append([]float64(nil), m.weights...)
+}
+
+// Component returns component j (immutable).
+func (m *Mixture) Component(j int) *Component { return m.comps[j] }
+
+// Components returns a copy of the component slice (components themselves
+// are shared — they are immutable).
+func (m *Mixture) Components() []*Component {
+	return append([]*Component(nil), m.comps...)
+}
+
+// LogPDF returns log p(x) = log Σ_j w_j p(x|j), evaluated stably with
+// log-sum-exp. Two scratch vectors are allocated per call (not per
+// component); the fit test and the E-step funnel through here, so the
+// allocation profile matters.
+func (m *Mixture) LogPDF(x linalg.Vector) float64 {
+	diff := linalg.NewVector(m.Dim())
+	half := linalg.NewVector(m.Dim())
+	return m.logPDFScratch(x, diff, half)
+}
+
+func (m *Mixture) logPDFScratch(x, diff, half linalg.Vector) float64 {
+	lse := math.Inf(-1)
+	for j, c := range m.comps {
+		if m.weights[j] == 0 {
+			continue
+		}
+		lp := math.Log(m.weights[j]) + c.LogProbScratch(x, diff, half)
+		lse = logAdd(lse, lp)
+	}
+	return lse
+}
+
+// PDF returns the density p(x).
+func (m *Mixture) PDF(x linalg.Vector) float64 { return math.Exp(m.LogPDF(x)) }
+
+// MaxComponentLogPDF returns max_j log(w_j·p(x|j)) — the "sharpened"
+// statistic the proof of Theorem 2 substitutes for the full mixture
+// likelihood ("we use the maximal probability of x belongs to one of the
+// clusters instead of the overall probability").
+func (m *Mixture) MaxComponentLogPDF(x linalg.Vector) float64 {
+	best := math.Inf(-1)
+	for j, c := range m.comps {
+		if m.weights[j] == 0 {
+			continue
+		}
+		if lp := math.Log(m.weights[j]) + c.LogProb(x); lp > best {
+			best = lp
+		}
+	}
+	return best
+}
+
+// AvgLogLikelihood is Definition 1: (1/|D|)·Σ_x log p(x). It is the quality
+// measure used by every experiment in Section 6 and the statistic of the
+// J_fit test. An empty data set yields 0.
+func (m *Mixture) AvgLogLikelihood(data []linalg.Vector) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	diff := linalg.NewVector(m.Dim())
+	half := linalg.NewVector(m.Dim())
+	var sum float64
+	for _, x := range data {
+		sum += m.logPDFScratch(x, diff, half)
+	}
+	return sum / float64(len(data))
+}
+
+// AvgMaxComponentLL is AvgLogLikelihood with the sharpened per-record
+// statistic of Theorem 2's proof.
+func (m *Mixture) AvgMaxComponentLL(data []linalg.Vector) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range data {
+		sum += m.MaxComponentLogPDF(x)
+	}
+	return sum / float64(len(data))
+}
+
+// PosteriorInto writes Pr(j|x) = w_j·p(x|j) / p(x) (Eq. 2) for all j into
+// dst, which must have length K. It returns log p(x) as a by-product (the
+// E-step wants both).
+func (m *Mixture) PosteriorInto(x linalg.Vector, dst []float64) float64 {
+	if len(dst) != len(m.comps) {
+		panic("gaussian: posterior buffer length mismatch")
+	}
+	diff := linalg.NewVector(m.Dim())
+	half := linalg.NewVector(m.Dim())
+	lse := math.Inf(-1)
+	for j, c := range m.comps {
+		if m.weights[j] == 0 {
+			dst[j] = math.Inf(-1)
+			continue
+		}
+		dst[j] = math.Log(m.weights[j]) + c.LogProbScratch(x, diff, half)
+		lse = logAdd(lse, dst[j])
+	}
+	for j := range dst {
+		if math.IsInf(dst[j], -1) {
+			dst[j] = 0
+			continue
+		}
+		dst[j] = math.Exp(dst[j] - lse)
+	}
+	return lse
+}
+
+// Posterior returns Pr(·|x) as a fresh slice.
+func (m *Mixture) Posterior(x linalg.Vector) []float64 {
+	dst := make([]float64, len(m.comps))
+	m.PosteriorInto(x, dst)
+	return dst
+}
+
+// Sample draws one record: pick a component by weight, then sample it.
+func (m *Mixture) Sample(rng *rand.Rand) linalg.Vector {
+	j := m.SampleComponentIndex(rng)
+	return m.comps[j].Sample(rng)
+}
+
+// SampleComponentIndex draws a component index distributed as the weights.
+func (m *Mixture) SampleComponentIndex(rng *rand.Rand) int {
+	u := rng.Float64()
+	var acc float64
+	for j, w := range m.weights {
+		acc += w
+		if u < acc {
+			return j
+		}
+	}
+	return len(m.weights) - 1
+}
+
+// SampleN draws n records.
+func (m *Mixture) SampleN(rng *rand.Rand, n int) []linalg.Vector {
+	out := make([]linalg.Vector, n)
+	for i := range out {
+		out[i] = m.Sample(rng)
+	}
+	return out
+}
+
+// Reweighted returns a mixture with the same components and new weights.
+func (m *Mixture) Reweighted(weights []float64) (*Mixture, error) {
+	return NewMixture(weights, m.comps)
+}
+
+// Moments returns the overall mean and covariance of the mixture:
+// μ = Σ w_j μ_j and Σ = Σ w_j (Σ_j + μ_j μ_jᵀ) − μμᵀ. The coordinator uses
+// these as the parameters (μ_Mix, Σ_Mix) of a father mixture node in the
+// M_split/M_remerge criteria (Eq. 6).
+func (m *Mixture) Moments() (linalg.Vector, *linalg.Sym) {
+	d := m.Dim()
+	mean := linalg.NewVector(d)
+	for j, c := range m.comps {
+		mean.AXPYInPlace(m.weights[j], c.Mean())
+	}
+	cov := linalg.NewSym(d)
+	for j, c := range m.comps {
+		cov.AddSym(m.weights[j], c.Cov())
+		diff := c.Mean().Sub(mean)
+		cov.AddOuterScaled(m.weights[j], diff)
+	}
+	return mean, cov
+}
+
+// String renders a compact summary.
+func (m *Mixture) String() string {
+	return fmt.Sprintf("Mixture(K=%d, d=%d)", m.K(), m.Dim())
+}
+
+// Signature returns a cheap change-detection fingerprint of the mixture:
+// component count plus a weighted hash of means and weights. Two mixtures
+// with equal signatures are almost surely identical; hierarchy nodes use
+// this to decide whether their locally-observed model changed enough to
+// re-upload (Section 7's event-driven propagation).
+func (m *Mixture) Signature() float64 {
+	sig := float64(m.K()) * 1e9
+	for j := 0; j < m.K(); j++ {
+		w := m.weights[j]
+		for i, v := range m.comps[j].Mean() {
+			sig += w * v * float64(i+1)
+		}
+		sig += w * float64(j+1) * 13.37
+	}
+	return sig
+}
+
+// ApproxEqual reports whether two mixtures describe materially the same
+// model: identical component counts, weights within weightTol, and
+// component means within meanTol per coordinate (matched positionally —
+// coordinator snapshots keep stable group ordering). Hierarchy nodes use
+// this as the §7 "locally-observed Gaussian mixture model changes" test:
+// weight drift within tolerance does not trigger a re-upload.
+func (m *Mixture) ApproxEqual(o *Mixture, weightTol, meanTol float64) bool {
+	if o == nil || m.K() != o.K() || m.Dim() != o.Dim() {
+		return false
+	}
+	for j := 0; j < m.K(); j++ {
+		if math.Abs(m.weights[j]-o.weights[j]) > weightTol {
+			return false
+		}
+		if !m.comps[j].Mean().Equal(o.comps[j].Mean(), meanTol) {
+			return false
+		}
+	}
+	return true
+}
+
+// logAdd returns log(e^a + e^b) stably.
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}

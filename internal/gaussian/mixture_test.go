@@ -1,0 +1,322 @@
+package gaussian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cludistream/internal/linalg"
+)
+
+func twoComponentMixture() *Mixture {
+	c1 := Spherical(linalg.Vector{-3}, 1)
+	c2 := Spherical(linalg.Vector{3}, 1)
+	return MustMixture([]float64{0.4, 0.6}, []*Component{c1, c2})
+}
+
+func TestMixtureConstruction(t *testing.T) {
+	m := twoComponentMixture()
+	if m.K() != 2 || m.Dim() != 1 {
+		t.Fatalf("K=%d d=%d", m.K(), m.Dim())
+	}
+	if math.Abs(m.Weight(0)-0.4) > 1e-15 || math.Abs(m.Weight(1)-0.6) > 1e-15 {
+		t.Fatalf("weights = %v", m.Weights())
+	}
+}
+
+func TestMixtureWeightNormalization(t *testing.T) {
+	c := Spherical(linalg.Vector{0}, 1)
+	m := MustMixture([]float64{2, 6}, []*Component{c, c})
+	if math.Abs(m.Weight(0)-0.25) > 1e-15 {
+		t.Fatalf("weights not normalized: %v", m.Weights())
+	}
+}
+
+func TestMixtureConstructionErrors(t *testing.T) {
+	c := Spherical(linalg.Vector{0}, 1)
+	c2d := Spherical(linalg.Vector{0, 0}, 1)
+	cases := []struct {
+		name  string
+		w     []float64
+		comps []*Component
+	}{
+		{"empty", nil, nil},
+		{"len mismatch", []float64{1}, []*Component{c, c}},
+		{"negative weight", []float64{-1, 2}, []*Component{c, c}},
+		{"zero sum", []float64{0, 0}, []*Component{c, c}},
+		{"NaN weight", []float64{math.NaN(), 1}, []*Component{c, c}},
+		{"dim mismatch", []float64{1, 1}, []*Component{c, c2d}},
+	}
+	for _, tc := range cases {
+		if _, err := NewMixture(tc.w, tc.comps); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestMixtureLogPDFMatchesDirectSum(t *testing.T) {
+	m := twoComponentMixture()
+	for _, x := range []float64{-5, -3, 0, 1, 3, 7} {
+		xv := linalg.Vector{x}
+		direct := 0.4*m.Component(0).Prob(xv) + 0.6*m.Component(1).Prob(xv)
+		if got := m.PDF(xv); math.Abs(got-direct) > 1e-12*(1+direct) {
+			t.Fatalf("PDF(%v) = %v, want %v", x, got, direct)
+		}
+	}
+}
+
+func TestMixturePosteriorSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(n uint8) bool {
+		k := int(n%4) + 1
+		comps := make([]*Component, k)
+		ws := make([]float64, k)
+		for i := range comps {
+			comps[i] = randComponent(rng, 3)
+			ws[i] = rng.Float64() + 0.1
+		}
+		m := MustMixture(ws, comps)
+		x := randVec(rng, 3)
+		post := m.Posterior(x)
+		var sum float64
+		for _, p := range post {
+			if p < -1e-12 || p > 1+1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixturePosteriorExtremePoint(t *testing.T) {
+	m := twoComponentMixture()
+	// Far to the left, component 0 should own the point.
+	post := m.Posterior(linalg.Vector{-10})
+	if post[0] < 0.999 {
+		t.Fatalf("posterior = %v", post)
+	}
+	// Return value is log p(x).
+	dst := make([]float64, 2)
+	lp := m.PosteriorInto(linalg.Vector{-10}, dst)
+	if math.Abs(lp-m.LogPDF(linalg.Vector{-10})) > 1e-12 {
+		t.Fatalf("PosteriorInto logpdf = %v, want %v", lp, m.LogPDF(linalg.Vector{-10}))
+	}
+}
+
+func TestMixtureAvgLogLikelihood(t *testing.T) {
+	m := twoComponentMixture()
+	data := []linalg.Vector{{-3}, {3}}
+	want := (m.LogPDF(data[0]) + m.LogPDF(data[1])) / 2
+	if got := m.AvgLogLikelihood(data); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("AvgLL = %v, want %v", got, want)
+	}
+	if got := m.AvgLogLikelihood(nil); got != 0 {
+		t.Fatalf("AvgLL(empty) = %v", got)
+	}
+}
+
+func TestMixtureMaxComponentLL(t *testing.T) {
+	m := twoComponentMixture()
+	x := linalg.Vector{-3}
+	want := math.Log(0.4) + m.Component(0).LogProb(x)
+	if got := m.MaxComponentLogPDF(x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MaxComponentLogPDF = %v, want %v", got, want)
+	}
+	// Sharpened statistic is never above the full mixture log-density...
+	if m.MaxComponentLogPDF(x) > m.LogPDF(x) {
+		t.Fatal("max-component exceeds mixture log-density")
+	}
+	// ...and within log(K) of it.
+	if m.LogPDF(x)-m.MaxComponentLogPDF(x) > math.Log(2)+1e-12 {
+		t.Fatal("max-component more than log K below mixture")
+	}
+}
+
+func TestMixtureSampleFrequencies(t *testing.T) {
+	m := twoComponentMixture()
+	rng := rand.New(rand.NewSource(42))
+	var count0 int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.SampleComponentIndex(rng) == 0 {
+			count0++
+		}
+	}
+	frac := float64(count0) / n
+	if math.Abs(frac-0.4) > 0.02 {
+		t.Fatalf("component 0 frequency = %v, want ~0.4", frac)
+	}
+}
+
+func TestMixtureSampleNSeparation(t *testing.T) {
+	m := twoComponentMixture()
+	rng := rand.New(rand.NewSource(43))
+	xs := m.SampleN(rng, 5000)
+	var left, right int
+	for _, x := range xs {
+		if x[0] < 0 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if math.Abs(float64(left)/5000-0.4) > 0.03 {
+		t.Fatalf("left fraction = %v", float64(left)/5000)
+	}
+	_ = right
+}
+
+func TestMixtureMoments(t *testing.T) {
+	m := twoComponentMixture()
+	mean, cov := m.Moments()
+	// μ = 0.4·(−3) + 0.6·3 = 0.6
+	if math.Abs(mean[0]-0.6) > 1e-12 {
+		t.Fatalf("mixture mean = %v, want 0.6", mean[0])
+	}
+	// Σ = Σ w_j(σ² + μ_j²) − μ² = (0.4·(1+9) + 0.6·(1+9)) − 0.36 = 9.64
+	if math.Abs(cov.At(0, 0)-9.64) > 1e-12 {
+		t.Fatalf("mixture var = %v, want 9.64", cov.At(0, 0))
+	}
+}
+
+func TestMixtureMomentsMatchSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	comps := []*Component{randComponent(rng, 2), randComponent(rng, 2), randComponent(rng, 2)}
+	m := MustMixture([]float64{1, 2, 3}, comps)
+	mean, cov := m.Moments()
+	const n = 120000
+	sm := linalg.NewVector(2)
+	xs := make([]linalg.Vector, n)
+	for i := range xs {
+		xs[i] = m.Sample(rng)
+		sm.AddInPlace(xs[i])
+	}
+	sm.ScaleInPlace(1 / float64(n))
+	if !sm.Equal(mean, 0.05) {
+		t.Fatalf("sampled mean %v vs moments %v", sm, mean)
+	}
+	sc := linalg.NewSym(2)
+	for _, x := range xs {
+		sc.AddOuterScaled(1/float64(n), x.Sub(sm))
+	}
+	if !sc.Equal(cov, 0.15) {
+		t.Fatalf("sampled cov diag %v vs moments %v", sc.Diag(), cov.Diag())
+	}
+}
+
+func TestMixtureReweighted(t *testing.T) {
+	m := twoComponentMixture()
+	r, err := m.Reweighted([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Weight(0)-0.5) > 1e-15 {
+		t.Fatalf("reweighted = %v", r.Weights())
+	}
+	// Original untouched.
+	if math.Abs(m.Weight(0)-0.4) > 1e-15 {
+		t.Fatal("Reweighted mutated original")
+	}
+}
+
+func TestMixtureAccessors(t *testing.T) {
+	m := twoComponentMixture()
+	ws := m.Weights()
+	if len(ws) != 2 || math.Abs(ws[0]-0.4) > 1e-15 {
+		t.Fatalf("Weights = %v", ws)
+	}
+	ws[0] = 99 // returned slice must be a copy
+	if m.Weight(0) != 0.4 {
+		t.Fatal("Weights aliases internal storage")
+	}
+	cs := m.Components()
+	if len(cs) != 2 || cs[0] != m.Component(0) {
+		t.Fatal("Components mismatch")
+	}
+	if s := m.String(); s != "Mixture(K=2, d=1)" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := m.Component(0).String(); s == "" {
+		t.Fatal("component String empty")
+	}
+	u, err := Uniform(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u.Weight(0)-0.5) > 1e-15 {
+		t.Fatalf("Uniform weights = %v", u.Weights())
+	}
+	if _, err := Uniform(nil); err == nil {
+		t.Fatal("Uniform(nil) accepted")
+	}
+}
+
+func TestMixtureAvgMaxComponentLL(t *testing.T) {
+	m := twoComponentMixture()
+	data := []linalg.Vector{{-3}, {3}}
+	want := (m.MaxComponentLogPDF(data[0]) + m.MaxComponentLogPDF(data[1])) / 2
+	if got := m.AvgMaxComponentLL(data); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("AvgMaxComponentLL = %v, want %v", got, want)
+	}
+	if m.AvgMaxComponentLL(nil) != 0 {
+		t.Fatal("empty data should score 0")
+	}
+	// Sharpened statistic is a lower bound on the full likelihood.
+	if m.AvgMaxComponentLL(data) > m.AvgLogLikelihood(data) {
+		t.Fatal("max-component exceeds mixture avg LL")
+	}
+}
+
+func TestMixtureSignatureAndApproxEqual(t *testing.T) {
+	a := twoComponentMixture()
+	b := twoComponentMixture()
+	if a.Signature() != b.Signature() {
+		t.Fatal("identical mixtures differ in signature")
+	}
+	if !a.ApproxEqual(b, 0.01, 0.01) {
+		t.Fatal("identical mixtures not ApproxEqual")
+	}
+	if a.ApproxEqual(nil, 1, 1) {
+		t.Fatal("nil comparison true")
+	}
+	// A small weight shift stays within tolerance; a big one does not.
+	shifted := MustMixture([]float64{0.42, 0.58}, a.Components())
+	if !a.ApproxEqual(shifted, 0.05, 0.01) {
+		t.Fatal("2% weight drift flagged at 5% tolerance")
+	}
+	if a.ApproxEqual(shifted, 0.01, 0.01) {
+		t.Fatal("2% weight drift missed at 1% tolerance")
+	}
+	// A mean move beyond tolerance flags.
+	moved := MustMixture([]float64{0.4, 0.6}, []*Component{
+		Spherical(linalg.Vector{-3.5}, 1), a.Component(1),
+	})
+	if a.ApproxEqual(moved, 0.05, 0.1) {
+		t.Fatal("0.5 mean move missed at 0.1 tolerance")
+	}
+	// Different K.
+	single := MustMixture([]float64{1}, []*Component{a.Component(0)})
+	if a.ApproxEqual(single, 1, 1e9) {
+		t.Fatal("different K reported equal")
+	}
+}
+
+func TestLogAddStability(t *testing.T) {
+	// logAdd must not overflow for large magnitude inputs.
+	got := logAdd(-1000, -1000)
+	want := -1000 + math.Log(2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("logAdd(-1000,-1000) = %v, want %v", got, want)
+	}
+	if got := logAdd(math.Inf(-1), -5); got != -5 {
+		t.Fatalf("logAdd(-inf, -5) = %v", got)
+	}
+	if got := logAdd(-5, math.Inf(-1)); got != -5 {
+		t.Fatalf("logAdd(-5, -inf) = %v", got)
+	}
+}

@@ -1,0 +1,170 @@
+package hier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+)
+
+func testTree(t *testing.T, branching, depth int) *Tree {
+	t.Helper()
+	tr, err := NewTree(Config{
+		Branching: branching,
+		Depth:     depth,
+		Site: site.Config{
+			Dim: 1, K: 2, Epsilon: 0.5, Delta: 0.01, Seed: 1, ChunkSize: 200,
+		},
+		Coord: coordinator.Config{Dim: 1, Merge: gaussian.MergeOptions{MomentOnly: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func regime(mean float64) *gaussian.Mixture {
+	return gaussian.MustMixture(
+		[]float64{0.5, 0.5},
+		[]*gaussian.Component{
+			gaussian.Spherical(linalg.Vector{mean - 2}, 0.5),
+			gaussian.Spherical(linalg.Vector{mean + 2}, 0.5),
+		})
+}
+
+func TestTreeShape(t *testing.T) {
+	tr := testTree(t, 2, 2)
+	if got := len(tr.Leaves()); got != 4 {
+		t.Fatalf("leaves = %d, want 4", got)
+	}
+	if got := tr.NumNodes(); got != 7 {
+		t.Fatalf("nodes = %d, want 7", got)
+	}
+	if tr.Root().IsLeaf() {
+		t.Fatal("root is a leaf")
+	}
+	for _, l := range tr.Leaves() {
+		if !l.IsLeaf() || l.Site() == nil {
+			t.Fatal("leaf without a site")
+		}
+	}
+	if tr.Root().Coordinator() == nil {
+		t.Fatal("root without coordinator")
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	if _, err := NewTree(Config{Branching: 1, Depth: 1}); err == nil {
+		t.Error("branching 1 accepted")
+	}
+	if _, err := NewTree(Config{Branching: 2, Depth: 0}); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := NewTree(Config{Branching: 2, Depth: 1}); err == nil {
+		t.Error("invalid site config accepted")
+	}
+}
+
+func TestLeafUpdatesReachRoot(t *testing.T) {
+	tr := testTree(t, 2, 2)
+	rng := rand.New(rand.NewSource(10))
+	mixes := []*gaussian.Mixture{regime(0), regime(40), regime(-40), regime(80)}
+	for rec := 0; rec < 200*3; rec++ {
+		for li := range tr.Leaves() {
+			if err := tr.ObserveLeaf(li, mixes[li].Sample(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gm := tr.GlobalMixture()
+	if gm == nil {
+		t.Fatal("no global mixture at root")
+	}
+	// Every leaf's regime should be represented: evaluate likelihood at
+	// each regime's modes.
+	for i, mean := range []float64{0, 40, -40, 80} {
+		probe := []linalg.Vector{{mean - 2}, {mean + 2}}
+		if ll := gm.AvgLogLikelihood(probe); ll < -8 {
+			t.Fatalf("leaf %d regime (mean %v) missing from root model: LL=%v", i, mean, ll)
+		}
+	}
+}
+
+func TestStableStreamSilencesUpperLinks(t *testing.T) {
+	tr := testTree(t, 2, 2)
+	rng := rand.New(rand.NewSource(11))
+	mix := regime(0)
+	observe := func(n int) {
+		for rec := 0; rec < n; rec++ {
+			for li := range tr.Leaves() {
+				if err := tr.ObserveLeaf(li, mix.Sample(rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	observe(200 * 2)
+	bytesAfterLearn := tr.TotalUploadBytes()
+	observe(200 * 6)
+	bytesLater := tr.TotalUploadBytes()
+	if bytesAfterLearn == 0 {
+		t.Fatal("no upload traffic at all")
+	}
+	if bytesLater != bytesAfterLearn {
+		t.Fatalf("stable stream still uploading: %d -> %d bytes", bytesAfterLearn, bytesLater)
+	}
+}
+
+func TestObserveLeafBounds(t *testing.T) {
+	tr := testTree(t, 2, 1)
+	if err := tr.ObserveLeaf(-1, linalg.Vector{0}); err == nil {
+		t.Error("negative leaf index accepted")
+	}
+	if err := tr.ObserveLeaf(99, linalg.Vector{0}); err == nil {
+		t.Error("out-of-range leaf index accepted")
+	}
+}
+
+func TestDepth1MatchesStarTopology(t *testing.T) {
+	// Depth 1 = sites directly under one coordinator (the base paper).
+	tr := testTree(t, 3, 1)
+	if tr.NumNodes() != 4 || len(tr.Leaves()) != 3 {
+		t.Fatalf("nodes=%d leaves=%d", tr.NumNodes(), len(tr.Leaves()))
+	}
+	rng := rand.New(rand.NewSource(12))
+	for rec := 0; rec < 200*2; rec++ {
+		for li := range tr.Leaves() {
+			if err := tr.ObserveLeaf(li, regime(0).Sample(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gm := tr.GlobalMixture()
+	if gm == nil {
+		t.Fatal("no root model")
+	}
+	// All three sites saw the same regime: the root should have merged
+	// their components into ~2 groups, not 6.
+	if gm.K() > 3 {
+		t.Fatalf("root mixture K = %d, merging failed", gm.K())
+	}
+	mu0 := math.Abs(gm.Component(0).Mean()[0])
+	if mu0 > 4 {
+		t.Fatalf("root component mean = %v", mu0)
+	}
+}
+
+func TestSignatureDetectsChange(t *testing.T) {
+	a := regime(0)
+	b := regime(1)
+	if a.Signature() == b.Signature() {
+		t.Fatal("different mixtures share a signature")
+	}
+	if a.Signature() != regime(0).Signature() {
+		t.Fatal("identical mixtures have different signatures")
+	}
+}

@@ -1,0 +1,217 @@
+// Package kdtree is a k-d tree over identified points, built for the
+// paper's stated future work: "constructing index structure to accelerate
+// merge and split based on the mixture models". The coordinator indexes
+// its group representatives' means so that placing a component consults
+// only the few nearest groups instead of scanning all of them.
+//
+// Deletions are tombstoned and the tree rebuilds itself once tombstones
+// outnumber live points, which keeps Remove O(1) amortized and the tree
+// balanced enough under the coordinator's churn.
+package kdtree
+
+import (
+	"fmt"
+	"sort"
+
+	"cludistream/internal/linalg"
+)
+
+// Tree is a k-d tree mapping integer ids to points.
+type Tree struct {
+	dim  int
+	root *node
+	byID map[int]*node
+	dead int
+}
+
+type node struct {
+	id          int
+	pt          linalg.Vector
+	axis        int
+	dead        bool
+	left, right *node
+}
+
+// New returns an empty tree for points of the given dimension.
+func New(dim int) *Tree {
+	if dim < 1 {
+		panic(fmt.Sprintf("kdtree: dim %d", dim))
+	}
+	return &Tree{dim: dim, byID: make(map[int]*node)}
+}
+
+// Len returns the number of live points.
+func (t *Tree) Len() int { return len(t.byID) }
+
+// Insert adds a point under id. Inserting an existing id replaces its
+// point (remove + insert).
+func (t *Tree) Insert(id int, pt linalg.Vector) {
+	if len(pt) != t.dim {
+		panic(fmt.Sprintf("kdtree: point dim %d, want %d", len(pt), t.dim))
+	}
+	if _, ok := t.byID[id]; ok {
+		t.Remove(id)
+	}
+	n := &node{id: id, pt: pt.Clone()}
+	t.byID[id] = n
+	if t.root == nil {
+		n.axis = 0
+		t.root = n
+		return
+	}
+	cur := t.root
+	for {
+		next := &cur.left
+		if n.pt[cur.axis] >= cur.pt[cur.axis] {
+			next = &cur.right
+		}
+		if *next == nil {
+			n.axis = (cur.axis + 1) % t.dim
+			*next = n
+			return
+		}
+		cur = *next
+	}
+}
+
+// Remove tombstones id; it is a no-op for unknown ids. The tree rebuilds
+// once tombstones outnumber live points.
+func (t *Tree) Remove(id int) {
+	n, ok := t.byID[id]
+	if !ok {
+		return
+	}
+	n.dead = true
+	delete(t.byID, id)
+	t.dead++
+	if t.dead > len(t.byID) {
+		t.rebuild()
+	}
+}
+
+// rebuild reconstructs a balanced tree from the live points.
+func (t *Tree) rebuild() {
+	type entry struct {
+		id int
+		pt linalg.Vector
+	}
+	entries := make([]entry, 0, len(t.byID))
+	for id, n := range t.byID {
+		entries = append(entries, entry{id: id, pt: n.pt})
+	}
+	// Deterministic construction order.
+	sort.Slice(entries, func(a, b int) bool { return entries[a].id < entries[b].id })
+	t.root = nil
+	t.byID = make(map[int]*node, len(entries))
+	t.dead = 0
+
+	var build func(es []entry, axis int) *node
+	build = func(es []entry, axis int) *node {
+		if len(es) == 0 {
+			return nil
+		}
+		sort.SliceStable(es, func(a, b int) bool { return es[a].pt[axis] < es[b].pt[axis] })
+		mid := len(es) / 2
+		n := &node{id: es[mid].id, pt: es[mid].pt, axis: axis}
+		t.byID[n.id] = n
+		n.left = build(es[:mid], (axis+1)%t.dim)
+		n.right = build(es[mid+1:], (axis+1)%t.dim)
+		return n
+	}
+	t.root = build(entries, 0)
+}
+
+// Neighbor is one NearestK result.
+type Neighbor struct {
+	ID     int
+	DistSq float64
+}
+
+// NearestK returns up to k live points nearest to q in Euclidean distance,
+// closest first.
+func (t *Tree) NearestK(q linalg.Vector, k int) []Neighbor {
+	if len(q) != t.dim {
+		panic(fmt.Sprintf("kdtree: query dim %d, want %d", len(q), t.dim))
+	}
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	if k > len(t.byID) {
+		k = len(t.byID)
+	}
+	best := &resultHeap{}
+	t.search(t.root, q, k, best)
+	// Heap holds the k best with the worst on top; sort ascending.
+	out := make([]Neighbor, len(best.items))
+	copy(out, best.items)
+	sort.Slice(out, func(a, b int) bool { return out[a].DistSq < out[b].DistSq })
+	return out
+}
+
+func (t *Tree) search(n *node, q linalg.Vector, k int, best *resultHeap) {
+	if n == nil {
+		return
+	}
+	if !n.dead {
+		d := q.DistSq(n.pt)
+		if len(best.items) < k {
+			best.push(Neighbor{ID: n.id, DistSq: d})
+		} else if d < best.worst() {
+			best.popWorst()
+			best.push(Neighbor{ID: n.id, DistSq: d})
+		}
+	}
+	diff := q[n.axis] - n.pt[n.axis]
+	near, far := n.left, n.right
+	if diff >= 0 {
+		near, far = n.right, n.left
+	}
+	t.search(near, q, k, best)
+	// Prune the far side when the splitting plane is beyond the current
+	// k-th best distance.
+	if len(best.items) < k || diff*diff < best.worst() {
+		t.search(far, q, k, best)
+	}
+}
+
+// resultHeap is a small max-heap on DistSq (worst candidate on top).
+type resultHeap struct {
+	items []Neighbor
+}
+
+func (h *resultHeap) worst() float64 { return h.items[0].DistSq }
+
+func (h *resultHeap) push(n Neighbor) {
+	h.items = append(h.items, n)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].DistSq >= h.items[i].DistSq {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *resultHeap) popWorst() {
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.items) && h.items[l].DistSq > h.items[largest].DistSq {
+			largest = l
+		}
+		if r < len(h.items) && h.items[r].DistSq > h.items[largest].DistSq {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}

@@ -1,0 +1,238 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cludistream/internal/linalg"
+)
+
+func randPt(rng *rand.Rand, d int) linalg.Vector {
+	v := linalg.NewVector(d)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 10
+	}
+	return v
+}
+
+// bruteNearestK is the reference implementation.
+func bruteNearestK(pts map[int]linalg.Vector, q linalg.Vector, k int) []Neighbor {
+	out := make([]Neighbor, 0, len(pts))
+	for id, p := range pts {
+		out = append(out, Neighbor{ID: id, DistSq: q.DistSq(p)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].DistSq != out[b].DistSq {
+			return out[a].DistSq < out[b].DistSq
+		}
+		return out[a].ID < out[b].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		d := rng.Intn(5) + 1
+		n := rng.Intn(200) + 1
+		tree := New(d)
+		pts := map[int]linalg.Vector{}
+		for id := 0; id < n; id++ {
+			p := randPt(rng, d)
+			tree.Insert(id, p)
+			pts[id] = p
+		}
+		for query := 0; query < 10; query++ {
+			q := randPt(rng, d)
+			k := rng.Intn(8) + 1
+			got := tree.NearestK(q, k)
+			want := bruteNearestK(pts, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				// Distances must agree (ids may differ under exact ties).
+				if got[i].DistSq != want[i].DistSq {
+					t.Fatalf("trial %d: dist[%d] = %v, want %v", trial, i, got[i].DistSq, want[i].DistSq)
+				}
+			}
+		}
+	}
+}
+
+func TestRemoveAndRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree := New(2)
+	pts := map[int]linalg.Vector{}
+	for id := 0; id < 100; id++ {
+		p := randPt(rng, 2)
+		tree.Insert(id, p)
+		pts[id] = p
+	}
+	// Remove most points — forces at least one rebuild.
+	for id := 0; id < 80; id++ {
+		tree.Remove(id)
+		delete(pts, id)
+	}
+	if tree.Len() != 20 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	for query := 0; query < 10; query++ {
+		q := randPt(rng, 2)
+		got := tree.NearestK(q, 5)
+		want := bruteNearestK(pts, q, 5)
+		for i := range want {
+			if got[i].DistSq != want[i].DistSq {
+				t.Fatalf("after removal: dist[%d] = %v, want %v", i, got[i].DistSq, want[i].DistSq)
+			}
+		}
+		// Removed ids must never appear.
+		for _, nb := range got {
+			if nb.ID < 80 {
+				t.Fatalf("tombstoned id %d returned", nb.ID)
+			}
+		}
+	}
+}
+
+func TestInsertReplacesExistingID(t *testing.T) {
+	tree := New(1)
+	tree.Insert(7, linalg.Vector{0})
+	tree.Insert(7, linalg.Vector{100})
+	if tree.Len() != 1 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	got := tree.NearestK(linalg.Vector{100}, 1)
+	if len(got) != 1 || got[0].ID != 7 || got[0].DistSq != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRemoveUnknownIsNoop(t *testing.T) {
+	tree := New(2)
+	tree.Remove(42)
+	tree.Insert(1, linalg.Vector{0, 0})
+	tree.Remove(42)
+	if tree.Len() != 1 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	tree := New(2)
+	if got := tree.NearestK(linalg.Vector{0, 0}, 3); got != nil {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	tree.Insert(1, linalg.Vector{1, 1})
+	if got := tree.NearestK(linalg.Vector{0, 0}, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	// k larger than live points.
+	got := tree.NearestK(linalg.Vector{0, 0}, 10)
+	if len(got) != 1 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0) },
+		func() { New(2).Insert(1, linalg.Vector{1}) },
+		func() { New(2).NearestK(linalg.Vector{1}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	// Many points at the same location: all must be retrievable.
+	tree := New(2)
+	for id := 0; id < 10; id++ {
+		tree.Insert(id, linalg.Vector{5, 5})
+	}
+	got := tree.NearestK(linalg.Vector{5, 5}, 10)
+	if len(got) != 10 {
+		t.Fatalf("got %d of 10 duplicate points", len(got))
+	}
+	seen := map[int]bool{}
+	for _, nb := range got {
+		if nb.DistSq != 0 || seen[nb.ID] {
+			t.Fatalf("bad neighbor %v", nb)
+		}
+		seen[nb.ID] = true
+	}
+}
+
+// Property: after an arbitrary interleaving of inserts and removes, the
+// nearest neighbour always matches brute force.
+func TestQuickInterleavedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(opsRaw []uint16) bool {
+		tree := New(3)
+		pts := map[int]linalg.Vector{}
+		nextID := 0
+		for _, op := range opsRaw {
+			if op%3 == 0 && len(pts) > 0 {
+				// Remove a pseudo-random live id.
+				for id := range pts {
+					tree.Remove(id)
+					delete(pts, id)
+					break
+				}
+			} else {
+				p := randPt(rng, 3)
+				tree.Insert(nextID, p)
+				pts[nextID] = p
+				nextID++
+			}
+		}
+		if tree.Len() != len(pts) {
+			return false
+		}
+		if len(pts) == 0 {
+			return tree.NearestK(linalg.Vector{0, 0, 0}, 1) == nil
+		}
+		q := randPt(rng, 3)
+		got := tree.NearestK(q, 1)
+		want := bruteNearestK(pts, q, 1)
+		return len(got) == 1 && got[0].DistSq == want[0].DistSq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNearestKVsBrute(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 1000
+	tree := New(4)
+	pts := map[int]linalg.Vector{}
+	for id := 0; id < n; id++ {
+		p := randPt(rng, 4)
+		tree.Insert(id, p)
+		pts[id] = p
+	}
+	q := randPt(rng, 4)
+	b.Run("kdtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tree.NearestK(q, 8)
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = bruteNearestK(pts, q, 8)
+		}
+	})
+}

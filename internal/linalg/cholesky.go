@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization is
+// attempted on a matrix that is not (numerically) positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// Cholesky is the lower-triangular factor L of a symmetric positive
+// definite matrix A = L Lᵀ, stored packed like Sym. It is the workhorse of
+// Gaussian log-densities: solves, log-determinants and Mahalanobis
+// distances all go through the factor rather than an explicit inverse,
+// which is both faster and far better conditioned.
+type Cholesky struct {
+	n int
+	l []float64 // packed lower triangular, same layout as Sym
+}
+
+// CholeskyDecompose factors a into L·Lᵀ. It returns
+// ErrNotPositiveDefinite if a pivot is not strictly positive.
+func CholeskyDecompose(a *Sym) (*Cholesky, error) {
+	n := a.n
+	c := &Cholesky{n: n, l: make([]float64, len(a.data))}
+	copy(c.l, a.data)
+	for j := 0; j < n; j++ {
+		// Diagonal pivot: l[j][j] = sqrt(a[j][j] - sum_k l[j][k]^2).
+		d := c.at(j, j)
+		for k := 0; k < j; k++ {
+			ljk := c.at(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		c.set(j, j, d)
+		// Column below the pivot.
+		for i := j + 1; i < n; i++ {
+			v := c.at(i, j)
+			for k := 0; k < j; k++ {
+				v -= c.at(i, k) * c.at(j, k)
+			}
+			c.set(i, j, v/d)
+		}
+	}
+	return c, nil
+}
+
+func (c *Cholesky) at(i, j int) float64     { return c.l[i*(i+1)/2+j] }
+func (c *Cholesky) set(i, j int, v float64) { c.l[i*(i+1)/2+j] = v }
+
+// Order returns the matrix order.
+func (c *Cholesky) Order() int { return c.n }
+
+// LogDet returns log|A| = 2·Σ log L[i][i].
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.at(i, i))
+	}
+	return 2 * s
+}
+
+// SolveInto solves A x = b, writing x into dst. b and dst may alias.
+func (c *Cholesky) SolveInto(b, dst Vector) {
+	if len(b) != c.n || len(dst) != c.n {
+		panic("linalg: Cholesky solve dimension mismatch")
+	}
+	// Forward: L y = b.
+	for i := 0; i < c.n; i++ {
+		v := b[i]
+		for k := 0; k < i; k++ {
+			v -= c.at(i, k) * dst[k]
+		}
+		dst[i] = v / c.at(i, i)
+	}
+	// Backward: Lᵀ x = y.
+	for i := c.n - 1; i >= 0; i-- {
+		v := dst[i]
+		for k := i + 1; k < c.n; k++ {
+			v -= c.at(k, i) * dst[k]
+		}
+		dst[i] = v / c.at(i, i)
+	}
+}
+
+// Solve solves A x = b and returns a fresh x.
+func (c *Cholesky) Solve(b Vector) Vector {
+	x := NewVector(c.n)
+	c.SolveInto(b, x)
+	return x
+}
+
+// HalfSolveInto solves the triangular system L y = b, writing y into dst.
+// Since (x-μ)ᵀ A⁻¹ (x-μ) = ‖L⁻¹(x-μ)‖², this is all a Mahalanobis distance
+// needs — half the work of a full solve.
+func (c *Cholesky) HalfSolveInto(b, dst Vector) {
+	if len(b) != c.n || len(dst) != c.n {
+		panic("linalg: Cholesky half-solve dimension mismatch")
+	}
+	for i := 0; i < c.n; i++ {
+		v := b[i]
+		for k := 0; k < i; k++ {
+			v -= c.at(i, k) * dst[k]
+		}
+		dst[i] = v / c.at(i, i)
+	}
+}
+
+// QuadForm returns the quadratic form bᵀ A⁻¹ b using the factor, allocating
+// one scratch vector.
+func (c *Cholesky) QuadForm(b Vector) float64 {
+	y := NewVector(c.n)
+	c.HalfSolveInto(b, y)
+	return y.Dot(y)
+}
+
+// QuadFormScratch is QuadForm with caller-provided scratch, for hot loops.
+func (c *Cholesky) QuadFormScratch(b, scratch Vector) float64 {
+	c.HalfSolveInto(b, scratch)
+	return scratch.Dot(scratch)
+}
+
+// Inverse returns A⁻¹ as a symmetric matrix. CluDistream's merge criteria
+// (Eq. 5–6) need explicit Σ⁻¹ sums, so this is a first-class operation.
+func (c *Cholesky) Inverse() *Sym {
+	inv := NewSym(c.n)
+	e := NewVector(c.n)
+	col := NewVector(c.n)
+	for j := 0; j < c.n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		c.SolveInto(e, col)
+		for i := j; i < c.n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv
+}
+
+// MulLVecInto computes dst = L · v, used when sampling from a Gaussian
+// (x = μ + L z with z standard normal).
+func (c *Cholesky) MulLVecInto(v, dst Vector) {
+	if len(v) != c.n || len(dst) != c.n {
+		panic("linalg: Cholesky MulLVec dimension mismatch")
+	}
+	for i := c.n - 1; i >= 0; i-- {
+		var acc float64
+		for j := 0; j <= i; j++ {
+			acc += c.at(i, j) * v[j]
+		}
+		dst[i] = acc
+	}
+}
+
+// Det returns the determinant |A| = exp(LogDet). It underflows to 0 for
+// very ill-conditioned matrices; callers that only need the log scale
+// should use LogDet.
+func (c *Cholesky) Det() float64 { return math.Exp(c.LogDet()) }

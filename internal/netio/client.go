@@ -1,0 +1,159 @@
+package netio
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+	"cludistream/internal/transport"
+	"cludistream/internal/window"
+)
+
+// Conn is a bare protocol connection: frame-and-ack transport of wire
+// messages without any site attached. Aggregator nodes (cmd/aggd) use it
+// to upload their merged models; Client builds on it. Safe for concurrent
+// senders (round trips are serialized).
+type Conn struct {
+	mu   sync.Mutex // serializes frame+ack round trips
+	conn net.Conn
+
+	bytesOut int
+	messages int
+}
+
+// DialConn opens a bare protocol connection to a Server.
+func DialConn(addr string, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{conn: c}, nil
+}
+
+// Send performs one synchronous frame+ack round trip.
+func (c *Conn) Send(msg transport.Message) error {
+	payload := transport.Encode(msg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, payload); err != nil {
+		return fmt.Errorf("netio: send %v: %w", msg.Kind, err)
+	}
+	if err := readAck(c.conn); err != nil {
+		return fmt.Errorf("netio: %v: %w", msg.Kind, err)
+	}
+	c.bytesOut += len(payload)
+	c.messages++
+	return nil
+}
+
+// Stats returns (bytes sent, messages acknowledged).
+func (c *Conn) Stats() (bytesOut, messages int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesOut, c.messages
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+// Client is the remote-site endpoint: it owns a site.Site, feeds records to
+// it, and ships every resulting update to the coordinator over TCP. It is
+// safe for use from one goroutine (a site observes one stream; run one
+// Client per stream).
+type Client struct {
+	conn    *Conn
+	st      *site.Site
+	siteID  int
+	tracker *window.Tracker
+}
+
+// DialOptions tunes Dial.
+type DialOptions struct {
+	// Timeout bounds the TCP connect (default 10s).
+	Timeout time.Duration
+	// SlidingHorizonChunks enables sliding-window deletions (Section 7)
+	// with the given horizon; zero keeps landmark behaviour.
+	SlidingHorizonChunks int
+}
+
+// Dial connects to the coordinator at addr and wraps st. The site's
+// SiteID identifies this client in every message.
+func Dial(addr string, st *site.Site, siteID int, opts DialOptions) (*Client, error) {
+	if opts.SlidingHorizonChunks < 0 {
+		return nil, fmt.Errorf("netio: sliding horizon %d chunks", opts.SlidingHorizonChunks)
+	}
+	conn, err := DialConn(addr, opts.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, st: st, siteID: siteID}
+	if opts.SlidingHorizonChunks > 0 {
+		tr, err := window.NewTracker(st, opts.SlidingHorizonChunks)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.tracker = tr
+	}
+	return c, nil
+}
+
+// Site returns the wrapped site processor.
+func (c *Client) Site() *site.Site { return c.st }
+
+// Observe feeds one record to the site and transmits any updates (and
+// sliding-window deletions) it produced.
+func (c *Client) Observe(x linalg.Vector) error {
+	ups, err := c.st.Observe(x)
+	if err != nil {
+		return err
+	}
+	for _, u := range ups {
+		if err := c.send(transport.FromSiteUpdate(u)); err != nil {
+			return err
+		}
+	}
+	if c.tracker != nil {
+		for _, d := range c.tracker.Expire(c.siteID) {
+			msg := transport.Message{
+				Kind:    transport.MsgDeletion,
+				SiteID:  int32(d.SiteID),
+				ModelID: int32(d.ModelID),
+				Count:   int64(d.Count),
+			}
+			if err := c.send(msg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ObserveAll feeds a batch.
+func (c *Client) ObserveAll(xs []linalg.Vector) error {
+	for _, x := range xs {
+		if err := c.Observe(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// send performs one synchronous frame+ack round trip.
+func (c *Client) send(msg transport.Message) error {
+	return c.conn.Send(msg)
+}
+
+// Stats returns (bytes sent, messages acknowledged).
+func (c *Client) Stats() (bytesOut, messages int) {
+	return c.conn.Stats()
+}
+
+// Close closes the connection. The wrapped site remains usable locally.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,94 @@
+// Package netio is the real-network runtime of CluDistream: the same
+// site/coordinator protocol that internal/netsim simulates, carried over
+// TCP. A coordinator process runs a Server; each remote site runs a Client
+// that wraps its site.Site and ships every model update as a
+// length-prefixed frame of the internal/transport wire format.
+//
+// The protocol is deliberately simple and synchronous: each frame is
+// acknowledged with a single status byte before the next is sent. Model
+// updates are rare (that is the whole point of test-and-cluster), so the
+// round trip is irrelevant to throughput, and synchronous acks give the
+// client immediate, per-message error reporting.
+package netio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame limits and ack codes.
+const (
+	// maxFrameSize bounds a frame: a K=1024, d=256 model is ~270 MB, far
+	// beyond anything real; 64 MB is a generous hard cap against corrupt
+	// length prefixes.
+	maxFrameSize = 64 << 20
+
+	ackOK  byte = 0x00
+	ackErr byte = 0x01
+)
+
+// ErrFrameTooLarge is returned for frames exceeding maxFrameSize.
+var ErrFrameTooLarge = errors.New("netio: frame too large")
+
+// ErrRemote is returned by the client when the coordinator reports that
+// applying a message failed.
+var ErrRemote = errors.New("netio: coordinator rejected message")
+
+// writeFrame sends one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// writeAck sends a one-byte status.
+func writeAck(w io.Writer, ok bool) error {
+	b := ackOK
+	if !ok {
+		b = ackErr
+	}
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+// readAck reads a one-byte status.
+func readAck(r io.Reader) error {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err
+	}
+	switch b[0] {
+	case ackOK:
+		return nil
+	case ackErr:
+		return ErrRemote
+	default:
+		return fmt.Errorf("netio: invalid ack byte 0x%02x", b[0])
+	}
+}

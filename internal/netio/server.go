@@ -1,0 +1,175 @@
+package netio
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/transport"
+)
+
+// Server is the coordinator endpoint: it accepts site connections, decodes
+// frames, and applies them to the shared Coordinator under a mutex. It is
+// safe for any number of concurrent site connections.
+type Server struct {
+	ln    net.Listener
+	coord *coordinator.Coordinator
+	// Logf receives connection-level errors; nil silences them. Set before
+	// Serve is running.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex // guards coord and counters
+	bytesIn  int
+	messages int
+	applyErr int
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+// NewServer listens on addr ("host:port", ":0" for an ephemeral port) and
+// serves the given coordinator until Close. Serving starts immediately in
+// background goroutines.
+func NewServer(addr string, coord *coordinator.Coordinator) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, coord: coord, conns: make(map[net.Conn]struct{}), closing: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	// Default: quiet about expected shutdown noise, loud otherwise.
+	select {
+	case <-s.closing:
+	default:
+		log.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return
+			default:
+				s.logf("netio: accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one site connection: frame → decode → apply → ack.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	s.connMu.Lock()
+	if s.conns == nil { // closed while this connection raced Accept
+		s.connMu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			// EOF is the normal client hang-up; closed-connection errors
+			// accompany shutdown. Anything else is worth a log line.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("netio: read from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		ok := s.apply(payload)
+		if err := writeAck(conn, ok); err != nil {
+			s.logf("netio: ack to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// apply decodes and applies one message, returning whether it succeeded.
+func (s *Server) apply(payload []byte) bool {
+	msg, err := transport.Decode(payload)
+	if err != nil {
+		s.logf("netio: decode: %v", err)
+		s.mu.Lock()
+		s.applyErr++
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytesIn += len(payload)
+	s.messages++
+	switch msg.Kind {
+	case transport.MsgDeletion:
+		err = s.coord.HandleDeletion(int(msg.SiteID), int(msg.ModelID), int(msg.Count))
+	default:
+		err = s.coord.HandleUpdate(msg.ToSiteUpdate())
+	}
+	if err != nil {
+		s.applyErr++
+		s.logf("netio: apply %v from site %d: %v", msg.Kind, msg.SiteID, err)
+		return false
+	}
+	return true
+}
+
+// Snapshot runs fn with the coordinator locked — the only safe way to read
+// coordinator state while the server is live.
+func (s *Server) Snapshot(fn func(*coordinator.Coordinator)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.coord)
+}
+
+// Stats returns (bytes received, messages applied, apply errors).
+func (s *Server) Stats() (bytesIn, messages, applyErrors int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesIn, s.messages, s.applyErr
+}
+
+// Close stops accepting, severs every live site connection and waits for
+// the connection goroutines to drain.
+func (s *Server) Close() error {
+	close(s.closing)
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = nil
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,214 @@
+// Package netsim is a small discrete-event simulator standing in for the
+// C++Sim package the paper used "for easier control of experiments...to
+// simulate the distributed processing effect". It provides a virtual clock,
+// an event heap with deterministic FIFO tie-breaking, and point-to-point
+// links that account every byte sent — the observable behind the paper's
+// "total communication cost is collected every second".
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Simulator owns the virtual clock and the pending-event heap.
+type Simulator struct {
+	now    float64
+	events eventHeap
+	seq    int64
+	ran    int
+}
+
+// NewSimulator returns a simulator at time 0.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// EventsRun returns how many events have executed.
+func (s *Simulator) EventsRun() int { return s.ran }
+
+// Schedule runs fn delay seconds from now. Negative delays panic —
+// causality violations are bugs, not data.
+func (s *Simulator) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("netsim: negative or NaN delay %v", delay))
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t (>= Now).
+func (s *Simulator) ScheduleAt(t float64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("netsim: scheduling into the past: %v < %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// Step executes the next event, returning false when the heap is empty.
+func (s *Simulator) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	s.ran++
+	e.fn()
+	return true
+}
+
+// Run executes events until the heap drains.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t (even if no event lands there).
+func (s *Simulator) RunUntil(t float64) {
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+type event struct {
+	at  float64
+	seq int64 // FIFO among simultaneous events — determinism
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Link is a unidirectional site→coordinator channel with latency, optional
+// finite bandwidth, and exact byte accounting.
+type Link struct {
+	sim       *Simulator
+	latency   float64
+	bandwidth float64 // bytes/second; 0 means infinite
+	deliver   func([]byte)
+
+	bytesSent int
+	messages  int
+	sendLog   []sendRecord
+	// busyUntil serializes transmissions on a finite-bandwidth link.
+	busyUntil float64
+}
+
+type sendRecord struct {
+	at    float64
+	bytes int
+}
+
+// NewLink creates a link on sim. deliver is invoked (inside the simulation)
+// when a payload arrives; it may be nil for fire-and-forget accounting.
+func (s *Simulator) NewLink(latency, bandwidth float64, deliver func([]byte)) *Link {
+	if latency < 0 {
+		panic("netsim: negative latency")
+	}
+	if bandwidth < 0 {
+		panic("netsim: negative bandwidth")
+	}
+	return &Link{sim: s, latency: latency, bandwidth: bandwidth, deliver: deliver}
+}
+
+// Send transmits payload: bytes are accounted at send time; delivery is
+// scheduled after transmission delay (serialized on the link) plus latency.
+func (l *Link) Send(payload []byte) {
+	n := len(payload)
+	l.bytesSent += n
+	l.messages++
+	l.sendLog = append(l.sendLog, sendRecord{at: l.sim.Now(), bytes: n})
+
+	start := l.sim.Now()
+	if l.bandwidth > 0 {
+		if l.busyUntil > start {
+			start = l.busyUntil
+		}
+		start += float64(n) / l.bandwidth
+		l.busyUntil = start
+	}
+	arrive := start + l.latency
+	if l.deliver != nil {
+		p := payload
+		l.sim.ScheduleAt(arrive, func() { l.deliver(p) })
+	}
+}
+
+// BytesSent returns total bytes pushed onto the link.
+func (l *Link) BytesSent() int { return l.bytesSent }
+
+// Messages returns the number of Send calls.
+func (l *Link) Messages() int { return l.messages }
+
+// CostSeries buckets the link's sent bytes into intervals of the given
+// width, cumulatively: entry i is the total bytes sent in [0, (i+1)·width).
+// This is the paper's "total communication cost collected every second"
+// with width = 1.
+func (l *Link) CostSeries(width float64, until float64) []int {
+	n := int(math.Ceil(until / width))
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int, n)
+	for _, r := range l.sendLog {
+		idx := int(r.at / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		out[idx] += r.bytes
+	}
+	for i := 1; i < n; i++ {
+		out[i] += out[i-1]
+	}
+	return out
+}
+
+// MergeCostSeries sums per-link cumulative series element-wise (series may
+// have differing lengths; shorter ones are treated as flat after their
+// end — they are cumulative).
+func MergeCostSeries(series ...[]int) []int {
+	var n int
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	out := make([]int, n)
+	for _, s := range series {
+		for i := 0; i < n; i++ {
+			v := 0
+			if len(s) > 0 {
+				if i < len(s) {
+					v = s[i]
+				} else {
+					v = s[len(s)-1]
+				}
+			}
+			out[i] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if s.EventsRun() != 3 {
+		t.Fatalf("EventsRun = %d", s.EventsRun())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	var times []float64
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(1, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSimulator()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		s.Schedule(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	// Advancing past all events moves the clock anyway.
+	s.RunUntil(10)
+	if s.Now() != 10 || len(fired) != 5 {
+		t.Fatalf("Now = %v fired = %v", s.Now(), fired)
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	s := NewSimulator()
+	for _, fn := range []func(){
+		func() { s.Schedule(-1, func() {}) },
+		func() { s.ScheduleAt(-0.5, func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLinkDeliveryAndAccounting(t *testing.T) {
+	s := NewSimulator()
+	var got [][]byte
+	var at []float64
+	l := s.NewLink(0.5, 0, func(p []byte) {
+		got = append(got, p)
+		at = append(at, s.Now())
+	})
+	l.Send([]byte{1, 2, 3})
+	l.Send([]byte{4})
+	s.Run()
+	if l.BytesSent() != 4 || l.Messages() != 2 {
+		t.Fatalf("bytes=%d msgs=%d", l.BytesSent(), l.Messages())
+	}
+	if len(got) != 2 || at[0] != 0.5 || at[1] != 0.5 {
+		t.Fatalf("deliveries at %v", at)
+	}
+	if got[0][0] != 1 || got[1][0] != 4 {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestLinkBandwidthSerialization(t *testing.T) {
+	s := NewSimulator()
+	var at []float64
+	l := s.NewLink(0, 10, func(p []byte) { at = append(at, s.Now()) }) // 10 B/s
+	l.Send(make([]byte, 20))                                           // finishes at t=2
+	l.Send(make([]byte, 10))                                           // queued, finishes at t=3
+	s.Run()
+	if len(at) != 2 || at[0] != 2 || at[1] != 3 {
+		t.Fatalf("deliveries at %v, want [2 3]", at)
+	}
+}
+
+func TestLinkNilDeliver(t *testing.T) {
+	s := NewSimulator()
+	l := s.NewLink(1, 0, nil)
+	l.Send(make([]byte, 100))
+	s.Run()
+	if l.BytesSent() != 100 {
+		t.Fatalf("bytes = %d", l.BytesSent())
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	s := NewSimulator()
+	for _, fn := range []func(){
+		func() { s.NewLink(-1, 0, nil) },
+		func() { s.NewLink(0, -1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCostSeriesCumulative(t *testing.T) {
+	s := NewSimulator()
+	l := s.NewLink(0, 0, nil)
+	send := func(at float64, n int) {
+		s.Schedule(at, func() { l.Send(make([]byte, n)) })
+	}
+	send(0.5, 10)
+	send(1.5, 20)
+	send(1.9, 5)
+	send(3.5, 100)
+	s.Run()
+	got := l.CostSeries(1, 4)
+	want := []int{10, 35, 35, 135}
+	if len(got) != len(want) {
+		t.Fatalf("series = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCostSeriesClampsLateSends(t *testing.T) {
+	s := NewSimulator()
+	l := s.NewLink(0, 0, nil)
+	s.Schedule(9.5, func() { l.Send(make([]byte, 7)) })
+	s.Run()
+	got := l.CostSeries(1, 5) // series shorter than the send time
+	if got[len(got)-1] != 7 {
+		t.Fatalf("late send lost: %v", got)
+	}
+}
+
+func TestMergeCostSeries(t *testing.T) {
+	a := []int{1, 2, 3}
+	b := []int{10, 20, 30, 40}
+	got := MergeCostSeries(a, b)
+	want := []int{11, 22, 33, 43} // a is flat at 3 after its end
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+	if got := MergeCostSeries(); len(got) != 0 {
+		t.Fatal("empty merge not empty")
+	}
+	if got := MergeCostSeries(nil, []int{5}); got[0] != 5 {
+		t.Fatalf("nil series handling: %v", got)
+	}
+}

@@ -1,0 +1,229 @@
+// Package parallel is the multi-core in-process runtime: one goroutine per
+// remote site, each consuming its own stream through a buffered channel,
+// with model updates funneled to a shared coordinator under a mutex. It is
+// the deployment shape between the fully simulated System (internal/netsim
+// clock, exact byte accounting) and the fully distributed one
+// (internal/netio over TCP): same protocol semantics, real concurrency,
+// zero network.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+	"cludistream/internal/transport"
+	"cludistream/internal/window"
+)
+
+// Config assembles a Cluster.
+type Config struct {
+	// Sites configures each remote site; SiteIDs are overwritten with the
+	// 1-based index so coordinator bookkeeping stays collision-free.
+	Sites []site.Config
+	// Coord configures the shared coordinator.
+	Coord coordinator.Config
+	// Buffer is the per-site input channel depth (default 256).
+	Buffer int
+	// SlidingHorizonChunks enables sliding-window deletions per site.
+	SlidingHorizonChunks int
+}
+
+// Cluster runs the sites.
+type Cluster struct {
+	sites  []*site.Site
+	inputs []chan linalg.Vector
+	wg     sync.WaitGroup
+
+	coordMu sync.Mutex
+	coord   *coordinator.Coordinator
+
+	errMu sync.Mutex
+	err   error // first error observed by any site goroutine
+
+	statMu   sync.Mutex
+	bytesOut int
+	messages int
+
+	closed bool
+}
+
+// New builds and starts a Cluster; site goroutines run until Close.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("parallel: no sites configured")
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	coord, err := coordinator.New(cfg.Coord)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{coord: coord}
+	for i, sc := range cfg.Sites {
+		sc.SiteID = i + 1
+		if cfg.SlidingHorizonChunks > 0 {
+			sc.EmitFitWeightUpdates = true
+		}
+		st, err := site.New(sc)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: site %d: %w", i+1, err)
+		}
+		var tr *window.Tracker
+		if cfg.SlidingHorizonChunks > 0 {
+			tr, err = window.NewTracker(st, cfg.SlidingHorizonChunks)
+			if err != nil {
+				return nil, err
+			}
+		}
+		in := make(chan linalg.Vector, cfg.Buffer)
+		c.sites = append(c.sites, st)
+		c.inputs = append(c.inputs, in)
+		c.wg.Add(1)
+		go c.run(st, tr, in, i+1)
+	}
+	return c, nil
+}
+
+// run is one site goroutine: observe records, apply updates to the shared
+// coordinator. After an error it keeps draining its channel so feeders
+// never block; the error surfaces through Feed/Close.
+func (c *Cluster) run(st *site.Site, tr *window.Tracker, in <-chan linalg.Vector, siteID int) {
+	defer c.wg.Done()
+	failed := false
+	for x := range in {
+		if failed {
+			continue
+		}
+		ups, err := st.Observe(x)
+		if err != nil {
+			c.setErr(err)
+			failed = true
+			continue
+		}
+		for _, u := range ups {
+			if err := c.applyUpdate(u); err != nil {
+				c.setErr(err)
+				failed = true
+				break
+			}
+		}
+		if failed || tr == nil {
+			continue
+		}
+		for _, d := range tr.Expire(siteID) {
+			if err := c.applyDeletion(d); err != nil {
+				c.setErr(err)
+				failed = true
+				break
+			}
+		}
+	}
+}
+
+func (c *Cluster) applyUpdate(u site.Update) error {
+	size := transport.FromSiteUpdate(u).WireSize()
+	c.coordMu.Lock()
+	err := c.coord.HandleUpdate(u)
+	c.coordMu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.statMu.Lock()
+	c.bytesOut += size
+	c.messages++
+	c.statMu.Unlock()
+	return nil
+}
+
+func (c *Cluster) applyDeletion(d window.Deletion) error {
+	size := transport.Message{Kind: transport.MsgDeletion}.WireSize()
+	c.coordMu.Lock()
+	err := c.coord.HandleDeletion(d.SiteID, d.ModelID, d.Count)
+	c.coordMu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.statMu.Lock()
+	c.bytesOut += size
+	c.messages++
+	c.statMu.Unlock()
+	return nil
+}
+
+func (c *Cluster) setErr(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// Err returns the first error any site goroutine hit (nil if none).
+func (c *Cluster) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// Feed enqueues one record for site i (0-based). It blocks only on
+// backpressure (full channel) and surfaces any previously recorded error.
+func (c *Cluster) Feed(i int, x linalg.Vector) error {
+	if i < 0 || i >= len(c.inputs) {
+		return fmt.Errorf("parallel: site index %d of %d", i, len(c.inputs))
+	}
+	if c.closed {
+		return fmt.Errorf("parallel: cluster closed")
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	c.inputs[i] <- x
+	return nil
+}
+
+// NumSites returns the site count.
+func (c *Cluster) NumSites() int { return len(c.sites) }
+
+// Close stops intake, waits for all sites to drain, and returns the first
+// error encountered.
+func (c *Cluster) Close() error {
+	if !c.closed {
+		c.closed = true
+		for _, in := range c.inputs {
+			close(in)
+		}
+	}
+	c.wg.Wait()
+	return c.Err()
+}
+
+// Snapshot runs fn with the coordinator locked. Safe while sites run, but
+// typically called after Close.
+func (c *Cluster) Snapshot(fn func(*coordinator.Coordinator)) {
+	c.coordMu.Lock()
+	defer c.coordMu.Unlock()
+	fn(c.coord)
+}
+
+// GlobalMixture returns the merged global model under the lock.
+func (c *Cluster) GlobalMixture() *gaussian.Mixture {
+	c.coordMu.Lock()
+	defer c.coordMu.Unlock()
+	return c.coord.GlobalMixture()
+}
+
+// Site returns site i. Only read it after Close: the owning goroutine
+// mutates it while the cluster runs.
+func (c *Cluster) Site(i int) *site.Site { return c.sites[i] }
+
+// Stats returns (wire-equivalent bytes, messages) applied so far.
+func (c *Cluster) Stats() (bytesOut, messages int) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.bytesOut, c.messages
+}

@@ -1,0 +1,207 @@
+package parallel
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+)
+
+func testConfig(sites int) Config {
+	scs := make([]site.Config, sites)
+	for i := range scs {
+		scs[i] = site.Config{
+			Dim: 1, K: 2, Epsilon: 0.1, FitEps: 0.8, Delta: 0.01,
+			Seed: int64(i + 1), ChunkSize: 200,
+		}
+	}
+	return Config{
+		Sites: scs,
+		Coord: coordinator.Config{Dim: 1, Merge: gaussian.MergeOptions{MomentOnly: true}},
+	}
+}
+
+func regime(mean float64) *gaussian.Mixture {
+	return gaussian.MustMixture(
+		[]float64{0.5, 0.5},
+		[]*gaussian.Component{
+			gaussian.Spherical(linalg.Vector{mean - 2}, 0.5),
+			gaussian.Spherical(linalg.Vector{mean + 2}, 0.5),
+		})
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	c, err := New(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(10 + i)))
+			mix := regime(float64(i) * 40)
+			for rec := 0; rec < 200*3; rec++ {
+				if err := c.Feed(i, mix.Sample(rng)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Snapshot(func(co *coordinator.Coordinator) {
+		if co.NumModels() != 4 {
+			t.Fatalf("models = %d, want 4", co.NumModels())
+		}
+	})
+	gm := c.GlobalMixture()
+	for i := 0; i < 4; i++ {
+		mean := float64(i) * 40
+		probe := []linalg.Vector{{mean - 2}, {mean + 2}}
+		if ll := gm.AvgLogLikelihood(probe); ll < -6 {
+			t.Fatalf("site %d regime missing from global model: LL=%v", i, ll)
+		}
+	}
+	_, messages := c.Stats()
+	if messages != 4 {
+		t.Fatalf("messages = %d, want 4", messages)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := testConfig(1)
+	bad.Sites[0].K = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid site config accepted")
+	}
+	bad2 := testConfig(1)
+	bad2.Coord.Dim = 0
+	if _, err := New(bad2); err == nil {
+		t.Fatal("invalid coord config accepted")
+	}
+}
+
+func TestClusterFeedValidation(t *testing.T) {
+	c, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Feed(5, linalg.Vector{0}); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Feed(0, linalg.Vector{0}); err == nil {
+		t.Fatal("feed after close accepted")
+	}
+	// Double close is safe.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterSurfacesSiteError(t *testing.T) {
+	c, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-dimension record: the site goroutine records the error; a
+	// subsequent Feed (or Close) must surface it rather than hang.
+	_ = c.Feed(0, linalg.Vector{1, 2, 3})
+	if err := c.Close(); err == nil {
+		t.Fatal("dimension error swallowed")
+	}
+}
+
+func TestClusterSlidingWindow(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.SlidingHorizonChunks = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	mix := regime(0)
+	for rec := 0; rec < 200*6; rec++ {
+		if err := c.Feed(0, mix.Sample(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Snapshot(func(co *coordinator.Coordinator) {
+		var total float64
+		for _, g := range co.Groups() {
+			total += g.Weight()
+		}
+		if math.Abs(total-400) > 1e-6 {
+			t.Fatalf("mass = %v, want 400", total)
+		}
+	})
+}
+
+func TestClusterMatchesSequentialResult(t *testing.T) {
+	// The concurrent runtime must produce the same site models as driving
+	// the same site sequentially — concurrency must not change results.
+	run := func() *site.Site {
+		c, err := New(testConfig(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		mix := regime(0)
+		for rec := 0; rec < 200*4; rec++ {
+			if err := c.Feed(0, mix.Sample(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Site(0)
+	}
+	seq, err := site.New(site.Config{
+		SiteID: 1, Dim: 1, K: 2, Epsilon: 0.1, FitEps: 0.8, Delta: 0.01,
+		Seed: 1, ChunkSize: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	mix := regime(0)
+	for rec := 0; rec < 200*4; rec++ {
+		if _, err := seq.Observe(mix.Sample(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	par := run()
+	if len(par.Models()) != len(seq.Models()) {
+		t.Fatalf("model counts differ: %d vs %d", len(par.Models()), len(seq.Models()))
+	}
+	for i := range par.Models() {
+		pm, sm := par.Models()[i], seq.Models()[i]
+		if pm.Counter != sm.Counter {
+			t.Fatalf("counters differ at %d", i)
+		}
+		for j := 0; j < pm.Mixture.K(); j++ {
+			if !pm.Mixture.Component(j).Equal(sm.Mixture.Component(j), 0) {
+				t.Fatal("components differ between parallel and sequential runs")
+			}
+		}
+	}
+}

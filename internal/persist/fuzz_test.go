@@ -1,0 +1,39 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the archive loader: it must never
+// panic or over-allocate, and accepted archives must round-trip.
+func FuzzLoad(f *testing.F) {
+	// Seed with a small real archive and corruptions of it.
+	a := &SiteArchive{SiteID: 1, Dim: 2, ChunkSize: 10, ChunksSeen: 3}
+	var buf bytes.Buffer
+	if err := Save(&buf, a); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CLUD"))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[5] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Save(&out, got); err != nil {
+			t.Fatalf("accepted archive failed to save: %v", err)
+		}
+		if _, err := Load(&out); err != nil {
+			t.Fatalf("re-load failed: %v", err)
+		}
+	})
+}

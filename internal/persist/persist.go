@@ -1,0 +1,397 @@
+// Package persist serializes CluDistream state for offline use: a
+// SiteArchive captures everything a remote site has learned — its model
+// list with counters and reference likelihoods, and its event table — in a
+// versioned binary format. An archive answers the same evolving-analysis
+// queries (Section 7) as the live site: which model governed chunk n, and
+// what mixture covered any past window.
+//
+// The format is explicit little-endian binary (not gob) so files are
+// stable across Go versions and readable from other languages.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"cludistream/internal/events"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+)
+
+// Format constants.
+var magic = [4]byte{'C', 'L', 'U', 'D'}
+
+const version = 1
+
+// ErrBadFormat is returned for files that are not CluDistream archives.
+var ErrBadFormat = errors.New("persist: not a CluDistream archive")
+
+// ArchivedModel is one model-list entry.
+type ArchivedModel struct {
+	ID       int
+	RefAvgLL float64
+	Counter  int
+	Mixture  *gaussian.Mixture
+}
+
+// SiteArchive is a site's complete persisted state.
+type SiteArchive struct {
+	SiteID     int
+	Dim        int
+	ChunkSize  int
+	ChunksSeen int
+	Models     []ArchivedModel
+	Events     []events.Entry
+}
+
+// FromSite captures a snapshot of a live site. The mixtures are shared
+// (immutable), so the snapshot is cheap.
+func FromSite(s *site.Site) *SiteArchive {
+	a := &SiteArchive{
+		SiteID:     s.ID(),
+		ChunkSize:  s.ChunkSize(),
+		ChunksSeen: s.ChunksSeen(),
+		Events:     s.Events().All(),
+	}
+	for _, m := range s.Models() {
+		if a.Dim == 0 {
+			a.Dim = m.Mixture.Dim()
+		}
+		a.Models = append(a.Models, ArchivedModel{
+			ID:       m.ID,
+			RefAvgLL: m.RefAvgLL,
+			Counter:  m.Counter,
+			Mixture:  m.Mixture,
+		})
+	}
+	return a
+}
+
+// Save writes the archive.
+func Save(w io.Writer, a *SiteArchive) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	writeU32(bw, version)
+	writeU32(bw, uint32(a.SiteID))
+	writeU32(bw, uint32(a.Dim))
+	writeU32(bw, uint32(a.ChunkSize))
+	writeU32(bw, uint32(a.ChunksSeen))
+	writeU32(bw, uint32(len(a.Models)))
+	for _, m := range a.Models {
+		writeU32(bw, uint32(m.ID))
+		writeF64(bw, m.RefAvgLL)
+		writeU32(bw, uint32(m.Counter))
+		if err := writeMixture(bw, m.Mixture); err != nil {
+			return err
+		}
+	}
+	writeU32(bw, uint32(len(a.Events)))
+	for _, e := range a.Events {
+		writeU32(bw, uint32(e.ModelID))
+		writeU32(bw, uint32(e.StartChunk))
+		writeU32(bw, uint32(e.EndChunk))
+	}
+	return bw.Flush()
+}
+
+// Load reads an archive written by Save.
+func Load(r io.Reader) (*SiteArchive, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, ErrBadFormat
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("persist: unsupported version %d", ver)
+	}
+	a := &SiteArchive{}
+	if a.SiteID, err = readInt(br); err != nil {
+		return nil, err
+	}
+	if a.Dim, err = readInt(br); err != nil {
+		return nil, err
+	}
+	if a.ChunkSize, err = readInt(br); err != nil {
+		return nil, err
+	}
+	if a.ChunksSeen, err = readInt(br); err != nil {
+		return nil, err
+	}
+	nModels, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if nModels < 0 || nModels > 1<<24 {
+		return nil, fmt.Errorf("persist: implausible model count %d", nModels)
+	}
+	for i := 0; i < nModels; i++ {
+		var am ArchivedModel
+		if am.ID, err = readInt(br); err != nil {
+			return nil, err
+		}
+		if am.RefAvgLL, err = readF64(br); err != nil {
+			return nil, err
+		}
+		if am.Counter, err = readInt(br); err != nil {
+			return nil, err
+		}
+		if am.Mixture, err = readMixture(br); err != nil {
+			return nil, fmt.Errorf("persist: model %d: %w", am.ID, err)
+		}
+		a.Models = append(a.Models, am)
+	}
+	nEvents, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if nEvents < 0 || nEvents > 1<<24 {
+		return nil, fmt.Errorf("persist: implausible event count %d", nEvents)
+	}
+	for i := 0; i < nEvents; i++ {
+		var e events.Entry
+		if e.ModelID, err = readInt(br); err != nil {
+			return nil, err
+		}
+		if e.StartChunk, err = readInt(br); err != nil {
+			return nil, err
+		}
+		if e.EndChunk, err = readInt(br); err != nil {
+			return nil, err
+		}
+		a.Events = append(a.Events, e)
+	}
+	return a, nil
+}
+
+// ModelAt returns the id of the model governing the given chunk, falling
+// back to the last model for the open span, and false when the chunk was
+// never processed.
+func (a *SiteArchive) ModelAt(chunk int) (int, bool) {
+	if chunk < 1 || chunk > a.ChunksSeen {
+		return 0, false
+	}
+	for _, e := range a.Events {
+		if e.StartChunk <= chunk && chunk <= e.EndChunk {
+			return e.ModelID, true
+		}
+	}
+	if len(a.Models) == 0 {
+		return 0, false
+	}
+	// Open span of the model that was current at snapshot time — the last
+	// model in list order.
+	return a.Models[len(a.Models)-1].ID, true
+}
+
+// WindowMixture rebuilds the mixture covering chunks [start, end] exactly
+// as window.Mixture does on a live site. Returns nil for empty windows.
+func (a *SiteArchive) WindowMixture(start, end int) *gaussian.Mixture {
+	if start < 1 {
+		start = 1
+	}
+	if end > a.ChunksSeen {
+		end = a.ChunksSeen
+	}
+	if end < start || len(a.Models) == 0 {
+		return nil
+	}
+	counts := map[int]int{}
+	var order []int
+	add := func(id, n int) {
+		if n <= 0 {
+			return
+		}
+		if _, seen := counts[id]; !seen {
+			order = append(order, id)
+		}
+		counts[id] += n
+	}
+	lastClosed := 0
+	for _, e := range a.Events {
+		lo, hi := maxInt(e.StartChunk, start), minInt(e.EndChunk, end)
+		add(e.ModelID, hi-lo+1)
+		if e.EndChunk > lastClosed {
+			lastClosed = e.EndChunk
+		}
+	}
+	// Open span: (lastClosed, ChunksSeen] belongs to the final model.
+	cur := a.Models[len(a.Models)-1]
+	lo, hi := maxInt(lastClosed+1, start), minInt(a.ChunksSeen, end)
+	add(cur.ID, hi-lo+1)
+
+	byID := map[int]*ArchivedModel{}
+	for i := range a.Models {
+		byID[a.Models[i].ID] = &a.Models[i]
+	}
+	var comps []*gaussian.Component
+	var weights []float64
+	for _, id := range order {
+		m := byID[id]
+		if m == nil {
+			continue
+		}
+		w := float64(counts[id] * a.ChunkSize)
+		for j := 0; j < m.Mixture.K(); j++ {
+			comps = append(comps, m.Mixture.Component(j))
+			weights = append(weights, m.Mixture.Weight(j)*w)
+		}
+	}
+	if len(comps) == 0 {
+		return nil
+	}
+	mix, err := gaussian.NewMixture(weights, comps)
+	if err != nil {
+		return nil
+	}
+	return mix
+}
+
+// LandmarkMixture composes all models weighted by their counters.
+func (a *SiteArchive) LandmarkMixture() *gaussian.Mixture {
+	var comps []*gaussian.Component
+	var weights []float64
+	for _, m := range a.Models {
+		for j := 0; j < m.Mixture.K(); j++ {
+			comps = append(comps, m.Mixture.Component(j))
+			weights = append(weights, m.Mixture.Weight(j)*float64(m.Counter))
+		}
+	}
+	if len(comps) == 0 {
+		return nil
+	}
+	mix, err := gaussian.NewMixture(weights, comps)
+	if err != nil {
+		return nil
+	}
+	return mix
+}
+
+// --- low-level encoding ---
+
+func writeU32(w io.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:]) //nolint:errcheck — bufio defers errors to Flush
+}
+
+func writeF64(w io.Writer, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	w.Write(b[:]) //nolint:errcheck
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readInt(r io.Reader) (int, error) {
+	v, err := readU32(r)
+	return int(int32(v)), err
+}
+
+func readF64(r io.Reader) (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func writeMixture(w io.Writer, m *gaussian.Mixture) error {
+	if m == nil {
+		return errors.New("persist: nil mixture")
+	}
+	k, d := m.K(), m.Dim()
+	writeU32(w, uint32(k))
+	writeU32(w, uint32(d))
+	for j := 0; j < k; j++ {
+		writeF64(w, m.Weight(j))
+	}
+	for j := 0; j < k; j++ {
+		for _, v := range m.Component(j).Mean() {
+			writeF64(w, v)
+		}
+	}
+	for j := 0; j < k; j++ {
+		for _, v := range m.Component(j).Cov().Packed() {
+			writeF64(w, v)
+		}
+	}
+	return nil
+}
+
+func readMixture(r io.Reader) (*gaussian.Mixture, error) {
+	k, err := readInt(r)
+	if err != nil {
+		return nil, err
+	}
+	d, err := readInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || d < 1 || k > 1<<20 || d > 1<<20 {
+		return nil, fmt.Errorf("persist: implausible mixture K=%d d=%d", k, d)
+	}
+	weights := make([]float64, k)
+	for j := range weights {
+		if weights[j], err = readF64(r); err != nil {
+			return nil, err
+		}
+	}
+	means := make([]linalg.Vector, k)
+	for j := range means {
+		means[j] = linalg.NewVector(d)
+		for i := 0; i < d; i++ {
+			if means[j][i], err = readF64(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	comps := make([]*gaussian.Component, k)
+	for j := range comps {
+		packed := make([]float64, linalg.PackedLen(d))
+		for i := range packed {
+			if packed[i], err = readF64(r); err != nil {
+				return nil, err
+			}
+		}
+		c, err := gaussian.NewComponent(means[j], linalg.SymFromPacked(d, packed), 0)
+		if err != nil {
+			return nil, err
+		}
+		comps[j] = c
+	}
+	return gaussian.NewMixture(weights, comps)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinimizeQuadratic1D(t *testing.T) {
+	f := func(x []float64) float64 { return (x[0] - 3) * (x[0] - 3) }
+	res, err := Minimize(f, []float64{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-5 {
+		t.Fatalf("x = %v, want 3", res.X[0])
+	}
+	if !res.Converged {
+		t.Error("did not converge")
+	}
+}
+
+func TestMinimizeSphereND(t *testing.T) {
+	for _, d := range []int{2, 4, 8} {
+		f := func(x []float64) float64 {
+			var s float64
+			for i, v := range x {
+				c := float64(i + 1)
+				s += (v - c) * (v - c)
+			}
+			return s
+		}
+		x0 := make([]float64, d)
+		res, err := Minimize(f, x0, Options{MaxIter: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range res.X {
+			if math.Abs(v-float64(i+1)) > 1e-4 {
+				t.Fatalf("d=%d x[%d] = %v, want %d (f=%v)", d, i, v, i+1, res.F)
+			}
+		}
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := Minimize(f, []float64{-1.2, 1}, Options{MaxIter: 10000, TolF: 1e-14, TolX: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Fatalf("x = %v, want (1,1); f=%v", res.X, res.F)
+	}
+}
+
+func TestMinimizeNonSmoothAbs(t *testing.T) {
+	// Nelder–Mead's selling point (and why the paper uses it for the L1
+	// loss): it handles non-differentiable objectives.
+	f := func(x []float64) float64 { return math.Abs(x[0]-2) + math.Abs(x[1]+1) }
+	res, err := Minimize(f, []float64{10, 10}, Options{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-4 || math.Abs(res.X[1]+1) > 1e-4 {
+		t.Fatalf("x = %v", res.X)
+	}
+}
+
+func TestMinimizeWithInfConstraint(t *testing.T) {
+	// +Inf outside x>0 encodes a positivity constraint.
+	f := func(x []float64) float64 {
+		if x[0] <= 0 {
+			return math.Inf(1)
+		}
+		return x[0] + 1/x[0] // minimum at x=1, f=2
+	}
+	res, err := Minimize(f, []float64{5}, Options{MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 {
+		t.Fatalf("x = %v, want 1", res.X[0])
+	}
+}
+
+func TestMinimizeBadStart(t *testing.T) {
+	f := func(x []float64) float64 { return math.Inf(1) }
+	if _, err := Minimize(f, []float64{0}, Options{}); err != ErrBadStart {
+		t.Fatalf("err = %v, want ErrBadStart", err)
+	}
+}
+
+func TestMinimizeNaNTreatedAsInf(t *testing.T) {
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 1) * (x[0] - 1)
+	}
+	res, err := Minimize(f, []float64{3}, Options{MaxIter: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-4 {
+		t.Fatalf("x = %v", res.X[0])
+	}
+}
+
+func TestMinimizeZeroDim(t *testing.T) {
+	res, err := Minimize(func(x []float64) float64 { return 42 }, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F != 42 || !res.Converged {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestMinimizeMaxIterRespected(t *testing.T) {
+	evals := 0
+	f := func(x []float64) float64 {
+		evals++
+		return x[0] * x[0]
+	}
+	res, _ := Minimize(f, []float64{100}, Options{MaxIter: 5})
+	if res.Iterations > 5 {
+		t.Fatalf("iterations = %d > 5", res.Iterations)
+	}
+	if res.Evals != evals {
+		t.Fatalf("Evals = %d, counted %d", res.Evals, evals)
+	}
+}
+
+func TestMinimizeRandomQuadratics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		d := rng.Intn(5) + 1
+		target := make([]float64, d)
+		for i := range target {
+			target[i] = rng.NormFloat64() * 5
+		}
+		f := func(x []float64) float64 {
+			var s float64
+			for i := range x {
+				dd := x[i] - target[i]
+				s += dd * dd * float64(i+1)
+			}
+			return s
+		}
+		x0 := make([]float64, d)
+		res, err := Minimize(f, x0, Options{MaxIter: 8000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range target {
+			if math.Abs(res.X[i]-target[i]) > 1e-3*(1+math.Abs(target[i])) {
+				t.Fatalf("trial %d: x[%d]=%v want %v", trial, i, res.X[i], target[i])
+			}
+		}
+	}
+}

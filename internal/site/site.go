@@ -1,0 +1,520 @@
+// Package site implements CluDistream's remote-site processing (Section
+// 5.1 of the paper): Algorithm 1 ProcessingSubStream with the
+// test-and-cluster strategy, the model list with per-model counters, the
+// multi-test extension governed by c_max, and the event table that records
+// the stream's evolving behaviour.
+//
+// The site is single-goroutine by design — each remote site owns exactly
+// one stream — and communicates only by returning Update values, which the
+// transport/netsim layers deliver to the coordinator. This mirrors the
+// paper's architecture where remote sites never talk to each other.
+package site
+
+import (
+	"fmt"
+	"math"
+
+	"cludistream/internal/chunk"
+	"cludistream/internal/em"
+	"cludistream/internal/events"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/smem"
+)
+
+// UpdateKind discriminates the two message types a site can emit
+// (Section 5.3: synopsis-based information exchange).
+type UpdateKind int
+
+const (
+	// NewModel carries full mixture parameters for a freshly clustered
+	// model.
+	NewModel UpdateKind = iota
+	// WeightUpdate carries only a model ID and an additional record count —
+	// sent when the multi-test strategy re-activates an archived model, so
+	// the coordinator can shift weight without receiving parameters again.
+	WeightUpdate
+)
+
+func (k UpdateKind) String() string {
+	if k == WeightUpdate {
+		return "weight-update"
+	}
+	return "new-model"
+}
+
+// Update is the unit of site→coordinator communication.
+type Update struct {
+	SiteID  int
+	ModelID int
+	Kind    UpdateKind
+	// Mixture is set for NewModel updates only.
+	Mixture *gaussian.Mixture
+	// Count is the number of records this update accounts for (M for a new
+	// model's first chunk, M per re-fitted chunk for weight updates).
+	Count int
+}
+
+// Model is one entry of the site's model list: a mixture, its reference
+// average log-likelihood Avg_Pr0, and the counter c of records it explains.
+type Model struct {
+	ID int
+	// Mixture is the Gaussian mixture learned by EM.
+	Mixture *gaussian.Mixture
+	// RefAvgLL is Avg_Pr0, the average log-likelihood of the model on the
+	// chunk it was trained on — the baseline of the J_fit test.
+	RefAvgLL float64
+	// Counter is c: how many records have been attributed to this model.
+	Counter int
+	// startChunk is the first chunk of the model's current governance span
+	// (internal; spans are published to the event list on retirement).
+	startChunk int
+}
+
+// Config parameterizes a Site.
+type Config struct {
+	// SiteID identifies this site in updates.
+	SiteID int
+	// Dim is the data dimensionality d.
+	Dim int
+	// K is the number of components per local mixture model.
+	K int
+	// Epsilon is ε: both the J_fit tolerance and the chunk-size driver.
+	Epsilon float64
+	// FitEps, when non-zero, overrides ε as the J_fit threshold while
+	// Epsilon keeps driving the chunk size. The paper couples both to ε,
+	// but its Theorem-2 bound assumes the reference Avg_Pr0 is an unbiased
+	// likelihood — in practice Avg_Pr0 is measured on the chunk the model
+	// was *trained* on, so it carries an overfit bias of order
+	// (#parameters)/M that the threshold must absorb. Deployments calibrate
+	// FitEps to ~3× the stationary chunk-to-chunk fluctuation (see
+	// EXPERIMENTS.md); negative FitEps makes every test fail
+	// (always-cluster, for ablations).
+	FitEps float64
+	// Delta is δ, the probability error bound.
+	Delta float64
+	// CMax is c_max, the maximum number of models tested per chunk (the
+	// current model plus up to CMax-1 archived ones). Default 4, the
+	// paper's recommended setting.
+	CMax int
+	// EM configures the inner EM runs (K and Seed are filled from this
+	// Config when zero).
+	EM em.Config
+	// Seed drives deterministic EM initialization.
+	Seed int64
+	// SharpTest switches the J_fit statistic to the max-component average
+	// log-likelihood that Theorem 2's proof sharpens the test with, instead
+	// of the full mixture likelihood (DESIGN.md ablation).
+	SharpTest bool
+	// ChunkSize overrides the Theorem-1 chunk size when positive. Used by
+	// tests and by experiments that sweep M directly.
+	ChunkSize int
+	// EmitFitWeightUpdates makes a fitting chunk emit a WeightUpdate for
+	// the current model instead of staying silent. Landmark-window
+	// deployments leave this off (Section 5.3's stability property);
+	// sliding-window deployments need it so the coordinator's per-model
+	// weights stay in sync with the deletions that will follow (Section 7).
+	EmitFitWeightUpdates bool
+	// UseSMEM clusters chunks with split-and-merge EM (Ueda et al. [23])
+	// instead of plain EM — slower, but escapes the local optima plain EM
+	// can park in. Requires K ≥ 3.
+	UseSMEM bool
+	// AutoKMax, when positive, selects each new model's component count by
+	// BIC over K ∈ [max(AutoKMin,1), AutoKMax] instead of using the fixed
+	// K — operationalizing the paper's "we do not assume the constant
+	// number of component models for the data stream". Mutually exclusive
+	// with UseSMEM.
+	AutoKMax int
+	// AutoKMin is the lower bound of the AutoKMax sweep (default 1).
+	AutoKMin int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CMax <= 0 {
+		c.CMax = 4
+	}
+	if c.FitEps == 0 {
+		c.FitEps = c.Epsilon
+	}
+	c.EM.K = c.K
+	if c.EM.Seed == 0 {
+		c.EM.Seed = c.Seed
+	}
+	return c
+}
+
+// Stats counts the work a site has done, backing the Theorem-4 cost model
+// and the Figure 8/13/14 experiments.
+type Stats struct {
+	Records     int // records observed
+	Chunks      int // full chunks processed
+	Tests       int // model-fit tests run (λC each)
+	EMRuns      int // EM clusterings run (C each)
+	Fits        int // chunks that fit an existing model
+	Refits      int // chunks that required new EM models
+	Reactivated int // chunks explained by re-activating an archived model
+}
+
+// Site is one remote-site processor.
+type Site struct {
+	cfg     Config
+	chunker *chunk.Chunker
+	m       int // chunk size M
+
+	current *Model
+	// archive holds retired models, oldest first. The multi-test strategy
+	// probes the most recent CMax-1 of them.
+	archive []*Model
+	events  *events.List
+
+	chunkNum    int // number of completed chunks (1-based after first)
+	nextModelID int
+
+	stats Stats
+}
+
+// New constructs a Site. Dim, K, Epsilon and Delta are required.
+func New(cfg Config) (*Site, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("site: Dim = %d", cfg.Dim)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("site: K = %d", cfg.K)
+	}
+	m := cfg.ChunkSize
+	if m <= 0 {
+		m = chunk.Size(cfg.Dim, cfg.Epsilon, cfg.Delta)
+	}
+	if m < cfg.K {
+		return nil, fmt.Errorf("site: chunk size %d < K %d", m, cfg.K)
+	}
+	return &Site{
+		cfg:         cfg,
+		chunker:     chunk.NewChunker(m, cfg.Dim),
+		m:           m,
+		events:      events.NewList(),
+		nextModelID: 1,
+	}, nil
+}
+
+// ChunkSize returns M, the Theorem-1 chunk size in effect.
+func (s *Site) ChunkSize() int { return s.m }
+
+// ID returns the site's identifier.
+func (s *Site) ID() int { return s.cfg.SiteID }
+
+// Observe consumes one record and returns any updates produced (non-nil
+// only when a chunk completed and changed the model state).
+func (s *Site) Observe(x linalg.Vector) ([]Update, error) {
+	full, err := s.chunker.Add(x.Clone())
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Records++
+	if full == nil {
+		return nil, nil
+	}
+	return s.ProcessChunk(full)
+}
+
+// ObserveAll consumes a batch of records, collecting all updates.
+func (s *Site) ObserveAll(xs []linalg.Vector) ([]Update, error) {
+	var out []Update
+	for _, x := range xs {
+		u, err := s.Observe(x)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, u...)
+	}
+	return out, nil
+}
+
+// ProcessChunk runs one iteration of Algorithm 1 on a complete chunk. It is
+// exported so the experiment harness can drive sites chunk-at-a-time.
+func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
+	if len(data) != s.m {
+		return nil, fmt.Errorf("site: chunk of %d records, want %d", len(data), s.m)
+	}
+	s.chunkNum++
+	s.stats.Chunks++
+
+	// Line 2: the very first chunk is always clustered.
+	if s.current == nil {
+		return s.clusterNewModel(data)
+	}
+
+	// Test 1: current model (line 5, FitDistribution).
+	s.stats.Tests++
+	if s.fits(s.current, data) {
+		s.current.Counter += s.m
+		s.stats.Fits++
+		if s.cfg.EmitFitWeightUpdates {
+			return []Update{{
+				SiteID:  s.cfg.SiteID,
+				ModelID: s.current.ID,
+				Kind:    WeightUpdate,
+				Count:   s.m,
+			}}, nil
+		}
+		// Stability (Section 5.3): nothing is transmitted.
+		return nil, nil
+	}
+
+	// Multi-test: probe the most recent archived models, newest first,
+	// up to CMax-1 additional tests.
+	budget := s.cfg.CMax - 1
+	for i := len(s.archive) - 1; i >= 0 && budget > 0; i-- {
+		cand := s.archive[i]
+		s.stats.Tests++
+		budget--
+		if s.fits(cand, data) {
+			s.reactivate(i)
+			cand.Counter += s.m
+			s.stats.Reactivated++
+			// The coordinator must learn that weight moved to an old model.
+			return []Update{{
+				SiteID:  s.cfg.SiteID,
+				ModelID: cand.ID,
+				Kind:    WeightUpdate,
+				Count:   s.m,
+			}}, nil
+		}
+	}
+
+	// No model fits: archive the current model (lines 8–9) and cluster.
+	s.retireCurrent()
+	return s.clusterNewModel(data)
+}
+
+// fits evaluates the test criterion J_fit = |Avg_Prn − Avg_Pr0| ≤ ε
+// (Eq. 4, justified by Theorem 2). The statistic is computed over the
+// chunk's complete records only — incomplete ones have no well-defined
+// joint likelihood — matching the reference Avg_Pr0.
+func (s *Site) fits(m *Model, data []linalg.Vector) bool {
+	eval := completeOnly(data)
+	var avg float64
+	if s.cfg.SharpTest {
+		avg = m.Mixture.AvgMaxComponentLL(eval)
+	} else {
+		avg = m.Mixture.AvgLogLikelihood(eval)
+	}
+	return math.Abs(avg-m.RefAvgLL) <= s.cfg.FitEps
+}
+
+// completeOnly filters out records with missing attributes; it returns the
+// input slice unchanged (no copy) when everything is complete.
+func completeOnly(data []linalg.Vector) []linalg.Vector {
+	for i, x := range data {
+		if hasNaN(x) {
+			out := make([]linalg.Vector, 0, len(data))
+			out = append(out, data[:i]...)
+			for _, y := range data[i+1:] {
+				if !hasNaN(y) {
+					out = append(out, y)
+				}
+			}
+			return out
+		}
+	}
+	return data
+}
+
+func hasNaN(x linalg.Vector) bool {
+	for _, v := range x {
+		if math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// clusterNewModel applies the configured clustering (plain EM, SMEM or a
+// BIC K-sweep) to the chunk and installs the result as the current model
+// (lines 2 and 10 of Algorithm 1).
+func (s *Site) clusterNewModel(data []linalg.Vector) ([]Update, error) {
+	s.stats.EMRuns++
+	s.stats.Refits++
+	cfg := s.cfg.EM
+	cfg.Seed = s.cfg.Seed + int64(s.nextModelID) // deterministic but varying
+
+	var mixture *gaussian.Mixture
+	switch {
+	case s.cfg.AutoKMax > 0:
+		kMin := s.cfg.AutoKMin
+		if kMin < 1 {
+			kMin = 1
+		}
+		sel, err := em.FitBestK(data, kMin, s.cfg.AutoKMax, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("site %d: K-sweep on chunk %d: %w", s.cfg.SiteID, s.chunkNum, err)
+		}
+		mixture = sel.Best.Mixture
+	case s.cfg.UseSMEM:
+		res, err := smem.Fit(data, smem.Config{EM: cfg})
+		if err != nil {
+			return nil, fmt.Errorf("site %d: SMEM on chunk %d: %w", s.cfg.SiteID, s.chunkNum, err)
+		}
+		mixture = res.Mixture
+	case em.IsIncomplete(data):
+		// Records with missing (NaN) attributes: the marginal-likelihood EM
+		// of §3's "incomplete data" claim.
+		res, err := em.FitIncomplete(data, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("site %d: incomplete-data EM on chunk %d: %w", s.cfg.SiteID, s.chunkNum, err)
+		}
+		mixture = res.Mixture
+	default:
+		res, err := em.Fit(data, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("site %d: EM on chunk %d: %w", s.cfg.SiteID, s.chunkNum, err)
+		}
+		mixture = res.Mixture
+	}
+
+	var refLL float64
+	if s.cfg.SharpTest {
+		refLL = mixture.AvgMaxComponentLL(completeOnly(data))
+	} else {
+		refLL = mixture.AvgLogLikelihood(completeOnly(data))
+	}
+	m := &Model{
+		ID:         s.nextModelID,
+		Mixture:    mixture,
+		RefAvgLL:   refLL,
+		Counter:    s.m,
+		startChunk: s.chunkNum,
+	}
+	s.nextModelID++
+	s.current = m
+	return []Update{{
+		SiteID:  s.cfg.SiteID,
+		ModelID: m.ID,
+		Kind:    NewModel,
+		Mixture: m.Mixture,
+		Count:   s.m,
+	}}, nil
+}
+
+// retireCurrent moves the current model to the archive and publishes its
+// governance span to the event list.
+func (s *Site) retireCurrent() {
+	m := s.current
+	s.current = nil
+	if m == nil {
+		return
+	}
+	// The span ends at the previous chunk; the failing chunk belongs to the
+	// successor model (Algorithm 1 line 9: <current model ID, start, n-1>).
+	if end := s.chunkNum - 1; end >= m.startChunk {
+		// Ignore the error: spans are produced in order by construction.
+		_ = s.events.Append(events.Entry{ModelID: m.ID, StartChunk: m.startChunk, EndChunk: end})
+	}
+	s.archive = append(s.archive, m)
+}
+
+// reactivate removes archive[i] and installs it as the current model with a
+// fresh governance span; the previously current model is retired in its
+// place.
+func (s *Site) reactivate(i int) {
+	cand := s.archive[i]
+	s.archive = append(s.archive[:i], s.archive[i+1:]...)
+	s.retireCurrent()
+	cand.startChunk = s.chunkNum
+	s.current = cand
+}
+
+// Current returns the active model (nil before the first chunk completes).
+func (s *Site) Current() *Model { return s.current }
+
+// Models returns the archived models followed by the current one — the full
+// model list, oldest first.
+func (s *Site) Models() []*Model {
+	out := append([]*Model(nil), s.archive...)
+	if s.current != nil {
+		out = append(out, s.current)
+	}
+	return out
+}
+
+// Events returns the site's event table.
+func (s *Site) Events() *events.List { return s.events }
+
+// ChunksSeen returns the number of completed chunks.
+func (s *Site) ChunksSeen() int { return s.chunkNum }
+
+// Stats returns a copy of the work counters.
+func (s *Site) Stats() Stats { return s.stats }
+
+// Pending returns records buffered toward the next chunk.
+func (s *Site) Pending() int { return s.chunker.Pending() }
+
+// LandmarkMixture composes a single mixture over everything the site has
+// seen (landmark window): each model's components enter weighted by the
+// model's record counter. Returns nil before any model exists.
+func (s *Site) LandmarkMixture() *gaussian.Mixture {
+	return composeModels(s.Models())
+}
+
+// ModelsInWindow returns the models governing any chunk in
+// [startChunk, endChunk] — the Section 7 evolving-analysis query. The
+// current model is included if its open span intersects the window.
+func (s *Site) ModelsInWindow(startChunk, endChunk int) []*Model {
+	byID := make(map[int]*Model, len(s.archive)+1)
+	for _, m := range s.Models() {
+		byID[m.ID] = m
+	}
+	seen := make(map[int]bool)
+	var out []*Model
+	for _, e := range s.events.Query(startChunk, endChunk) {
+		if m := byID[e.ModelID]; m != nil && !seen[m.ID] {
+			seen[m.ID] = true
+			out = append(out, m)
+		}
+	}
+	if s.current != nil && !seen[s.current.ID] &&
+		s.current.startChunk <= endChunk && s.chunkNum >= startChunk {
+		out = append(out, s.current)
+	}
+	return out
+}
+
+// composeModels flattens a set of models into one mixture, weighting every
+// component by its model weight times the model's counter.
+func composeModels(models []*Model) *gaussian.Mixture {
+	var comps []*gaussian.Component
+	var weights []float64
+	for _, m := range models {
+		for j := 0; j < m.Mixture.K(); j++ {
+			comps = append(comps, m.Mixture.Component(j))
+			weights = append(weights, m.Mixture.Weight(j)*float64(m.Counter))
+		}
+	}
+	if len(comps) == 0 {
+		return nil
+	}
+	mix, err := gaussian.NewMixture(weights, comps)
+	if err != nil {
+		return nil
+	}
+	return mix
+}
+
+// ModelListBytes estimates the memory the model list occupies — Theorem 3's
+// second term, B·K·(d²+d+1) floats: per component one weight, a d-vector
+// mean, and a covariance (d(d+1)/2 packed floats; the theorem's d² is the
+// unpacked bound).
+func (s *Site) ModelListBytes() int {
+	d := s.cfg.Dim
+	perComp := 8 * (1 + d + d*(d+1)/2)
+	var total int
+	for _, m := range s.Models() {
+		total += m.Mixture.K() * perComp
+	}
+	return total
+}
+
+// BufferBytes estimates the chunk buffer memory — Theorem 3's first term,
+// M records of d float64s.
+func (s *Site) BufferBytes() int { return s.m * s.cfg.Dim * 8 }

@@ -1,0 +1,496 @@
+package site
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+)
+
+// testConfig returns a small, fast configuration: 1-d data, chunk size 200.
+func testConfig() Config {
+	return Config{
+		SiteID:    1,
+		Dim:       1,
+		K:         2,
+		Epsilon:   0.1,
+		Delta:     0.01,
+		CMax:      4,
+		Seed:      1,
+		ChunkSize: 200,
+	}
+}
+
+func regime(mean float64) *gaussian.Mixture {
+	return gaussian.MustMixture(
+		[]float64{0.5, 0.5},
+		[]*gaussian.Component{
+			gaussian.Spherical(linalg.Vector{mean - 2}, 0.5),
+			gaussian.Spherical(linalg.Vector{mean + 2}, 0.5),
+		})
+}
+
+func feed(t *testing.T, s *Site, mix *gaussian.Mixture, n int, rng *rand.Rand) []Update {
+	t.Helper()
+	var ups []Update
+	for i := 0; i < n; i++ {
+		u, err := s.Observe(mix.Sample(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups = append(ups, u...)
+	}
+	return ups
+}
+
+func TestFirstChunkAlwaysClusters(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	ups := feed(t, s, regime(0), 200, rng)
+	if len(ups) != 1 || ups[0].Kind != NewModel {
+		t.Fatalf("updates after first chunk = %+v", ups)
+	}
+	if ups[0].Mixture == nil || ups[0].Count != 200 {
+		t.Fatalf("first update malformed: %+v", ups[0])
+	}
+	if s.Current() == nil || s.Current().ID != 1 {
+		t.Fatal("no current model after first chunk")
+	}
+	if s.Stats().EMRuns != 1 {
+		t.Fatalf("EMRuns = %d", s.Stats().EMRuns)
+	}
+}
+
+func TestStationaryStreamStaysSilent(t *testing.T) {
+	// Stability (Section 5.3): unchanged distribution ⇒ no communication.
+	s, _ := New(testConfig())
+	rng := rand.New(rand.NewSource(2))
+	mix := regime(0)
+	ups := feed(t, s, mix, 200*10, rng)
+	if len(ups) != 1 {
+		t.Fatalf("stationary stream produced %d updates, want 1", len(ups))
+	}
+	if got := s.Current().Counter; got != 200*10 {
+		t.Fatalf("counter = %d, want 2000", got)
+	}
+	st := s.Stats()
+	if st.EMRuns != 1 {
+		t.Fatalf("EM ran %d times on a stationary stream", st.EMRuns)
+	}
+	if st.Fits != 9 {
+		t.Fatalf("Fits = %d, want 9", st.Fits)
+	}
+	if len(s.Models()) != 1 {
+		t.Fatalf("model list has %d entries", len(s.Models()))
+	}
+}
+
+func TestDistributionChangeTriggersNewModel(t *testing.T) {
+	s, _ := New(testConfig())
+	rng := rand.New(rand.NewSource(3))
+	feed(t, s, regime(0), 200*3, rng)
+	ups := feed(t, s, regime(50), 200*3, rng)
+	var newModels int
+	for _, u := range ups {
+		if u.Kind == NewModel {
+			newModels++
+		}
+	}
+	if newModels != 1 {
+		t.Fatalf("regime change produced %d NewModel updates, want 1", newModels)
+	}
+	if len(s.Models()) != 2 {
+		t.Fatalf("model list = %d, want 2", len(s.Models()))
+	}
+	// Event list must hold the retired model's span: chunks 1-3.
+	ev := s.Events()
+	if ev.Len() != 1 {
+		t.Fatalf("event list len = %d", ev.Len())
+	}
+	e := ev.At(0)
+	if e.ModelID != 1 || e.StartChunk != 1 || e.EndChunk != 3 {
+		t.Fatalf("event = %v, want <model 1, chunks 1-3>", e)
+	}
+}
+
+func TestMultiTestReactivatesArchivedModel(t *testing.T) {
+	// Alternate A, B, A: with c_max ≥ 2 the third phase must re-activate
+	// model A via a WeightUpdate, not run EM again.
+	s, _ := New(testConfig())
+	rng := rand.New(rand.NewSource(4))
+	a, b := regime(0), regime(60)
+	feed(t, s, a, 200*3, rng)
+	feed(t, s, b, 200*3, rng)
+	emBefore := s.Stats().EMRuns
+	ups := feed(t, s, a, 200*3, rng)
+
+	var weightUps int
+	for _, u := range ups {
+		if u.Kind == WeightUpdate {
+			weightUps++
+			if u.ModelID != 1 {
+				t.Fatalf("weight update for model %d, want 1", u.ModelID)
+			}
+			if u.Count != 200 {
+				t.Fatalf("weight update count = %d", u.Count)
+			}
+		}
+		if u.Kind == NewModel {
+			t.Fatalf("unexpected NewModel update on return to regime A: %+v", u)
+		}
+	}
+	if weightUps == 0 {
+		t.Fatal("no weight updates on regime return")
+	}
+	if s.Stats().EMRuns != emBefore {
+		t.Fatal("EM ran despite archived model fitting")
+	}
+	if s.Current().ID != 1 {
+		t.Fatalf("current model = %d, want re-activated 1", s.Current().ID)
+	}
+	if s.Stats().Reactivated == 0 {
+		t.Fatal("Reactivated counter not bumped")
+	}
+}
+
+func TestCMax1DisablesMultiTest(t *testing.T) {
+	cfg := testConfig()
+	cfg.CMax = 1
+	s, _ := New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	a, b := regime(0), regime(60)
+	feed(t, s, a, 200*2, rng)
+	feed(t, s, b, 200*2, rng)
+	feed(t, s, a, 200*2, rng)
+	// Each regime switch must cost a fresh EM model: 3 models total.
+	if got := len(s.Models()); got != 3 {
+		t.Fatalf("models = %d, want 3 with c_max=1", got)
+	}
+	if s.Stats().Reactivated != 0 {
+		t.Fatal("reactivation happened with c_max=1")
+	}
+}
+
+func TestEpsilonControlsSensitivity(t *testing.T) {
+	// A small mean shift: a loose ε tolerates it, a tight ε refits.
+	mk := func(eps float64) int {
+		cfg := testConfig()
+		cfg.Epsilon = eps
+		s, _ := New(cfg)
+		rng := rand.New(rand.NewSource(6))
+		feed(t, s, regime(0), 200*3, rng)
+		feed(t, s, regime(0.4), 200*3, rng)
+		return len(s.Models())
+	}
+	if loose := mk(5.0); loose != 1 {
+		t.Fatalf("loose ε: %d models, want 1", loose)
+	}
+	if tight := mk(0.01); tight < 2 {
+		t.Fatalf("tight ε: %d models, want ≥ 2", tight)
+	}
+}
+
+func TestChunkSizeFromTheorem(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChunkSize = 0 // use Theorem 1
+	cfg.Dim = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d=4, ε=0.1, δ=0.01 → M = ⌈-8·ln(0.0199)/0.1⌉ = ⌈313.39⌉ = 314.
+	if got := s.ChunkSize(); got != 314 {
+		t.Fatalf("ChunkSize = %d, want 314", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dim: 0, K: 2, Epsilon: 0.1, Delta: 0.01, ChunkSize: 100},
+		{Dim: 1, K: 0, Epsilon: 0.1, Delta: 0.01, ChunkSize: 100},
+		{Dim: 1, K: 200, Epsilon: 0.1, Delta: 0.01, ChunkSize: 100}, // M < K
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestObserveDimValidation(t *testing.T) {
+	s, _ := New(testConfig())
+	if _, err := s.Observe(linalg.Vector{1, 2}); err == nil {
+		t.Fatal("wrong-dim record accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []*Model {
+		s, _ := New(testConfig())
+		rng := rand.New(rand.NewSource(7))
+		feed(t, s, regime(0), 200*3, rng)
+		feed(t, s, regime(40), 200*3, rng)
+		return s.Models()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different model counts")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Counter != b[i].Counter {
+			t.Fatal("model lists differ")
+		}
+		for j := 0; j < a[i].Mixture.K(); j++ {
+			if !a[i].Mixture.Component(j).Equal(b[i].Mixture.Component(j), 0) {
+				t.Fatal("components differ across identical runs")
+			}
+		}
+	}
+}
+
+func TestLandmarkMixture(t *testing.T) {
+	s, _ := New(testConfig())
+	rng := rand.New(rand.NewSource(8))
+	feed(t, s, regime(0), 200*4, rng)
+	feed(t, s, regime(60), 200*2, rng)
+	lm := s.LandmarkMixture()
+	if lm == nil {
+		t.Fatal("nil landmark mixture")
+	}
+	if lm.K() != 4 { // 2 models × K=2
+		t.Fatalf("landmark K = %d, want 4", lm.K())
+	}
+	// Model 1 explains 800 records, model 2 explains 400: weight ratio 2:1.
+	var w1, w2 float64
+	for j := 0; j < lm.K(); j++ {
+		if lm.Component(j).Mean()[0] < 30 {
+			w1 += lm.Weight(j)
+		} else {
+			w2 += lm.Weight(j)
+		}
+	}
+	if math.Abs(w1/w2-2) > 1e-9 {
+		t.Fatalf("landmark weight ratio = %v, want 2", w1/w2)
+	}
+	// Landmark mixture should assign decent likelihood to both regimes.
+	if ll := lm.AvgLogLikelihood([]linalg.Vector{{-2}, {2}, {58}, {62}}); ll < -5 {
+		t.Fatalf("landmark LL = %v", ll)
+	}
+
+	empty, _ := New(testConfig())
+	if empty.LandmarkMixture() != nil {
+		t.Fatal("empty site should have nil landmark mixture")
+	}
+}
+
+func TestModelsInWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.Epsilon = 0.5 // loose enough that each regime maps to exactly one model
+	s, _ := New(cfg)
+	rng := rand.New(rand.NewSource(9))
+	feed(t, s, regime(0), 200*3, rng)   // model 1, chunks 1-3
+	feed(t, s, regime(60), 200*3, rng)  // model 2, chunks 4-6
+	feed(t, s, regime(-60), 200*3, rng) // model 3, chunks 7-9 (current)
+
+	got := s.ModelsInWindow(2, 2)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("window [2,2] = %v", ids(got))
+	}
+	got = s.ModelsInWindow(3, 5)
+	if len(got) != 2 {
+		t.Fatalf("window [3,5] = %v", ids(got))
+	}
+	got = s.ModelsInWindow(1, 100)
+	if len(got) != 3 {
+		t.Fatalf("window [1,100] = %v", ids(got))
+	}
+	// Window entirely in the current model's open span.
+	got = s.ModelsInWindow(8, 9)
+	if len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("window [8,9] = %v", ids(got))
+	}
+}
+
+func ids(ms []*Model) []int {
+	out := make([]int, len(ms))
+	for i, m := range ms {
+		out[i] = m.ID
+	}
+	return out
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	s, _ := New(testConfig())
+	rng := rand.New(rand.NewSource(10))
+	if s.BufferBytes() != 200*1*8 {
+		t.Fatalf("BufferBytes = %d", s.BufferBytes())
+	}
+	feed(t, s, regime(0), 200*2, rng)
+	one := s.ModelListBytes()
+	feed(t, s, regime(60), 200*2, rng)
+	two := s.ModelListBytes()
+	if two != 2*one {
+		t.Fatalf("model list bytes %d -> %d, want doubling", one, two)
+	}
+	// d=1, K=2: per component 1+1+1 floats = 24 bytes, model = 48.
+	if one != 48 {
+		t.Fatalf("one model = %d bytes, want 48", one)
+	}
+}
+
+func TestSharpTestVariant(t *testing.T) {
+	cfg := testConfig()
+	cfg.SharpTest = true
+	s, _ := New(cfg)
+	rng := rand.New(rand.NewSource(11))
+	ups := feed(t, s, regime(0), 200*5, rng)
+	if len(ups) != 1 {
+		t.Fatalf("sharp test: %d updates on stationary stream", len(ups))
+	}
+	feed(t, s, regime(80), 200*2, rng)
+	if len(s.Models()) != 2 {
+		t.Fatalf("sharp test missed a regime change: %d models", len(s.Models()))
+	}
+}
+
+func TestEmitFitWeightUpdates(t *testing.T) {
+	cfg := testConfig()
+	cfg.EmitFitWeightUpdates = true
+	s, _ := New(cfg)
+	rng := rand.New(rand.NewSource(13))
+	ups := feed(t, s, regime(0), 200*4, rng)
+	// 1 NewModel + 3 WeightUpdates for the fitting chunks.
+	var newModels, weightUps int
+	for _, u := range ups {
+		switch u.Kind {
+		case NewModel:
+			newModels++
+		case WeightUpdate:
+			weightUps++
+			if u.ModelID != 1 || u.Count != 200 {
+				t.Fatalf("weight update = %+v", u)
+			}
+		}
+	}
+	if newModels != 1 || weightUps != 3 {
+		t.Fatalf("newModels=%d weightUps=%d, want 1 and 3", newModels, weightUps)
+	}
+}
+
+func TestUseSMEMSite(t *testing.T) {
+	cfg := testConfig()
+	cfg.K = 3 // SMEM needs K ≥ 3
+	cfg.UseSMEM = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	ups := feed(t, s, regime(0), 200*3, rng)
+	if len(ups) == 0 || s.Current() == nil {
+		t.Fatal("SMEM site produced no model")
+	}
+	if s.Current().Mixture.K() != 3 {
+		t.Fatalf("SMEM model K = %d", s.Current().Mixture.K())
+	}
+	// The model must explain the regime well.
+	if ll := s.Current().Mixture.AvgLogLikelihood([]linalg.Vector{{-2}, {2}}); ll < -4 {
+		t.Fatalf("SMEM model LL = %v", ll)
+	}
+}
+
+func TestAutoKSite(t *testing.T) {
+	cfg := testConfig()
+	cfg.AutoKMax = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	// regime() is bimodal: BIC should pick K=2 regardless of cfg.K.
+	feed(t, s, regime(0), 200*2, rng)
+	if s.Current() == nil {
+		t.Fatal("no model")
+	}
+	if got := s.Current().Mixture.K(); got != 2 {
+		t.Fatalf("auto-K chose %d on bimodal data, want 2", got)
+	}
+}
+
+func TestIncompleteRecordsEndToEnd(t *testing.T) {
+	// 20% of attributes missing: the site must still learn the regime and
+	// detect the change — the paper's "incomplete data records" claim.
+	cfg := testConfig()
+	cfg.Dim = 2
+	cfg.Epsilon = 0.5
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	blank := func(x linalg.Vector) linalg.Vector {
+		if rng.Float64() < 0.4 { // 40% of records lose one attribute
+			x[rng.Intn(2)] = math.NaN()
+		}
+		return x
+	}
+	regime2d := func(mean float64) *gaussian.Mixture {
+		return gaussian.MustMixture(
+			[]float64{0.5, 0.5},
+			[]*gaussian.Component{
+				gaussian.Spherical(linalg.Vector{mean - 2, mean}, 0.5),
+				gaussian.Spherical(linalg.Vector{mean + 2, mean}, 0.5),
+			})
+	}
+	for i := 0; i < 200*3; i++ {
+		if _, err := s.Observe(blank(regime2d(0).Sample(rng))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Current() == nil {
+		t.Fatal("no model learned from incomplete stream")
+	}
+	// Model quality on complete probes.
+	probes := []linalg.Vector{{-2, 0}, {2, 0}}
+	if ll := s.Current().Mixture.AvgLogLikelihood(probes); ll < -5 {
+		t.Fatalf("incomplete-data model LL = %v", ll)
+	}
+	// Regime change must still be detected.
+	for i := 0; i < 200*2; i++ {
+		if _, err := s.Observe(blank(regime2d(50).Sample(rng))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.Models()) < 2 {
+		t.Fatal("regime change missed on incomplete stream")
+	}
+}
+
+func TestNoisyStreamStability(t *testing.T) {
+	// 5% uniform noise (the Figure 4(d) scenario) must not fragment the
+	// model list: EM's mixture absorbs the noise.
+	cfg := testConfig()
+	cfg.Epsilon = 0.35 // noise inflates LL variance; keep the test honest
+	s, _ := New(cfg)
+	rng := rand.New(rand.NewSource(12))
+	mix := regime(0)
+	for i := 0; i < 200*8; i++ {
+		var x linalg.Vector
+		if rng.Float64() < 0.05 {
+			x = linalg.Vector{rng.Float64()*20 - 10}
+		} else {
+			x = mix.Sample(rng)
+		}
+		if _, err := s.Observe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Models()); got > 2 {
+		t.Fatalf("noisy stationary stream fragmented into %d models", got)
+	}
+}

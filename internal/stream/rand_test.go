@@ -1,0 +1,6 @@
+package stream
+
+import "math/rand"
+
+// newTestRand centralizes RNG construction for tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

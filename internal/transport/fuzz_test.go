@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzDecode hammers the wire decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode to a decodable message.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid messages of each kind plus classic corruptions.
+	rng := rand.New(rand.NewSource(1))
+	valid := Encode(Message{Kind: MsgNewModel, SiteID: 1, ModelID: 2, Count: 3, Mixture: sampleMixture(rng, 2, 3)})
+	f.Add(valid)
+	f.Add(Encode(Message{Kind: MsgWeightUpdate, SiteID: 1, ModelID: 2, Count: 3}))
+	f.Add(Encode(Message{Kind: MsgDeletion, SiteID: 9, ModelID: 1, Count: -50}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(valid[:len(valid)-4])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[0] = 200
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted messages must round-trip.
+		re := Encode(msg)
+		msg2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if msg2.Kind != msg.Kind || msg2.SiteID != msg.SiteID ||
+			msg2.ModelID != msg.ModelID || msg2.Count != msg.Count {
+			t.Fatalf("round trip changed header: %+v vs %+v", msg2, msg)
+		}
+	})
+}
+
+// TestQuickEncodeDecode is the property-test counterpart: random valid
+// messages always round-trip bit-exactly.
+func TestQuickEncodeDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(siteID, modelID int32, count int64, kRaw, dRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		d := int(dRaw%5) + 1
+		m := Message{
+			Kind:    MsgNewModel,
+			SiteID:  siteID,
+			ModelID: modelID,
+			Count:   count,
+			Mixture: sampleMixture(rng, k, d),
+		}
+		buf := Encode(m)
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		if got.SiteID != m.SiteID || got.ModelID != m.ModelID || got.Count != m.Count {
+			return false
+		}
+		// Means and covariances must round-trip bit-exactly; weights are
+		// re-normalized on decode, so they round-trip within float noise.
+		if got.Mixture.K() != m.Mixture.K() || got.Mixture.Dim() != m.Mixture.Dim() {
+			return false
+		}
+		for j := 0; j < m.Mixture.K(); j++ {
+			if !got.Mixture.Component(j).Equal(m.Mixture.Component(j), 0) {
+				return false
+			}
+			if math.Abs(got.Mixture.Weight(j)-m.Mixture.Weight(j)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

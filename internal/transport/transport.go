@@ -1,0 +1,207 @@
+// Package transport defines the wire messages exchanged between remote
+// sites and the coordinator, with a deterministic binary encoding. The
+// communication-cost experiments (Figure 2) report exact encoded byte
+// counts, so the encoding *is* the cost model: a NewModel message carries
+// the full synopsis (weights, means, packed covariances — Section 5.3's
+// "synopsis-based information exchange"), a WeightUpdate or Deletion
+// message carries 21 bytes.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+)
+
+// MsgKind discriminates wire messages.
+type MsgKind uint8
+
+const (
+	// MsgNewModel carries full mixture parameters.
+	MsgNewModel MsgKind = iota + 1
+	// MsgWeightUpdate shifts weight to an already-transmitted model.
+	MsgWeightUpdate
+	// MsgDeletion removes weight (sliding windows, Section 7).
+	MsgDeletion
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgNewModel:
+		return "new-model"
+	case MsgWeightUpdate:
+		return "weight-update"
+	case MsgDeletion:
+		return "deletion"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+}
+
+// Message is one site→coordinator datagram.
+type Message struct {
+	Kind    MsgKind
+	SiteID  int32
+	ModelID int32
+	Count   int64
+	// Mixture is present iff Kind == MsgNewModel.
+	Mixture *gaussian.Mixture
+}
+
+// ErrTruncated is returned by Decode for short buffers.
+var ErrTruncated = errors.New("transport: truncated message")
+
+const headerSize = 1 + 4 + 4 + 8 // kind + site + model + count
+
+// WireSize returns the exact encoded size in bytes.
+func (m Message) WireSize() int {
+	n := headerSize
+	if m.Kind == MsgNewModel && m.Mixture != nil {
+		k, d := m.Mixture.K(), m.Mixture.Dim()
+		n += 4 + 4 // K, d
+		n += k * 8 // weights
+		n += k * d * 8
+		n += k * linalg.PackedLen(d) * 8
+	}
+	return n
+}
+
+// Encode serializes the message (little-endian, fixed layout).
+func Encode(m Message) []byte {
+	buf := make([]byte, 0, m.WireSize())
+	buf = append(buf, byte(m.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.SiteID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.ModelID))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Count))
+	if m.Kind == MsgNewModel && m.Mixture != nil {
+		k, d := m.Mixture.K(), m.Mixture.Dim()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+		for j := 0; j < k; j++ {
+			buf = appendFloat(buf, m.Mixture.Weight(j))
+		}
+		for j := 0; j < k; j++ {
+			for _, v := range m.Mixture.Component(j).Mean() {
+				buf = appendFloat(buf, v)
+			}
+		}
+		for j := 0; j < k; j++ {
+			for _, v := range m.Mixture.Component(j).Cov().Packed() {
+				buf = appendFloat(buf, v)
+			}
+		}
+	}
+	return buf
+}
+
+// Decode parses a message produced by Encode.
+func Decode(b []byte) (Message, error) {
+	if len(b) < headerSize {
+		return Message{}, ErrTruncated
+	}
+	m := Message{
+		Kind:    MsgKind(b[0]),
+		SiteID:  int32(binary.LittleEndian.Uint32(b[1:])),
+		ModelID: int32(binary.LittleEndian.Uint32(b[5:])),
+		Count:   int64(binary.LittleEndian.Uint64(b[9:])),
+	}
+	switch m.Kind {
+	case MsgWeightUpdate, MsgDeletion:
+		return m, nil
+	case MsgNewModel:
+	default:
+		return Message{}, fmt.Errorf("transport: unknown kind %d", b[0])
+	}
+	b = b[headerSize:]
+	if len(b) < 8 {
+		return Message{}, ErrTruncated
+	}
+	k := int(binary.LittleEndian.Uint32(b))
+	d := int(binary.LittleEndian.Uint32(b[4:]))
+	b = b[8:]
+	if k < 1 || d < 1 || k > 1<<20 || d > 1<<20 {
+		return Message{}, fmt.Errorf("transport: implausible K=%d d=%d", k, d)
+	}
+	need := (k + k*d + k*linalg.PackedLen(d)) * 8
+	if len(b) < need {
+		return Message{}, ErrTruncated
+	}
+	weights := make([]float64, k)
+	for j := range weights {
+		weights[j] = readFloat(b)
+		b = b[8:]
+	}
+	means := make([]linalg.Vector, k)
+	for j := range means {
+		means[j] = linalg.NewVector(d)
+		for i := 0; i < d; i++ {
+			means[j][i] = readFloat(b)
+			b = b[8:]
+		}
+	}
+	comps := make([]*gaussian.Component, k)
+	for j := range comps {
+		packed := make([]float64, linalg.PackedLen(d))
+		for i := range packed {
+			packed[i] = readFloat(b)
+			b = b[8:]
+		}
+		cov := linalg.SymFromPacked(d, packed)
+		c, err := gaussian.NewComponent(means[j], cov, 0)
+		if err != nil {
+			return Message{}, fmt.Errorf("transport: component %d: %w", j, err)
+		}
+		comps[j] = c
+	}
+	mix, err := gaussian.NewMixture(weights, comps)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: %w", err)
+	}
+	m.Mixture = mix
+	return m, nil
+}
+
+// FromSiteUpdate converts a site.Update into a wire message.
+func FromSiteUpdate(u site.Update) Message {
+	kind := MsgNewModel
+	if u.Kind == site.WeightUpdate {
+		kind = MsgWeightUpdate
+	}
+	return Message{
+		Kind:    kind,
+		SiteID:  int32(u.SiteID),
+		ModelID: int32(u.ModelID),
+		Count:   int64(u.Count),
+		Mixture: u.Mixture,
+	}
+}
+
+// ToSiteUpdate converts a decoded message back for coordinator consumption.
+// Deletion messages have no site.Update equivalent and must be routed to
+// Coordinator.HandleDeletion by the caller.
+func (m Message) ToSiteUpdate() site.Update {
+	kind := site.NewModel
+	if m.Kind == MsgWeightUpdate {
+		kind = site.WeightUpdate
+	}
+	return site.Update{
+		SiteID:  int(m.SiteID),
+		ModelID: int(m.ModelID),
+		Kind:    kind,
+		Count:   int(m.Count),
+		Mixture: m.Mixture,
+	}
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func readFloat(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+)
+
+func sampleMixture(rng *rand.Rand, k, d int) *gaussian.Mixture {
+	comps := make([]*gaussian.Component, k)
+	ws := make([]float64, k)
+	for j := 0; j < k; j++ {
+		mean := linalg.NewVector(d)
+		for i := range mean {
+			mean[i] = rng.NormFloat64() * 5
+		}
+		cov := linalg.NewSym(d)
+		for t := 0; t < d+2; t++ {
+			v := linalg.NewVector(d)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			cov.AddOuterScaled(0.5, v)
+		}
+		for i := 0; i < d; i++ {
+			cov.Add(i, i, 0.2)
+		}
+		comps[j] = gaussian.MustComponent(mean, cov)
+		ws[j] = rng.Float64() + 0.05
+	}
+	return gaussian.MustMixture(ws, comps)
+}
+
+func TestRoundTripNewModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, kd := range [][2]int{{1, 1}, {3, 2}, {5, 4}, {2, 8}} {
+		m := Message{
+			Kind:    MsgNewModel,
+			SiteID:  7,
+			ModelID: 42,
+			Count:   1567,
+			Mixture: sampleMixture(rng, kd[0], kd[1]),
+		}
+		buf := Encode(m)
+		if len(buf) != m.WireSize() {
+			t.Fatalf("K=%d d=%d: encoded %d bytes, WireSize says %d", kd[0], kd[1], len(buf), m.WireSize())
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SiteID != 7 || got.ModelID != 42 || got.Count != 1567 || got.Kind != MsgNewModel {
+			t.Fatalf("header mismatch: %+v", got)
+		}
+		if got.Mixture.K() != kd[0] || got.Mixture.Dim() != kd[1] {
+			t.Fatalf("shape mismatch")
+		}
+		for j := 0; j < kd[0]; j++ {
+			if got.Mixture.Weight(j) != m.Mixture.Weight(j) {
+				t.Fatal("weight mismatch")
+			}
+			if !got.Mixture.Component(j).Equal(m.Mixture.Component(j), 0) {
+				t.Fatal("component mismatch")
+			}
+		}
+	}
+}
+
+func TestRoundTripWeightUpdateAndDeletion(t *testing.T) {
+	for _, kind := range []MsgKind{MsgWeightUpdate, MsgDeletion} {
+		m := Message{Kind: kind, SiteID: 3, ModelID: 9, Count: -250}
+		buf := Encode(m)
+		if len(buf) != headerSize {
+			t.Fatalf("%v wire size = %d, want %d", kind, len(buf), headerSize)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != m {
+			t.Fatalf("round trip: %+v != %+v", got, m)
+		}
+	}
+}
+
+func TestWireSizeFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	// K=5, d=4 (paper defaults): 17 + 8 + 5·8 + 5·4·8 + 5·10·8 = 625.
+	m := Message{Kind: MsgNewModel, Mixture: sampleMixture(rng, 5, 4)}
+	if got := m.WireSize(); got != 625 {
+		t.Fatalf("WireSize(K=5,d=4) = %d, want 625", got)
+	}
+	// A weight update is 17 bytes — the synopsis saving in one number.
+	if got := (Message{Kind: MsgWeightUpdate}).WireSize(); got != 17 {
+		t.Fatalf("weight update size = %d", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err != ErrTruncated {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := Decode(make([]byte, 5)); err != ErrTruncated {
+		t.Errorf("short: %v", err)
+	}
+	bad := make([]byte, headerSize)
+	bad[0] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Truncated NewModel body.
+	rng := rand.New(rand.NewSource(103))
+	full := Encode(Message{Kind: MsgNewModel, Mixture: sampleMixture(rng, 2, 2)})
+	for _, cut := range []int{headerSize, headerSize + 4, len(full) - 1} {
+		if _, err := Decode(full[:cut]); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestSiteUpdateConversion(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	mix := sampleMixture(rng, 2, 3)
+	u := site.Update{SiteID: 4, ModelID: 11, Kind: site.NewModel, Mixture: mix, Count: 500}
+	m := FromSiteUpdate(u)
+	if m.Kind != MsgNewModel || m.SiteID != 4 || m.Count != 500 {
+		t.Fatalf("FromSiteUpdate = %+v", m)
+	}
+	back := m.ToSiteUpdate()
+	if back.SiteID != u.SiteID || back.ModelID != u.ModelID || back.Kind != u.Kind || back.Count != u.Count {
+		t.Fatalf("round trip: %+v", back)
+	}
+
+	w := site.Update{SiteID: 1, ModelID: 2, Kind: site.WeightUpdate, Count: 100}
+	if got := FromSiteUpdate(w); got.Kind != MsgWeightUpdate {
+		t.Fatalf("weight update kind = %v", got.Kind)
+	}
+	if got := FromSiteUpdate(w).ToSiteUpdate(); got.Kind != site.WeightUpdate {
+		t.Fatal("weight update did not survive round trip")
+	}
+}
+
+func TestDecodeRejectsImplausibleShape(t *testing.T) {
+	buf := make([]byte, headerSize+8)
+	buf[0] = byte(MsgNewModel)
+	// K = 0 encoded.
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
