@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race check tier1 fuzz
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The chaos and concurrency suites must be race-clean.
+race:
+	$(GO) test -race ./...
+
+# Full pre-merge gate.
+check: build vet race
+
+# The repo's minimal health check (see ROADMAP.md).
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+# Short fuzz pass over the wire decoders and the frame/ack protocol.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/transport/
+	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/netio/
+	$(GO) test -run=^$$ -fuzz=FuzzReadAck -fuzztime=5s ./internal/netio/

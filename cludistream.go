@@ -20,6 +20,7 @@ package cludistream
 
 import (
 	"fmt"
+	"math/rand"
 
 	"cludistream/internal/coordinator"
 	"cludistream/internal/em"
@@ -82,6 +83,19 @@ type Config struct {
 	// window of that many chunks per site, emitting deletion messages
 	// (Section 7). Zero keeps the landmark-window behaviour.
 	SlidingHorizonChunks int
+
+	// Fault, when non-nil, subjects every site→coordinator link to the
+	// given fault plan and switches delivery to fault-tolerant mode: each
+	// site sends through a retransmitting Courier with sequence-numbered,
+	// epoch-tagged messages, and the coordinator dedupes so updates are
+	// applied exactly once. Nil keeps perfect links and the legacy v1
+	// encoding, preserving the figures' byte-for-byte cost model.
+	Fault *netsim.FaultPlan
+	// RetryBackoff is the couriers' first retransmit delay in simulated
+	// seconds (default 0.1); it doubles per failure up to RetryMaxBackoff
+	// (default 2) with deterministic jitter.
+	RetryBackoff    float64
+	RetryMaxBackoff float64
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +123,12 @@ func (c Config) withDefaults() Config {
 	if c.ArrivalRate == 0 {
 		c.ArrivalRate = 1000
 	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 0.1
+	}
+	if c.RetryMaxBackoff == 0 {
+		c.RetryMaxBackoff = 2
+	}
 	return c
 }
 
@@ -118,12 +138,29 @@ type System struct {
 	cfg      Config
 	sim      *netsim.Simulator
 	sites    []*site.Site
+	siteCfgs []site.Config // kept verbatim so CrashSite can rebuild a site
 	trackers []*window.Tracker
 	links    []*netsim.Link
 	coord    *coordinator.Coordinator
 	fed      []int // records fed per site (drives the virtual clock)
 
+	// Fault-tolerant mode (cfg.Fault != nil): per-site couriers, sender
+	// epochs and sequence numbers, plus the coordinator-side dedupe
+	// watermarks mirroring netio.Server.
+	couriers []*netsim.Courier
+	epochs   []uint32
+	seqs     []uint64
+	seen     map[int32]*deliveryWatermark
+	dup      int
+	resets   int
+
 	deliveryErr error
+}
+
+// deliveryWatermark is the per-site exactly-once state.
+type deliveryWatermark struct {
+	epoch  uint32
+	maxSeq uint64
 }
 
 // New builds a System.
@@ -142,8 +179,13 @@ func New(cfg Config) (*System, error) {
 		coord: coord,
 		fed:   make([]int, cfg.NumSites),
 	}
+	if cfg.Fault != nil {
+		s.seen = make(map[int32]*deliveryWatermark)
+		s.epochs = make([]uint32, cfg.NumSites)
+		s.seqs = make([]uint64, cfg.NumSites)
+	}
 	for i := 0; i < cfg.NumSites; i++ {
-		st, err := site.New(site.Config{
+		sc := site.Config{
 			SiteID:    i + 1,
 			Dim:       cfg.Dim,
 			K:         cfg.K,
@@ -161,13 +203,20 @@ func New(cfg Config) (*System, error) {
 			// Sliding windows require the coordinator's weights to track
 			// the site counters, or deletions would underflow.
 			EmitFitWeightUpdates: cfg.SlidingHorizonChunks > 0,
-		})
+		}
+		st, err := site.New(sc)
 		if err != nil {
 			return nil, err
 		}
+		s.siteCfgs = append(s.siteCfgs, sc)
 		s.sites = append(s.sites, st)
-		link := s.sim.NewLink(cfg.LinkLatency, cfg.LinkBandwidth, s.deliver)
+		link := s.sim.NewFaultyLink(cfg.LinkLatency, cfg.LinkBandwidth, cfg.Fault, s.deliver)
 		s.links = append(s.links, link)
+		if cfg.Fault != nil {
+			s.epochs[i] = 1
+			rng := rand.New(rand.NewSource(cfg.Seed + 104729*int64(i+1)))
+			s.couriers = append(s.couriers, s.sim.NewCourier(link, cfg.RetryBackoff, cfg.RetryMaxBackoff, rng))
+		}
 		if cfg.SlidingHorizonChunks > 0 {
 			tr, err := window.NewTracker(st, cfg.SlidingHorizonChunks)
 			if err != nil {
@@ -180,12 +229,37 @@ func New(cfg Config) (*System, error) {
 }
 
 // deliver runs inside the simulation when a message arrives at the
-// coordinator.
+// coordinator. In fault-tolerant mode it mirrors netio.Server's dedupe:
+// sequence-numbered messages are applied at most once per (site, epoch),
+// and a higher epoch resets the dead incarnation's state first.
 func (s *System) deliver(payload []byte) {
 	msg, err := transport.Decode(payload)
 	if err != nil {
 		s.deliveryErr = err
 		return
+	}
+	if msg.Seq != 0 && s.seen != nil {
+		w := s.seen[msg.SiteID]
+		if w == nil {
+			w = &deliveryWatermark{}
+			s.seen[msg.SiteID] = w
+		}
+		switch {
+		case msg.Epoch < w.epoch:
+			s.dup++
+			return
+		case msg.Epoch > w.epoch:
+			if w.epoch != 0 {
+				s.coord.ResetSite(int(msg.SiteID))
+				s.resets++
+			}
+			w.epoch, w.maxSeq = msg.Epoch, 0
+		}
+		if msg.Seq <= w.maxSeq {
+			s.dup++
+			return
+		}
+		w.maxSeq = msg.Seq
 	}
 	switch msg.Kind {
 	case transport.MsgDeletion:
@@ -215,20 +289,66 @@ func (s *System) Feed(siteIdx int, x linalg.Vector) error {
 		return err
 	}
 	for _, u := range ups {
-		s.links[siteIdx].Send(transport.Encode(transport.FromSiteUpdate(u)))
+		s.send(siteIdx, transport.FromSiteUpdate(u))
 	}
 	if s.trackers != nil {
 		for _, d := range s.trackers[siteIdx].Expire(siteIdx + 1) {
-			msg := transport.Message{
+			s.send(siteIdx, transport.Message{
 				Kind:    transport.MsgDeletion,
 				SiteID:  int32(d.SiteID),
 				ModelID: int32(d.ModelID),
 				Count:   int64(d.Count),
-			}
-			s.links[siteIdx].Send(transport.Encode(msg))
+			})
 		}
 	}
 	return s.deliveryErr
+}
+
+// send routes one message onto site siteIdx's link. In fault-tolerant mode
+// the message is stamped with the site's epoch and next sequence number
+// and handed to the retransmitting courier; otherwise it goes straight on
+// the perfect link in the legacy v1 encoding.
+func (s *System) send(siteIdx int, msg transport.Message) {
+	if s.couriers == nil {
+		s.links[siteIdx].Send(transport.Encode(msg))
+		return
+	}
+	s.seqs[siteIdx]++
+	msg.Seq = s.seqs[siteIdx]
+	msg.Epoch = s.epochs[siteIdx]
+	s.couriers[siteIdx].Send(transport.Encode(msg))
+}
+
+// CrashSite models a site process dying and restarting (fault-tolerant
+// mode only): the in-memory site state and any queued retransmissions are
+// lost, and the replacement site — same configuration and seed — comes
+// back with a higher epoch and a fresh sequence space, so the coordinator
+// discards the dead incarnation's contribution when the restarted site
+// replays its stream from the beginning.
+func (s *System) CrashSite(siteIdx int) error {
+	if siteIdx < 0 || siteIdx >= len(s.sites) {
+		return fmt.Errorf("cludistream: site index %d of %d", siteIdx, len(s.sites))
+	}
+	if s.couriers == nil {
+		return fmt.Errorf("cludistream: CrashSite requires fault-tolerant mode (Config.Fault)")
+	}
+	st, err := site.New(s.siteCfgs[siteIdx])
+	if err != nil {
+		return err
+	}
+	s.sites[siteIdx] = st
+	if s.trackers != nil {
+		tr, err := window.NewTracker(st, s.cfg.SlidingHorizonChunks)
+		if err != nil {
+			return err
+		}
+		s.trackers[siteIdx] = tr
+	}
+	s.couriers[siteIdx].Crash()
+	s.epochs[siteIdx]++
+	s.seqs[siteIdx] = 0
+	s.fed[siteIdx] = 0
+	return nil
 }
 
 // FeedRoundRobin distributes the records across all sites in round-robin
@@ -271,6 +391,40 @@ func (s *System) TotalBytes() int {
 		total += l.BytesSent()
 	}
 	return total
+}
+
+// DeliveryStats aggregates the fault-tolerance accounting across the
+// deployment: goodput (payload bytes that reached the coordinator, counted
+// once), the retransmission overhead on top, losses, and the coordinator's
+// dedupe work. All zeros on a fault-free system.
+type DeliveryStats struct {
+	GoodputBytes    int
+	RetransmitBytes int
+	DroppedMessages int
+	DroppedBytes    int
+	Retries         int
+	Duplicates      int
+	SiteResets      int
+	Pending         int // payloads still queued in couriers
+}
+
+// DeliveryStats returns the current fault-tolerance counters.
+func (s *System) DeliveryStats() DeliveryStats {
+	var d DeliveryStats
+	for _, l := range s.links {
+		d.GoodputBytes += l.GoodputBytes()
+		d.RetransmitBytes += l.RetransmitBytes()
+		m, b := l.Dropped()
+		d.DroppedMessages += m
+		d.DroppedBytes += b
+	}
+	for _, c := range s.couriers {
+		d.Retries += c.Retries()
+		d.Pending += c.Pending()
+	}
+	d.Duplicates = s.dup
+	d.SiteResets = s.resets
+	return d
 }
 
 // TotalMessages returns the number of messages sent.

@@ -31,6 +31,7 @@ func main() {
 	nodeID := flag.Int("node-id", 100, "pseudo-site id this aggregator uses at its parent")
 	dim := flag.Int("dim", 4, "data dimensionality d")
 	interval := flag.Duration("interval", 2*time.Second, "how often to check for model changes to upload")
+	maxRetry := flag.Int("max-retry", 12, "initial parent-dial attempts before giving up (-1 = retry forever)")
 	flag.Parse()
 
 	coord, err := coordinator.New(coordinator.Config{Dim: *dim})
@@ -47,7 +48,7 @@ func main() {
 
 	var up *netio.Uploader
 	if *connect != "" {
-		conn, err := netio.DialConn(*connect, 0)
+		conn, err := dialConnRetry(*connect, *nodeID, *maxRetry)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -81,8 +82,11 @@ func main() {
 			}
 			sent, err := up.Sync(mix.m, mix.weight)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "aggd %d: upload: %v\n", *nodeID, err)
-				os.Exit(1)
+				// The connection's outbox keeps retrying delivery; a
+				// rejected upload is logged and retried at the next tick
+				// rather than killing the aggregation tree.
+				fmt.Fprintf(os.Stderr, "aggd %d: upload: %v (will retry)\n", *nodeID, err)
+				continue
 			}
 			if sent {
 				fmt.Printf("aggd %d: uploaded refreshed model (K=%d)\n", *nodeID, mix.m.K())
@@ -103,4 +107,24 @@ func main() {
 type coordinatorSnapshot struct {
 	m      *gaussian.Mixture
 	weight float64
+}
+
+// dialConnRetry retries the parent dial with doubling backoff so an
+// aggregation tree can start leaves-first or ride out a parent restart.
+func dialConnRetry(addr string, nodeID, maxRetry int) (*netio.Conn, error) {
+	backoff := 500 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		conn, err := netio.DialConn(addr, 0)
+		if err == nil {
+			return conn, nil
+		}
+		if maxRetry >= 0 && attempt >= maxRetry {
+			return nil, fmt.Errorf("dial %s: %w (after %d attempts)", addr, err, attempt)
+		}
+		fmt.Fprintf(os.Stderr, "aggd %d: dial %s: %v — retrying in %v\n", nodeID, addr, err, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 10*time.Second {
+			backoff = 10 * time.Second
+		}
+	}
 }

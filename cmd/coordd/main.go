@@ -52,17 +52,23 @@ func main() {
 	for {
 		select {
 		case <-tick:
-			bytesIn, messages, errs := srv.Stats()
+			ds := srv.DeliveryStats()
 			srv.Snapshot(func(c *coordinator.Coordinator) {
-				fmt.Printf("coordd: %d models / %d leaves / %d groups | %d msgs, %d bytes, %d errors\n",
-					c.NumModels(), c.NumLeaves(), len(c.Groups()), messages, bytesIn, errs)
+				fmt.Printf("coordd: %d models / %d leaves / %d groups | %d msgs, %d bytes, %d errors | %d dups dropped, %d site resets\n",
+					c.NumModels(), c.NumLeaves(), len(c.Groups()), ds.Applied, ds.BytesIn, ds.ApplyErrors,
+					ds.Duplicates, ds.SiteResets)
 			})
 		case sig := <-sigCh:
 			fmt.Printf("coordd: %v — shutting down\n", sig)
 			_ = srv.Close()
+			ds := srv.DeliveryStats()
 			srv.Snapshot(func(c *coordinator.Coordinator) {
 				fmt.Printf("coordd: final state — %d site models, %d merged groups\n",
 					c.NumModels(), len(c.Groups()))
+				if ds.Duplicates > 0 || ds.SiteResets > 0 {
+					fmt.Printf("coordd: exactly-once — %d duplicate msgs (%d bytes) dropped, %d site resets\n",
+						ds.Duplicates, ds.DuplicateBytes, ds.SiteResets)
+				}
 				if gm := c.GlobalMixture(); gm != nil {
 					for j := 0; j < gm.K(); j++ {
 						fmt.Printf("  component %2d: weight %.4f, mean %v\n",

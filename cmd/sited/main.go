@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,8 @@ func main() {
 	horizon := flag.Int("sliding-chunks", 0, "sliding-window horizon in chunks (0 = landmark)")
 	seed := flag.Int64("seed", 1, "random seed")
 	archive := flag.String("archive", "", "write the site's model/event archive here on exit")
+	maxRetry := flag.Int("max-retry", 12, "initial-dial attempts before giving up (-1 = retry forever)")
+	epoch := flag.Uint("epoch", 0, "incarnation number for exactly-once delivery (0 = derive from wall clock)")
 	flag.Parse()
 
 	var gen stream.Generator
@@ -86,7 +89,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	client, err := netio.Dial(*connect, st, *siteID, netio.DialOptions{SlidingHorizonChunks: *horizon})
+	// A restarted process derives a fresh, higher epoch from the wall
+	// clock by default, so the coordinator discards the dead incarnation.
+	if *epoch == 0 {
+		*epoch = uint(time.Now().Unix())
+	}
+	opts := netio.DialOptions{
+		SlidingHorizonChunks: *horizon,
+		Retry:                netio.RetryPolicy{Epoch: uint32(*epoch)},
+	}
+	client, err := dialWithRetry(*connect, st, *siteID, opts, *maxRetry)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -113,11 +125,24 @@ func main() {
 			<-throttle
 		}
 		if err := client.Observe(x); err != nil {
+			// Coordinator rejections affect one message, not the stream;
+			// delivery failures are retried by the outbox. Only local site
+			// errors (bad records) are fatal.
+			if errors.Is(err, netio.ErrRemote) {
+				fmt.Fprintf(os.Stderr, "sited %d: %v (continuing)\n", *siteID, err)
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "sited %d: %v\n", *siteID, err)
 			os.Exit(1)
 		}
 	}
 	elapsed := time.Since(start)
+
+	// Drain whatever the fault-tolerant outbox still holds before
+	// reporting; an unreachable coordinator bounds the wait.
+	if err := client.Flush(30 * time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "sited %d: flush: %v\n", *siteID, err)
+	}
 
 	bytesOut, messages := client.Stats()
 	stats := st.Stats()
@@ -125,6 +150,10 @@ func main() {
 		*siteID, *updates, elapsed.Round(time.Millisecond),
 		float64(*updates)/elapsed.Seconds(),
 		stats.Chunks, stats.Fits, stats.EMRuns, messages, bytesOut)
+	if d := client.Delivery(); d.Retries > 0 || d.Reconnects > 0 || d.Queued > 0 {
+		fmt.Printf("sited %d: delivery — %d retries, %d reconnects, %d retransmitted bytes, %d dropped, %d still queued\n",
+			*siteID, d.Retries, d.Reconnects, d.RetransmitBytes, d.Dropped, d.Queued)
+	}
 
 	if *archive != "" {
 		f, err := os.Create(*archive)
@@ -141,5 +170,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("sited %d: archive written to %s\n", *siteID, *archive)
+	}
+}
+
+// dialWithRetry retries the initial dial with doubling backoff so sites
+// can start before (or survive a restart of) the coordinator. maxRetry
+// bounds the attempts; negative retries forever.
+func dialWithRetry(addr string, st *site.Site, siteID int, opts netio.DialOptions, maxRetry int) (*netio.Client, error) {
+	backoff := 500 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		client, err := netio.Dial(addr, st, siteID, opts)
+		if err == nil {
+			return client, nil
+		}
+		if maxRetry >= 0 && attempt >= maxRetry {
+			return nil, fmt.Errorf("dial %s: %w (after %d attempts)", addr, err, attempt)
+		}
+		fmt.Fprintf(os.Stderr, "sited %d: dial %s: %v — retrying in %v\n", siteID, addr, err, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 10*time.Second {
+			backoff = 10 * time.Second
+		}
 	}
 }

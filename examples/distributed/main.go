@@ -1,8 +1,12 @@
 // Distributed: the real-network deployment in one process — a coordinator
 // server and several remote-site clients talking CluDistream's wire
 // protocol over TCP loopback (run coordd/sited for the multi-process
-// version). Each site archives its state on shutdown, and the example
-// replays an evolving-analysis query from the archive.
+// version). Traffic is routed through a chaos proxy that kills every
+// connection after a byte budget, so the run also demonstrates the
+// fault-tolerant delivery path: reconnects, retransmissions, and
+// exactly-once application at the coordinator. Each site archives its
+// state on shutdown, and the example replays an evolving-analysis query
+// from the archive.
 //
 // Run with:
 //
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"cludistream/internal/coordinator"
 	"cludistream/internal/netio"
@@ -32,12 +37,26 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	srv.Logf = func(string, ...any) {} // chaos kills are expected noise
 	fmt.Printf("coordinator listening on %v\n", srv.Addr())
+
+	// Every client dials through this proxy, which severs each connection
+	// after a small byte budget — synopsis messages are only ~200 bytes,
+	// so roughly every second model update dies mid-frame and the sites
+	// must reconnect and retransmit to finish.
+	proxy, err := netio.NewChaosProxy(srv.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxy.Close()
+	proxy.KillAfter(250)
+	fmt.Printf("chaos proxy on %s: connections die every 250 bytes\n", proxy.Addr())
 
 	const sites = 5
 	const updatesPerSite = 4000
 	var wg sync.WaitGroup
 	archives := make([]*persist.SiteArchive, sites)
+	deliveries := make([]netio.DeliveryStats, sites)
 	for i := 0; i < sites; i++ {
 		wg.Add(1)
 		go func(id int) {
@@ -49,7 +68,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			client, err := netio.Dial(srv.Addr().String(), st, id, netio.DialOptions{})
+			client, err := netio.Dial(proxy.Addr(), st, id, netio.DialOptions{
+				Retry: netio.RetryPolicy{BaseBackoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond},
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -66,18 +87,31 @@ func main() {
 					log.Fatalf("site %d: %v", id, err)
 				}
 			}
-			bytesOut, msgs := client.Stats()
-			fmt.Printf("site %d: %d records → %d messages, %d bytes over the wire\n",
-				id, updatesPerSite, msgs, bytesOut)
+			if err := client.Flush(30 * time.Second); err != nil {
+				log.Fatalf("site %d: flush: %v", id, err)
+			}
+			d := client.Delivery()
+			deliveries[id-1] = d
+			fmt.Printf("site %d: %d records → %d messages, %d goodput bytes (+%d retransmitted, %d reconnects)\n",
+				id, updatesPerSite, d.Acked, d.GoodputBytes, d.RetransmitBytes, d.Reconnects)
 			archives[id-1] = persist.FromSite(st)
 		}(i + 1)
 	}
 	wg.Wait()
 
-	bytesIn, messages, errs := srv.Stats()
-	fmt.Printf("\ncoordinator received %d messages / %d bytes (%d errors)\n", messages, bytesIn, errs)
+	var goodput, retrans, reconnects int
+	for _, d := range deliveries {
+		goodput += d.GoodputBytes
+		retrans += d.RetransmitBytes
+		reconnects += d.Reconnects
+	}
+	ds := srv.DeliveryStats()
+	fmt.Printf("\ncoordinator applied %d messages / %d bytes in (%d errors)\n", ds.Applied, ds.BytesIn, ds.ApplyErrors)
+	fmt.Printf("fault tolerance: %d goodput bytes, %d retransmitted bytes, %d reconnects; "+
+		"%d duplicate msgs (%d bytes) deduped server-side\n",
+		goodput, retrans, reconnects, ds.Duplicates, ds.DuplicateBytes)
 	fmt.Printf("raw stream volume would have been %d bytes — synopsis ratio %.3f%%\n",
-		sites*updatesPerSite*2*8, 100*float64(bytesIn)/float64(sites*updatesPerSite*2*8))
+		sites*updatesPerSite*2*8, 100*float64(goodput)/float64(sites*updatesPerSite*2*8))
 	srv.Snapshot(func(c *coordinator.Coordinator) {
 		gm := c.GlobalMixture()
 		fmt.Printf("global model: %d site models merged into %d groups (K=%d)\n",

@@ -70,6 +70,7 @@ type Stats struct {
 	Remerges       int
 	GroupsCreated  int
 	GroupsRemoved  int
+	SiteResets     int
 }
 
 // siteModel tracks one registered remote-site model and its record counter.
@@ -181,6 +182,25 @@ func (c *Coordinator) HandleDeletion(siteID, modelID, count int) error {
 	}
 	c.stats.Deletions++
 	return c.shiftWeight(sm, -count)
+}
+
+// ResetSite discards every model registered by the given site, removing
+// its leaves from the tree. The fault-tolerant delivery layer calls it
+// when a site returns with a higher epoch: state from the dead
+// incarnation must not double-count records the restarted site will
+// re-report. Unknown sites are a no-op.
+func (c *Coordinator) ResetSite(siteID int) {
+	byModel := c.models[siteID]
+	if byModel == nil {
+		return
+	}
+	for _, sm := range byModel {
+		for j := 0; j < sm.mix.K(); j++ {
+			c.removeLeaf(MemberKey{SiteID: sm.siteID, ModelID: sm.modelID, Comp: j})
+		}
+	}
+	delete(c.models, siteID)
+	c.stats.SiteResets++
 }
 
 // shiftWeight adjusts a model's counter and propagates the new absolute

@@ -1,7 +1,9 @@
 package netio
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -12,55 +14,311 @@ import (
 	"cludistream/internal/window"
 )
 
-// Conn is a bare protocol connection: frame-and-ack transport of wire
-// messages without any site attached. Aggregator nodes (cmd/aggd) use it
-// to upload their merged models; Client builds on it. Safe for concurrent
-// senders (round trips are serialized).
-type Conn struct {
-	mu   sync.Mutex // serializes frame+ack round trips
-	conn net.Conn
-
-	bytesOut int
-	messages int
+// RetryPolicy tunes fault-tolerant delivery on a Conn. The zero value
+// selects the defaults noted on each field.
+type RetryPolicy struct {
+	// DialTimeout bounds each TCP connect (default 10s).
+	DialTimeout time.Duration
+	// AttemptTimeout bounds one frame+ack round trip (default 5s); a
+	// round trip that exceeds it counts as a connection failure.
+	AttemptTimeout time.Duration
+	// BaseBackoff is the first reconnect delay (default 50ms); it doubles
+	// per consecutive failure up to MaxBackoff (default 2s), with
+	// deterministic jitter drawn from Rand in [d/2, d).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxAttempts caps transmission attempts per message; a message that
+	// fails that many round trips is dropped (counted in
+	// DeliveryStats.Dropped). Zero retries forever — the default, since
+	// dropping updates silently skews the global model.
+	MaxAttempts int
+	// OutboxLimit bounds the number of queued messages (default 4096).
+	// Overflow drops the oldest queued message.
+	OutboxLimit int
+	// Epoch is the sender's incarnation number (default 1). A process
+	// that restarts after a crash must use a strictly higher epoch so the
+	// coordinator discards the dead incarnation's state.
+	Epoch uint32
+	// Rand supplies backoff jitter; nil uses a fixed-seed source (still
+	// deterministic, just shared shape across conns).
+	Rand *rand.Rand
+	// Sleep replaces time.Sleep in blocking flushes (test hook).
+	Sleep func(time.Duration)
 }
 
-// DialConn opens a bare protocol connection to a Server.
-func DialConn(addr string, timeout time.Duration) (*Conn, error) {
-	if timeout <= 0 {
-		timeout = 10 * time.Second
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 10 * time.Second
 	}
-	c, err := net.DialTimeout("tcp", addr, timeout)
+	if p.AttemptTimeout <= 0 {
+		p.AttemptTimeout = 5 * time.Second
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = 2 * time.Second
+		if p.MaxBackoff < p.BaseBackoff {
+			p.MaxBackoff = p.BaseBackoff
+		}
+	}
+	if p.OutboxLimit <= 0 {
+		p.OutboxLimit = 4096
+	}
+	if p.Epoch == 0 {
+		p.Epoch = 1
+	}
+	if p.Rand == nil {
+		p.Rand = rand.New(rand.NewSource(1))
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// DeliveryStats counts the work of fault-tolerant delivery.
+type DeliveryStats struct {
+	// Acked is the number of messages acknowledged by the coordinator.
+	Acked int
+	// GoodputBytes is the payload bytes of acked messages, counted once
+	// per message regardless of how many attempts it took.
+	GoodputBytes int
+	// RetransmitBytes is the payload bytes of second and later attempts —
+	// the wire overhead of fault tolerance.
+	RetransmitBytes int
+	// Retries is the number of failed round-trip attempts.
+	Retries int
+	// Reconnects is the number of successful re-dials after a broken
+	// connection.
+	Reconnects int
+	// Dropped counts messages abandoned (outbox overflow or MaxAttempts).
+	Dropped int
+	// Rejected counts messages the coordinator refused (ErrRemote).
+	Rejected int
+	// Queued is the current outbox depth.
+	Queued int
+}
+
+// pending is one queued outbox entry.
+type pending struct {
+	payload  []byte
+	attempts int
+}
+
+// Conn is a fault-tolerant protocol connection: messages are assigned
+// per-connection monotone sequence numbers, queued in a bounded outbox,
+// and delivered with frame+ack round trips. A broken connection is
+// re-dialed with capped exponential backoff; queued messages survive the
+// outage and drain in order on reconnect, and the receiver dedupes by
+// (site, epoch, seq), so retransmitted frames are exactly-once in effect.
+//
+// Send never blocks on an unreachable coordinator — it queues and returns
+// — so a site degrades gracefully to local-only clustering while
+// disconnected. Call Flush to block until the outbox drains. Safe for
+// concurrent senders.
+type Conn struct {
+	mu   sync.Mutex
+	addr string
+	pol  RetryPolicy
+
+	nc        net.Conn // nil while disconnected
+	nextSeq   uint64
+	outbox    []pending
+	fails     int       // consecutive connection failures (backoff exponent)
+	notBefore time.Time // earliest next reconnect attempt
+
+	stats DeliveryStats
+}
+
+// DialConn opens a protocol connection to a Server with the default
+// retry policy.
+func DialConn(addr string, timeout time.Duration) (*Conn, error) {
+	return DialConnRetry(addr, RetryPolicy{DialTimeout: timeout})
+}
+
+// DialConnRetry opens a protocol connection with an explicit retry
+// policy. The initial dial is eager: an unreachable coordinator is
+// reported immediately so callers can apply their own startup policy.
+func DialConnRetry(addr string, pol RetryPolicy) (*Conn, error) {
+	pol = pol.withDefaults()
+	nc, err := net.DialTimeout("tcp", addr, pol.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{conn: c}, nil
+	return &Conn{addr: addr, pol: pol, nc: nc}, nil
 }
 
-// Send performs one synchronous frame+ack round trip.
+// Send queues one message for delivery and opportunistically drains the
+// outbox. It returns nil when the message was delivered or remains
+// queued for a later retry, and ErrRemote when the coordinator rejected
+// a message during this drain.
 func (c *Conn) Send(msg transport.Message) error {
-	payload := transport.Encode(msg)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, payload); err != nil {
-		return fmt.Errorf("netio: send %v: %w", msg.Kind, err)
+	c.nextSeq++
+	msg.Seq = c.nextSeq
+	msg.Epoch = c.pol.Epoch
+	if len(c.outbox) >= c.pol.OutboxLimit {
+		// Drop the oldest entry: it is the most stale, and the site's
+		// model list will re-derive the coordinator's view anyway.
+		c.outbox[0] = pending{}
+		c.outbox = c.outbox[1:]
+		c.stats.Dropped++
 	}
-	if err := readAck(c.conn); err != nil {
-		return fmt.Errorf("netio: %v: %w", msg.Kind, err)
+	c.outbox = append(c.outbox, pending{payload: transport.Encode(msg)})
+	return c.flushLocked(false, time.Time{})
+}
+
+// Flush blocks until the outbox is empty, retrying with backoff. A
+// non-positive timeout waits forever. It returns ErrRemote if the
+// coordinator rejected a message, or a timeout error when messages
+// remain queued at the deadline.
+func (c *Conn) Flush(timeout time.Duration) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
 	}
-	c.bytesOut += len(payload)
-	c.messages++
+	if err := c.flushLocked(true, deadline); err != nil {
+		return err
+	}
+	if n := len(c.outbox); n > 0 {
+		return fmt.Errorf("netio: flush timed out with %d messages queued", n)
+	}
 	return nil
 }
 
-// Stats returns (bytes sent, messages acknowledged).
+// flushLocked drains the outbox head-first. In non-blocking mode it
+// stops at the first connection failure or unexpired backoff window; in
+// blocking mode it sleeps through backoff until the outbox empties or
+// the deadline passes. Callers hold c.mu.
+func (c *Conn) flushLocked(block bool, deadline time.Time) error {
+	var rejected bool
+	for len(c.outbox) > 0 {
+		now := time.Now()
+		if !deadline.IsZero() && now.After(deadline) {
+			break
+		}
+		if c.nc == nil {
+			if wait := c.notBefore.Sub(now); wait > 0 {
+				if !block {
+					break
+				}
+				if rem := deadline.Sub(now); !deadline.IsZero() && rem < wait {
+					wait = rem
+				}
+				c.pol.Sleep(wait)
+				continue
+			}
+			nc, err := net.DialTimeout("tcp", c.addr, c.pol.DialTimeout)
+			if err != nil {
+				c.fails++
+				c.armBackoff()
+				if !block {
+					break
+				}
+				continue
+			}
+			c.nc = nc
+			c.stats.Reconnects++
+		}
+		head := &c.outbox[0]
+		head.attempts++
+		if head.attempts > 1 {
+			c.stats.RetransmitBytes += len(head.payload)
+		}
+		err := c.roundTrip(head.payload)
+		switch {
+		case err == nil:
+			c.stats.Acked++
+			c.stats.GoodputBytes += len(head.payload)
+			c.popHead()
+			c.fails = 0
+		case errors.Is(err, ErrRemote):
+			// The coordinator decoded the frame and refused it; the
+			// connection is healthy and retrying cannot help.
+			c.stats.Rejected++
+			c.popHead()
+			rejected = true
+			c.fails = 0
+		default:
+			c.stats.Retries++
+			c.nc.Close()
+			c.nc = nil
+			c.fails++
+			c.armBackoff()
+			if c.pol.MaxAttempts > 0 && c.outbox[0].attempts >= c.pol.MaxAttempts {
+				c.stats.Dropped++
+				c.popHead()
+			}
+			if !block {
+				goto out
+			}
+		}
+	}
+out:
+	if rejected {
+		return ErrRemote
+	}
+	return nil
+}
+
+// roundTrip performs one frame+ack exchange under the attempt deadline.
+func (c *Conn) roundTrip(payload []byte) error {
+	c.nc.SetDeadline(time.Now().Add(c.pol.AttemptTimeout))
+	if err := writeFrame(c.nc, payload); err != nil {
+		return err
+	}
+	return readAck(c.nc)
+}
+
+// armBackoff schedules the earliest next reconnect attempt: capped
+// exponential in the consecutive-failure count with jitter in [d/2, d).
+func (c *Conn) armBackoff() {
+	d := c.pol.BaseBackoff << uint(c.fails-1)
+	if d <= 0 || d > c.pol.MaxBackoff {
+		d = c.pol.MaxBackoff
+	}
+	d = d/2 + time.Duration(c.pol.Rand.Int63n(int64(d/2)+1))
+	c.notBefore = time.Now().Add(d)
+}
+
+func (c *Conn) popHead() {
+	c.outbox[0] = pending{}
+	c.outbox = c.outbox[1:]
+}
+
+// Stats returns (goodput bytes, messages acknowledged) — the pre-retry
+// accounting surface, preserved for the cost experiments.
 func (c *Conn) Stats() (bytesOut, messages int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.bytesOut, c.messages
+	return c.stats.GoodputBytes, c.stats.Acked
 }
 
-// Close closes the underlying connection.
-func (c *Conn) Close() error { return c.conn.Close() }
+// Delivery returns the full fault-tolerance counters.
+func (c *Conn) Delivery() DeliveryStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Queued = len(c.outbox)
+	return s
+}
+
+// Close closes the underlying connection. Queued messages are not
+// flushed — call Flush first if delivery matters.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nc == nil {
+		return nil
+	}
+	err := c.nc.Close()
+	c.nc = nil
+	return err
+}
 
 // Client is the remote-site endpoint: it owns a site.Site, feeds records to
 // it, and ships every resulting update to the coordinator over TCP. It is
@@ -75,8 +333,11 @@ type Client struct {
 
 // DialOptions tunes Dial.
 type DialOptions struct {
-	// Timeout bounds the TCP connect (default 10s).
+	// Timeout bounds the TCP connect (default 10s); shorthand for
+	// Retry.DialTimeout.
 	Timeout time.Duration
+	// Retry tunes fault-tolerant delivery (zero value: defaults).
+	Retry RetryPolicy
 	// SlidingHorizonChunks enables sliding-window deletions (Section 7)
 	// with the given horizon; zero keeps landmark behaviour.
 	SlidingHorizonChunks int
@@ -88,7 +349,11 @@ func Dial(addr string, st *site.Site, siteID int, opts DialOptions) (*Client, er
 	if opts.SlidingHorizonChunks < 0 {
 		return nil, fmt.Errorf("netio: sliding horizon %d chunks", opts.SlidingHorizonChunks)
 	}
-	conn, err := DialConn(addr, opts.Timeout)
+	pol := opts.Retry
+	if pol.DialTimeout == 0 {
+		pol.DialTimeout = opts.Timeout
+	}
+	conn, err := DialConnRetry(addr, pol)
 	if err != nil {
 		return nil, err
 	}
@@ -107,16 +372,21 @@ func Dial(addr string, st *site.Site, siteID int, opts DialOptions) (*Client, er
 // Site returns the wrapped site processor.
 func (c *Client) Site() *site.Site { return c.st }
 
-// Observe feeds one record to the site and transmits any updates (and
-// sliding-window deletions) it produced.
+// Observe feeds one record to the site and queues any updates (and
+// sliding-window deletions) it produced for delivery. Every update is
+// queued even when an earlier one errors — the outbox, not the caller,
+// owns retransmission — so a delivery failure can never lose the rest of
+// a chunk's updates. The returned error is the site's own error, or the
+// first delivery rejection.
 func (c *Client) Observe(x linalg.Vector) error {
 	ups, err := c.st.Observe(x)
 	if err != nil {
 		return err
 	}
+	var firstErr error
 	for _, u := range ups {
-		if err := c.send(transport.FromSiteUpdate(u)); err != nil {
-			return err
+		if err := c.send(transport.FromSiteUpdate(u)); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	if c.tracker != nil {
@@ -127,12 +397,12 @@ func (c *Client) Observe(x linalg.Vector) error {
 				ModelID: int32(d.ModelID),
 				Count:   int64(d.Count),
 			}
-			if err := c.send(msg); err != nil {
-				return err
+			if err := c.send(msg); err != nil && firstErr == nil {
+				firstErr = err
 			}
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // ObserveAll feeds a batch.
@@ -145,15 +415,23 @@ func (c *Client) ObserveAll(xs []linalg.Vector) error {
 	return nil
 }
 
-// send performs one synchronous frame+ack round trip.
+// send queues one message on the fault-tolerant connection.
 func (c *Client) send(msg transport.Message) error {
 	return c.conn.Send(msg)
 }
 
-// Stats returns (bytes sent, messages acknowledged).
+// Flush blocks until every queued update is delivered (see Conn.Flush).
+func (c *Client) Flush(timeout time.Duration) error {
+	return c.conn.Flush(timeout)
+}
+
+// Stats returns (goodput bytes, messages acknowledged).
 func (c *Client) Stats() (bytesOut, messages int) {
 	return c.conn.Stats()
 }
+
+// Delivery returns the fault-tolerance counters.
+func (c *Client) Delivery() DeliveryStats { return c.conn.Delivery() }
 
 // Close closes the connection. The wrapped site remains usable locally.
 func (c *Client) Close() error { return c.conn.Close() }

@@ -455,13 +455,15 @@ func TestDialInvalidHorizon(t *testing.T) {
 	}
 }
 
-func TestServerCloseUnblocksClients(t *testing.T) {
+func TestServerCloseDegradesGracefully(t *testing.T) {
 	coord := newCoord(t)
 	srv, err := NewServer("127.0.0.1:0", coord)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Dial(srv.Addr().String(), newSite(t, 1), 1, DialOptions{})
+	c, err := Dial(srv.Addr().String(), newSite(t, 1), 1, DialOptions{
+		Retry: RetryPolicy{AttemptTimeout: 300 * time.Millisecond, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,17 +471,27 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	if err := srv.Close(); err != nil && !strings.Contains(err.Error(), "use of closed") {
 		t.Fatalf("close: %v", err)
 	}
-	// Sends after close must fail, not hang.
+	// With the coordinator gone, the site must keep clustering locally:
+	// Observe queues updates in the outbox instead of failing or hanging.
 	rng := rand.New(rand.NewSource(3))
 	mix := regime(0)
-	var sawErr bool
 	for rec := 0; rec < 200*2; rec++ {
 		if err := c.Observe(mix.Sample(rng)); err != nil {
-			sawErr = true
-			break
+			t.Fatalf("observe against a dead coordinator: %v", err)
 		}
 	}
-	if !sawErr {
-		t.Fatal("client kept succeeding against a closed server")
+	d := c.Delivery()
+	if d.Queued == 0 {
+		t.Fatal("no updates queued while disconnected")
+	}
+	if d.Acked != 0 {
+		t.Fatalf("acked %d messages against a closed server", d.Acked)
+	}
+	// A bounded flush against a dead coordinator reports the backlog.
+	if err := c.Flush(100 * time.Millisecond); err == nil {
+		t.Fatal("flush against a dead coordinator succeeded")
+	}
+	if st := c.Site().Stats(); st.Chunks == 0 {
+		t.Fatal("site stopped clustering while disconnected")
 	}
 }

@@ -21,10 +21,17 @@ type Server struct {
 	// Serve is running.
 	Logf func(format string, args ...any)
 
-	mu       sync.Mutex // guards coord and counters
+	mu       sync.Mutex // guards coord, counters and dedupe state
 	bytesIn  int
 	messages int
 	applyErr int
+	dup      int
+	dupBytes int
+	resets   int
+	// seen tracks the highest (epoch, seq) applied per site; retransmitted
+	// frames and frames from dead incarnations are acked without
+	// re-applying, making delivery exactly-once in effect.
+	seen map[int32]*siteSeq
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -41,7 +48,7 @@ func NewServer(addr string, coord *coordinator.Coordinator) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, coord: coord, conns: make(map[net.Conn]struct{}), closing: make(chan struct{})}
+	s := &Server{ln: ln, coord: coord, conns: make(map[net.Conn]struct{}), closing: make(chan struct{}), seen: make(map[int32]*siteSeq)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -116,7 +123,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// siteSeq is the per-site dedupe watermark.
+type siteSeq struct {
+	epoch  uint32
+	maxSeq uint64
+}
+
 // apply decodes and applies one message, returning whether it succeeded.
+// Versioned messages are deduped by (site, epoch, seq): duplicates are
+// acked without re-applying, and a higher epoch first resets the site's
+// coordinator state (the restarted site replays its model list).
 func (s *Server) apply(payload []byte) bool {
 	msg, err := transport.Decode(payload)
 	if err != nil {
@@ -129,6 +145,34 @@ func (s *Server) apply(payload []byte) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bytesIn += len(payload)
+	if msg.Seq != 0 {
+		tr := s.seen[msg.SiteID]
+		if tr == nil {
+			tr = &siteSeq{}
+			s.seen[msg.SiteID] = tr
+		}
+		switch {
+		case msg.Epoch < tr.epoch:
+			// Late frame from a dead incarnation: ack so the stale sender
+			// stops retrying, but never apply.
+			s.dup++
+			s.dupBytes += len(payload)
+			return true
+		case msg.Epoch > tr.epoch:
+			if tr.epoch != 0 {
+				s.coord.ResetSite(int(msg.SiteID))
+				s.resets++
+				s.logf("netio: site %d returned with epoch %d, state reset", msg.SiteID, msg.Epoch)
+			}
+			tr.epoch, tr.maxSeq = msg.Epoch, 0
+		}
+		if msg.Seq <= tr.maxSeq {
+			s.dup++
+			s.dupBytes += len(payload)
+			return true
+		}
+		tr.maxSeq = msg.Seq
+	}
 	s.messages++
 	switch msg.Kind {
 	case transport.MsgDeletion:
@@ -157,6 +201,37 @@ func (s *Server) Stats() (bytesIn, messages, applyErrors int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.bytesIn, s.messages, s.applyErr
+}
+
+// ServerStats is the coordinator-side delivery accounting.
+type ServerStats struct {
+	// BytesIn counts every received payload byte, duplicates included.
+	BytesIn int
+	// Applied is the number of messages applied to the coordinator.
+	Applied int
+	// ApplyErrors counts undecodable or refused messages.
+	ApplyErrors int
+	// Duplicates / DuplicateBytes count retransmitted frames that were
+	// acked without re-applying — the receive-side view of retransmission
+	// overhead.
+	Duplicates     int
+	DuplicateBytes int
+	// SiteResets counts epoch bumps that discarded a dead incarnation.
+	SiteResets int
+}
+
+// DeliveryStats returns the full fault-tolerance counters.
+func (s *Server) DeliveryStats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerStats{
+		BytesIn:        s.bytesIn,
+		Applied:        s.messages,
+		ApplyErrors:    s.applyErr,
+		Duplicates:     s.dup,
+		DuplicateBytes: s.dupBytes,
+		SiteResets:     s.resets,
+	}
 }
 
 // Close stops accepting, severs every live site connection and waits for

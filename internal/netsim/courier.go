@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Courier provides ordered at-least-once delivery over a faulty Link:
+// payloads queue FIFO and only the head is transmitted, so retransmission
+// never reorders messages. A send the link refuses (TrySend returning
+// false — the simulation's stand-in for a missing ack) is retried with
+// capped exponential backoff and deterministic jitter from the injected
+// rand. Pair it with sequence-numbered payloads and a deduping receiver
+// for exactly-once effect; the Courier itself only guarantees
+// at-least-once, in order.
+type Courier struct {
+	sim  *Simulator
+	link *Link
+	base float64 // first retry delay, seconds
+	max  float64 // backoff cap, seconds
+	rng  *rand.Rand
+
+	queue    [][]byte
+	attempts int  // transmissions of the current head
+	waiting  bool // a retry timer is pending
+
+	retries   int
+	delivered int
+}
+
+// NewCourier wraps link with retransmission. baseBackoff defaults to
+// 0.05 simulated seconds; maxBackoff is raised to baseBackoff if smaller.
+// rng drives the jitter and must not be nil.
+func (s *Simulator) NewCourier(link *Link, baseBackoff, maxBackoff float64, rng *rand.Rand) *Courier {
+	if baseBackoff <= 0 {
+		baseBackoff = 0.05
+	}
+	if maxBackoff < baseBackoff {
+		maxBackoff = baseBackoff
+	}
+	if rng == nil {
+		panic("netsim: Courier needs a rand source for jitter")
+	}
+	return &Courier{sim: s, link: link, base: baseBackoff, max: maxBackoff, rng: rng}
+}
+
+// Send queues a payload and pumps the queue unless a retry timer is
+// already pending.
+func (c *Courier) Send(payload []byte) {
+	c.queue = append(c.queue, payload)
+	if !c.waiting {
+		c.pump()
+	}
+}
+
+// pump transmits from the head until the queue drains or a send fails,
+// in which case a retry is scheduled.
+func (c *Courier) pump() {
+	for len(c.queue) > 0 {
+		if c.link.TrySend(c.queue[0], c.attempts > 0) {
+			c.queue[0] = nil
+			c.queue = c.queue[1:]
+			c.attempts = 0
+			c.delivered++
+			continue
+		}
+		c.attempts++
+		c.retries++
+		d := c.base * math.Pow(2, float64(c.attempts-1))
+		if d > c.max {
+			d = c.max
+		}
+		d *= 0.5 + 0.5*c.rng.Float64()
+		c.waiting = true
+		c.sim.Schedule(d, func() {
+			c.waiting = false
+			c.pump()
+		})
+		return
+	}
+}
+
+// Crash models the sending process dying: the queue — and any message it
+// would still have retried — is lost. Counters survive; a pending retry
+// timer fires harmlessly on the empty queue.
+func (c *Courier) Crash() {
+	c.queue = nil
+	c.attempts = 0
+}
+
+// Pending returns the queue depth.
+func (c *Courier) Pending() int { return len(c.queue) }
+
+// Retries returns the number of failed transmissions.
+func (c *Courier) Retries() int { return c.retries }
+
+// Delivered returns the number of payloads the link accepted.
+func (c *Courier) Delivered() int { return c.delivered }

@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"math/rand"
 )
 
 // Simulator owns the virtual clock and the pending-event heap.
@@ -102,17 +103,53 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Outage is a time window during which nothing reaches the receiver —
+// the simulated counterpart of a crashed or partitioned coordinator.
+type Outage struct {
+	Start, End float64 // [Start, End) in simulated seconds, by arrival time
+}
+
+// FaultPlan injects delivery faults on a Link: independent probabilistic
+// message loss and burst outage windows. Randomness comes from an
+// injected source so fault sequences are reproducible.
+type FaultPlan struct {
+	// DropProb is the independent per-message loss probability.
+	DropProb float64
+	// Rand drives the loss draws; required when DropProb > 0.
+	Rand *rand.Rand
+	// Outages lists receiver-down windows; a message whose arrival time
+	// falls inside any window is lost.
+	Outages []Outage
+}
+
+// lost decides the fate of a message arriving at the given time. Outage
+// checks come first so loss draws are only consumed outside outages.
+func (p *FaultPlan) lost(arrive float64) bool {
+	for _, o := range p.Outages {
+		if arrive >= o.Start && arrive < o.End {
+			return true
+		}
+	}
+	return p.DropProb > 0 && p.Rand.Float64() < p.DropProb
+}
+
 // Link is a unidirectional site→coordinator channel with latency, optional
-// finite bandwidth, and exact byte accounting.
+// finite bandwidth, optional fault injection, and exact byte accounting
+// that separates goodput from retransmissions and losses.
 type Link struct {
 	sim       *Simulator
 	latency   float64
 	bandwidth float64 // bytes/second; 0 means infinite
+	fault     *FaultPlan
 	deliver   func([]byte)
 
-	bytesSent int
-	messages  int
-	sendLog   []sendRecord
+	bytesSent       int
+	messages        int
+	goodputBytes    int
+	retransmitBytes int
+	droppedMessages int
+	droppedBytes    int
+	sendLog         []sendRecord
 	// busyUntil serializes transmissions on a finite-bandwidth link.
 	busyUntil float64
 }
@@ -122,24 +159,44 @@ type sendRecord struct {
 	bytes int
 }
 
-// NewLink creates a link on sim. deliver is invoked (inside the simulation)
-// when a payload arrives; it may be nil for fire-and-forget accounting.
+// NewLink creates a perfect link on sim. deliver is invoked (inside the
+// simulation) when a payload arrives; it may be nil for fire-and-forget
+// accounting.
 func (s *Simulator) NewLink(latency, bandwidth float64, deliver func([]byte)) *Link {
+	return s.NewFaultyLink(latency, bandwidth, nil, deliver)
+}
+
+// NewFaultyLink creates a link whose deliveries are subject to plan; a
+// nil plan is a perfect link.
+func (s *Simulator) NewFaultyLink(latency, bandwidth float64, plan *FaultPlan, deliver func([]byte)) *Link {
 	if latency < 0 {
 		panic("netsim: negative latency")
 	}
 	if bandwidth < 0 {
 		panic("netsim: negative bandwidth")
 	}
-	return &Link{sim: s, latency: latency, bandwidth: bandwidth, deliver: deliver}
+	if plan != nil && plan.DropProb > 0 && plan.Rand == nil {
+		panic("netsim: FaultPlan.DropProb without FaultPlan.Rand")
+	}
+	return &Link{sim: s, latency: latency, bandwidth: bandwidth, fault: plan, deliver: deliver}
 }
 
 // Send transmits payload: bytes are accounted at send time; delivery is
 // scheduled after transmission delay (serialized on the link) plus latency.
-func (l *Link) Send(payload []byte) {
+func (l *Link) Send(payload []byte) { l.TrySend(payload, false) }
+
+// TrySend transmits payload, classifying it as an original send or a
+// retransmission for the byte accounting, and reports whether delivery
+// was scheduled — the simulation shorthand for the receiver's ack. Lost
+// messages still consume wire bytes (and transmission time on a
+// finite-bandwidth link); only delivered payload counts as goodput.
+func (l *Link) TrySend(payload []byte, retransmit bool) bool {
 	n := len(payload)
 	l.bytesSent += n
 	l.messages++
+	if retransmit {
+		l.retransmitBytes += n
+	}
 	l.sendLog = append(l.sendLog, sendRecord{at: l.sim.Now(), bytes: n})
 
 	start := l.sim.Now()
@@ -151,17 +208,34 @@ func (l *Link) Send(payload []byte) {
 		l.busyUntil = start
 	}
 	arrive := start + l.latency
+	if l.fault != nil && l.fault.lost(arrive) {
+		l.droppedMessages++
+		l.droppedBytes += n
+		return false
+	}
+	l.goodputBytes += n
 	if l.deliver != nil {
 		p := payload
 		l.sim.ScheduleAt(arrive, func() { l.deliver(p) })
 	}
+	return true
 }
 
-// BytesSent returns total bytes pushed onto the link.
+// BytesSent returns total bytes pushed onto the link, retransmissions
+// and losses included — the wire-cost observable.
 func (l *Link) BytesSent() int { return l.bytesSent }
 
-// Messages returns the number of Send calls.
+// Messages returns the number of Send/TrySend calls.
 func (l *Link) Messages() int { return l.messages }
+
+// GoodputBytes returns the bytes of payloads that reached the receiver.
+func (l *Link) GoodputBytes() int { return l.goodputBytes }
+
+// RetransmitBytes returns the bytes of sends flagged as retransmissions.
+func (l *Link) RetransmitBytes() int { return l.retransmitBytes }
+
+// Dropped returns (messages, bytes) lost to the fault plan.
+func (l *Link) Dropped() (messages, bytes int) { return l.droppedMessages, l.droppedBytes }
 
 // CostSeries buckets the link's sent bytes into intervals of the given
 // width, cumulatively: entry i is the total bytes sent in [0, (i+1)·width).

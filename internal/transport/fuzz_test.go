@@ -16,6 +16,10 @@ func FuzzDecode(f *testing.F) {
 	f.Add(valid)
 	f.Add(Encode(Message{Kind: MsgWeightUpdate, SiteID: 1, ModelID: 2, Count: 3}))
 	f.Add(Encode(Message{Kind: MsgDeletion, SiteID: 9, ModelID: 1, Count: -50}))
+	validV2 := Encode(Message{Kind: MsgNewModel, SiteID: 1, ModelID: 3, Count: 9, Epoch: 2, Seq: 5, Mixture: sampleMixture(rng, 2, 2)})
+	f.Add(validV2)
+	f.Add(Encode(Message{Kind: MsgWeightUpdate, SiteID: 1, ModelID: 2, Count: 3, Epoch: 1, Seq: 1}))
+	f.Add(validV2[:headerSize+v2ExtraSize-3]) // v2 header cut inside seq
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 	f.Add(valid[:len(valid)-4])
@@ -35,7 +39,8 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if msg2.Kind != msg.Kind || msg2.SiteID != msg.SiteID ||
-			msg2.ModelID != msg.ModelID || msg2.Count != msg.Count {
+			msg2.ModelID != msg.ModelID || msg2.Count != msg.Count ||
+			msg2.Epoch != msg.Epoch || msg2.Seq != msg.Seq {
 			t.Fatalf("round trip changed header: %+v vs %+v", msg2, msg)
 		}
 	})

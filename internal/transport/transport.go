@@ -5,6 +5,17 @@
 // the full synopsis (weights, means, packed covariances — Section 5.3's
 // "synopsis-based information exchange"), a WeightUpdate or Deletion
 // message carries 21 bytes.
+//
+// # Wire versions
+//
+// Version 1 (the original format) starts with the kind byte (1–3) and has
+// no delivery metadata. Version 2 prefixes the same layout with the marker
+// byte 0xC2 and inserts a site epoch (uint32) and a per-site monotone
+// sequence number (uint64) after the header, making every message
+// idempotently identifiable for at-least-once delivery with receiver-side
+// dedupe. Encode picks v2 exactly when Seq or Epoch is set, so legacy
+// senders (and the byte-for-byte cost model of the figures) are untouched;
+// Decode accepts both.
 package transport
 
 import (
@@ -49,6 +60,16 @@ type Message struct {
 	SiteID  int32
 	ModelID int32
 	Count   int64
+	// Epoch identifies the sender's incarnation: a site that crashes and
+	// restarts resumes with a higher epoch, telling the coordinator to
+	// discard state from the dead incarnation. Zero (with Seq zero) selects
+	// the legacy v1 encoding.
+	Epoch uint32
+	// Seq is the per-site monotone delivery sequence number (1-based).
+	// Receivers drop (siteID, epoch, seq) duplicates, so retransmitted
+	// frames are exactly-once in effect. Zero (with Epoch zero) selects the
+	// legacy v1 encoding.
+	Seq uint64
 	// Mixture is present iff Kind == MsgNewModel.
 	Mixture *gaussian.Mixture
 }
@@ -56,11 +77,24 @@ type Message struct {
 // ErrTruncated is returned by Decode for short buffers.
 var ErrTruncated = errors.New("transport: truncated message")
 
-const headerSize = 1 + 4 + 4 + 8 // kind + site + model + count
+const (
+	headerSize = 1 + 4 + 4 + 8 // kind + site + model + count
+
+	// verMarker introduces a v2 message; it collides with no MsgKind.
+	verMarker byte = 0xC2
+	// v2ExtraSize is the v2 overhead: marker + epoch + seq.
+	v2ExtraSize = 1 + 4 + 8
+)
+
+// versioned reports whether the message needs the v2 encoding.
+func (m Message) versioned() bool { return m.Seq != 0 || m.Epoch != 0 }
 
 // WireSize returns the exact encoded size in bytes.
 func (m Message) WireSize() int {
 	n := headerSize
+	if m.versioned() {
+		n += v2ExtraSize
+	}
 	if m.Kind == MsgNewModel && m.Mixture != nil {
 		k, d := m.Mixture.K(), m.Mixture.Dim()
 		n += 4 + 4 // K, d
@@ -71,13 +105,21 @@ func (m Message) WireSize() int {
 	return n
 }
 
-// Encode serializes the message (little-endian, fixed layout).
+// Encode serializes the message (little-endian, fixed layout). Messages
+// with a Seq or Epoch use the v2 framing; all others stay v1.
 func Encode(m Message) []byte {
 	buf := make([]byte, 0, m.WireSize())
+	if m.versioned() {
+		buf = append(buf, verMarker)
+	}
 	buf = append(buf, byte(m.Kind))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.SiteID))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.ModelID))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Count))
+	if m.versioned() {
+		buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	}
 	if m.Kind == MsgNewModel && m.Mixture != nil {
 		k, d := m.Mixture.K(), m.Mixture.Dim()
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
@@ -99,25 +141,36 @@ func Encode(m Message) []byte {
 	return buf
 }
 
-// Decode parses a message produced by Encode.
+// Decode parses a message produced by Encode, accepting both the legacy
+// v1 framing and the v2 framing carrying epoch and sequence number.
 func Decode(b []byte) (Message, error) {
-	if len(b) < headerSize {
+	var m Message
+	v2 := len(b) > 0 && b[0] == verMarker
+	if v2 {
+		if len(b) < headerSize+v2ExtraSize {
+			return Message{}, ErrTruncated
+		}
+		b = b[1:] // kind/site/model/count sit at the v1 offsets now
+	} else if len(b) < headerSize {
 		return Message{}, ErrTruncated
 	}
-	m := Message{
-		Kind:    MsgKind(b[0]),
-		SiteID:  int32(binary.LittleEndian.Uint32(b[1:])),
-		ModelID: int32(binary.LittleEndian.Uint32(b[5:])),
-		Count:   int64(binary.LittleEndian.Uint64(b[9:])),
+	m.Kind = MsgKind(b[0])
+	m.SiteID = int32(binary.LittleEndian.Uint32(b[1:]))
+	m.ModelID = int32(binary.LittleEndian.Uint32(b[5:]))
+	m.Count = int64(binary.LittleEndian.Uint64(b[9:]))
+	b = b[headerSize:]
+	if v2 {
+		m.Epoch = binary.LittleEndian.Uint32(b)
+		m.Seq = binary.LittleEndian.Uint64(b[4:])
+		b = b[4+8:]
 	}
 	switch m.Kind {
 	case MsgWeightUpdate, MsgDeletion:
 		return m, nil
 	case MsgNewModel:
 	default:
-		return Message{}, fmt.Errorf("transport: unknown kind %d", b[0])
+		return Message{}, fmt.Errorf("transport: unknown kind %d", m.Kind)
 	}
-	b = b[headerSize:]
 	if len(b) < 8 {
 		return Message{}, ErrTruncated
 	}
