@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check tier1 fuzz
+.PHONY: all build vet test race race-em check tier1 fuzz bench
 
 all: check
 
@@ -17,8 +17,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the parallel fused E-step and everything that
+# embeds it (sites score chunks through it, the goroutine-per-site layer
+# pins Workers=1 on top of it).
+race-em:
+	$(GO) test -race ./internal/em/ ./internal/gaussian/ ./internal/parallel/
+
 # Full pre-merge gate.
-check: build vet race
+check: build vet race-em race
 
 # The repo's minimal health check (see ROADMAP.md).
 tier1:
@@ -29,3 +35,12 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/netio/
 	$(GO) test -run=^$$ -fuzz=FuzzReadAck -fuzztime=5s ./internal/netio/
+
+# Machine-readable benchmark snapshot: one pass over every figure
+# reproduction (-benchtime 1x — each figure is a full experiment) plus the
+# hot-path micro-benchmarks, converted to JSON. Commit the refreshed file
+# when performance-relevant code changes.
+bench:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm' -benchmem . ; } \
+	  | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_quick.json

@@ -8,6 +8,7 @@ package cludistream_test
 // micro-benchmarks at the bottom cover the hot paths the figures aggregate.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -334,6 +335,94 @@ func BenchmarkSMEMFit(b *testing.B) {
 	}
 }
 
+// benchData samples n points from a bench mixture for batch benchmarks.
+func benchData(m *gaussian.Mixture, n int, seed int64) []linalg.Vector {
+	return m.SampleN(rand.New(rand.NewSource(seed)), n)
+}
+
+// BenchmarkScoreScalar / BenchmarkScoreBatch compare per-record LogPDF
+// against the blocked panel scorer on the same 1024-record workload
+// (d=8, K=4 — the regime the batch layer targets).
+func BenchmarkScoreScalar(b *testing.B) {
+	m := benchMixture(4, 8)
+	data := benchData(m, 1024, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, x := range data {
+			sum += m.LogPDF(x)
+		}
+		_ = sum
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(data)), "ns/record")
+}
+
+func BenchmarkScoreBatch(b *testing.B) {
+	m := benchMixture(4, 8)
+	data := benchData(m, 1024, 4)
+	dst := make([]float64, len(data))
+	scratch := gaussian.NewBatchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ScoreBatch(data, dst, scratch)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(data)), "ns/record")
+}
+
+// BenchmarkPosteriorScalar / BenchmarkPosteriorBatch compare the E-step
+// responsibility computation record-at-a-time against the batched panel
+// path.
+func BenchmarkPosteriorScalar(b *testing.B) {
+	m := benchMixture(4, 8)
+	data := benchData(m, 1024, 5)
+	post := make([]float64, m.K())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, x := range data {
+			sum += m.PosteriorInto(x, post)
+		}
+		_ = sum
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(data)), "ns/record")
+}
+
+func BenchmarkPosteriorBatch(b *testing.B) {
+	m := benchMixture(4, 8)
+	data := benchData(m, 1024, 5)
+	post := linalg.NewMatrix(0, 0)
+	scratch := gaussian.NewBatchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.PosteriorBatch(data, post, nil, scratch)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(data)), "ns/record")
+}
+
+// BenchmarkEMFitWorkers measures the fused parallel E+M pass at several
+// worker counts on a d=8, K=4, n=4096 workload. The fitted model is
+// bit-identical at every count (see em.TestFitWorkerCountInvariant), so
+// the sub-benchmarks differ only in wall clock; on a multi-core machine
+// workers=4/8 should beat workers=1 by the core count, saturating at
+// GOMAXPROCS.
+func BenchmarkEMFitWorkers(b *testing.B) {
+	m := benchMixture(4, 8)
+	data := benchData(m, 4096, 8)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := em.Fit(data, em.Config{K: 4, Seed: 1, MaxIter: 30, Tol: 1e-4, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkCholeskyDecompose(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	d := 8
@@ -352,6 +441,74 @@ func BenchmarkCholeskyDecompose(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkQuadFormScalar / BenchmarkQuadFormPanel compare the scalar
+// Mahalanobis quadratic form against the blocked panel solve at d=8 over
+// a 128-record panel (one batch block).
+func BenchmarkQuadFormScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const d, n = 8, 128
+	cov := linalg.NewSym(d)
+	for t := 0; t < d+2; t++ {
+		v := linalg.NewVector(d)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		cov.AddOuterScaled(1, v)
+	}
+	chol, err := linalg.CholeskyDecompose(cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]linalg.Vector, n)
+	for p := range xs {
+		xs[p] = linalg.NewVector(d)
+		for i := range xs[p] {
+			xs[p][i] = rng.NormFloat64()
+		}
+	}
+	scratch := linalg.NewVector(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for _, x := range xs {
+			sum += chol.QuadFormScratch(x, scratch)
+		}
+		_ = sum
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/record")
+}
+
+func BenchmarkQuadFormPanel(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const d, n = 8, 128
+	cov := linalg.NewSym(d)
+	for t := 0; t < d+2; t++ {
+		v := linalg.NewVector(d)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		cov.AddOuterScaled(1, v)
+	}
+	chol, err := linalg.CholeskyDecompose(cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([]float64, d*n)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	panel := make([]float64, d*n)
+	dst := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(panel, src) // the solve is in-place; restore the rhs each round
+		chol.QuadFormPanel(panel, n, n, dst)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/record")
 }
 
 func BenchmarkFitMerge(b *testing.B) {

@@ -3,17 +3,22 @@
 // Usage:
 //
 //	experiments -list
-//	experiments [-profile quick|paper] [-seed N] [name ...]
+//	experiments [-profile quick|paper] [-seed N] [-workers N]
+//	            [-cpuprofile out.pprof] [-memprofile out.pprof] [name ...]
 //
 // With no names, the whole suite runs in paper order. Each experiment
 // prints its table (series + notes comparing the measured shape with the
-// paper's claim) to stdout.
+// paper's claim) to stdout. The -cpuprofile/-memprofile flags write pprof
+// profiles covering the selected experiments, so kernel regressions in the
+// hot scoring/E-step paths can be diagnosed with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cludistream/internal/experiments"
@@ -23,6 +28,9 @@ func main() {
 	profile := flag.String("profile", "quick", "parameter profile: quick or paper")
 	seed := flag.Int64("seed", 1, "global random seed")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	workers := flag.Int("workers", 0, "EM worker goroutines per fit (0 = GOMAXPROCS; results are identical at any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -43,6 +51,35 @@ func main() {
 		os.Exit(2)
 	}
 	p.Seed = *seed
+	p.EMWorkers = *workers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	runners := experiments.Suite()
 	if names := flag.Args(); len(names) > 0 {

@@ -106,20 +106,23 @@ func Fit(datasets [][]linalg.Vector, cfg Config) (*Result, error) {
 
 	hopBytes := transport.Message{Kind: transport.MsgNewModel, Mixture: mix}.WireSize()
 	res := &Result{}
-	post := make([]float64, cfg.K)
+	postM := linalg.NewMatrix(0, 0)
+	scratch := gaussian.NewBatchScratch()
 
 	for cycle := 0; cycle < cfg.Cycles; cycle++ {
 		for i, ds := range datasets {
-			// Local E-step under the travelling parameters.
+			// Local E-step under the travelling parameters, batched over
+			// the node's whole data set.
 			fresh := make([]*em.SuffStats, cfg.K)
 			for j := range fresh {
 				fresh[j] = em.NewSuffStats(dim)
 			}
-			for _, x := range ds {
-				mix.PosteriorInto(x, post)
+			mix.PosteriorBatch(ds, postM, nil, scratch)
+			for p, x := range ds {
+				row := postM.Row(p)
 				for j := 0; j < cfg.K; j++ {
-					if post[j] > 0 {
-						fresh[j].Add(x, post[j])
+					if row[j] > 0 {
+						fresh[j].Add(x, row[j])
 					}
 				}
 			}
@@ -145,9 +148,15 @@ func Fit(datasets [][]linalg.Vector, cfg Config) (*Result, error) {
 
 	res.Mixture = mix
 	var sum float64
+	var buf []float64
 	for _, ds := range datasets {
-		for _, x := range ds {
-			sum += mix.LogPDF(x)
+		if cap(buf) < len(ds) {
+			buf = make([]float64, len(ds))
+		}
+		scores := buf[:len(ds)]
+		mix.ScoreBatch(ds, scores, scratch)
+		for _, v := range scores {
+			sum += v
 		}
 	}
 	res.AvgLogLikelihood = sum / float64(total)

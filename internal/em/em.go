@@ -55,6 +55,13 @@ type Config struct {
 	// (weights, means and covariances); it takes precedence over InitMeans.
 	// This is how SEM continues from its current model on every refit.
 	InitModel *gaussian.Mixture
+	// Workers caps the worker goroutines of the fused E+M pass (0 ⇒
+	// GOMAXPROCS). The pass shards the data on fixed boundaries and reduces
+	// partial statistics in fixed order, so the fitted mixture is
+	// bit-identical at every worker count; Workers only trades wall-clock
+	// for cores. Embedders that already parallelize across sites (the
+	// parallel package, the daemons) pin this to 1 to avoid oversubscription.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,32 +118,21 @@ func Fit(data []linalg.Vector, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	post := make([]float64, cfg.K)
 	stats := make([]*SuffStats, cfg.K)
 	for j := range stats {
 		stats[j] = NewSuffStats(d)
 	}
+	ws := newEWorkspace(n, d, cfg.K, cfg.Workers)
 
 	prevAvgLL := math.Inf(-1)
 	var iter int
 	converged := false
 	avgLL := 0.0
 	for iter = 0; iter < cfg.MaxIter; iter++ {
-		// E-step: responsibilities; M-step statistics accumulated in the
-		// same pass (standard EM fusion — one pass over the data).
-		for j := range stats {
-			stats[j].Reset()
-		}
-		var sumLL float64
-		for _, x := range data {
-			sumLL += mix.PosteriorInto(x, post)
-			for j := 0; j < cfg.K; j++ {
-				if post[j] > 0 {
-					stats[j].Add(x, post[j])
-				}
-			}
-		}
-		avgLL = sumLL / float64(n)
+		// Fused E+M pass (standard EM fusion — one pass over the data):
+		// batched posteriors and sufficient statistics, sharded across
+		// workers with a deterministic fixed-order reduction.
+		avgLL = ws.eStep(data, mix, stats) / float64(n)
 
 		// M-step: rebuild the mixture from the statistics.
 		mix, err = modelFromStats(stats, data, cfg, rng)
@@ -212,7 +208,6 @@ func FitStats(blocks []*SuffStats, cfg Config) (*Result, error) {
 		}
 	}
 
-	post := make([]float64, cfg.K)
 	stats := make([]*SuffStats, cfg.K)
 	for j := range stats {
 		stats[j] = NewSuffStats(d)
@@ -222,6 +217,12 @@ func FitStats(blocks []*SuffStats, cfg Config) (*Result, error) {
 		totalW += b.W
 	}
 
+	// The block means are fixed across iterations, so the E-step scores
+	// them through the batched kernel with reusable scratch.
+	postM := linalg.NewMatrix(0, 0)
+	logpdf := make([]float64, len(nonEmpty))
+	scratch := gaussian.NewBatchScratch()
+
 	prevAvgLL := math.Inf(-1)
 	converged := false
 	var iter int
@@ -229,19 +230,20 @@ func FitStats(blocks []*SuffStats, cfg Config) (*Result, error) {
 		for j := range stats {
 			stats[j].Reset()
 		}
+		mix.PosteriorBatch(means, postM, logpdf, scratch)
 		var sumLL float64
-		for _, b := range nonEmpty {
-			mu := b.Mean()
-			sumLL += b.W * mix.PosteriorInto(mu, post)
+		for i, b := range nonEmpty {
+			sumLL += b.W * logpdf[i]
+			row := postM.Row(i)
 			for j := 0; j < cfg.K; j++ {
-				if post[j] <= 0 {
+				if row[j] <= 0 {
 					continue
 				}
 				// Scale the whole block (including within-block scatter)
 				// by the block's responsibility at its mean.
-				stats[j].W += post[j] * b.W
-				stats[j].Sum.AXPYInPlace(post[j], b.Sum)
-				stats[j].Scatter.AddSym(post[j], b.Scatter)
+				stats[j].W += row[j] * b.W
+				stats[j].Sum.AXPYInPlace(row[j], b.Sum)
+				stats[j].Scatter.AddSym(row[j], b.Scatter)
 			}
 		}
 		avgLL := sumLL / totalW
@@ -260,9 +262,10 @@ func FitStats(blocks []*SuffStats, cfg Config) (*Result, error) {
 	}
 
 	// Average log-likelihood of the final model over block means.
+	mix.ScoreBatch(means, logpdf, scratch)
 	var sumLL float64
-	for _, b := range nonEmpty {
-		sumLL += b.W * mix.LogPDF(b.Mean())
+	for i, b := range nonEmpty {
+		sumLL += b.W * logpdf[i]
 	}
 	return &Result{
 		Mixture:          mix,

@@ -48,6 +48,11 @@ type Params struct {
 	SEMBuffer int
 	// SamplePoints is how many x-axis points sweeps produce.
 	SamplePoints int
+	// EMWorkers caps the worker goroutines of every inner EM fit (0 ⇒
+	// GOMAXPROCS). Fitted models are bit-identical at any value — the
+	// fused E-step reduces on fixed shard boundaries — so figures never
+	// depend on the core count they were produced on.
+	EMWorkers int
 }
 
 // Paper returns the paper's parameter setting.
@@ -105,7 +110,7 @@ func (p Params) siteConfig(id int) site.Config {
 		Delta:   p.Delta,
 		CMax:    p.CMax,
 		Seed:    p.Seed + int64(id)*7919,
-		EM:      em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4},
+		EM:      em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
 	}
 }
 
@@ -116,7 +121,7 @@ func (p Params) semConfig() sem.Config {
 		Dim:        p.Dim,
 		BufferSize: p.SEMBuffer,
 		Seed:       p.Seed,
-		EM:         em.Config{MaxIter: 25, Tol: 1e-3, MinVar: 1e-4},
+		EM:         em.Config{MaxIter: 25, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
 	}
 }
 
@@ -199,7 +204,7 @@ func newSystem(p Params, dim, sites int) (*root.System, error) {
 		Delta:    p.Delta,
 		CMax:     p.CMax,
 		Seed:     p.Seed,
-		EM:       em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4},
+		EM:       em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
 	})
 }
 

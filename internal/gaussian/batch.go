@@ -1,0 +1,248 @@
+package gaussian
+
+import (
+	"math"
+	"sync"
+
+	"cludistream/internal/linalg"
+)
+
+// batchBlock is the number of records a batched scoring pass processes per
+// block: large enough to amortize per-component setup (log-weights,
+// factor walks) across many records, small enough that the d×block panel
+// and block×K log-prob tile stay resident in L1/L2 cache.
+const batchBlock = 128
+
+// BatchScratch is the caller-owned workspace of the batched scoring
+// kernels. One scratch serves any mixture — buffers grow on demand and are
+// reused across calls — but it is not safe for concurrent use; give each
+// goroutine its own (the parallel E-step keeps one per worker).
+type BatchScratch struct {
+	panel []float64 // d × batchBlock dimension-major diff/half-solve panel
+	logp  []float64 // batchBlock × K per-record component log-probs
+	maha  []float64 // batchBlock squared Mahalanobis distances
+	vals  []float64 // batchBlock per-record reductions (logpdf, max, min)
+}
+
+// NewBatchScratch returns an empty scratch; buffers are sized lazily.
+func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
+
+func (s *BatchScratch) ensure(d, k int) {
+	if need := d * batchBlock; cap(s.panel) < need {
+		s.panel = make([]float64, need)
+	} else {
+		s.panel = s.panel[:need]
+	}
+	if need := batchBlock * k; cap(s.logp) < need {
+		s.logp = make([]float64, need)
+	} else {
+		s.logp = s.logp[:need]
+	}
+	if cap(s.maha) < batchBlock {
+		s.maha = make([]float64, batchBlock)
+		s.vals = make([]float64, batchBlock)
+	}
+}
+
+// scratchPool backs the scratchless convenience entry points
+// (AvgLogLikelihood and friends) so every call site in the tree gets
+// amortized allocation without threading a scratch through its signature.
+var scratchPool = sync.Pool{New: func() any { return NewBatchScratch() }}
+
+// scoreBlock fills s.logp[p*K+j] = log(w_j·p(x_p|j)) for the records xs
+// (at most batchBlock of them), batched per component: one diff panel,
+// one blocked triangular solve, one Mahalanobis reduction per component.
+// Per record the arithmetic and its order match the scalar
+// logW[j] + (logNorm − ½·QuadForm) path exactly, so every entry is
+// bit-identical to what PosteriorInto/logPDFScratch would compute.
+func (m *Mixture) scoreBlock(xs []linalg.Vector, s *BatchScratch) {
+	k := len(m.comps)
+	count := len(xs)
+	for j, c := range m.comps {
+		if m.weights[j] == 0 {
+			for p := 0; p < count; p++ {
+				s.logp[p*k+j] = math.Inf(-1)
+			}
+			continue
+		}
+		linalg.SubRowsInto(xs, c.mean, s.panel, batchBlock, count)
+		c.chol.QuadFormPanel(s.panel, batchBlock, count, s.maha)
+		lw, ln := m.logW[j], c.logNorm
+		for p := 0; p < count; p++ {
+			s.logp[p*k+j] = lw + (ln - 0.5*s.maha[p])
+		}
+	}
+}
+
+// lseRows reduces each K-wide row of logp with the same sequential logAdd
+// chain the scalar path uses (−Inf entries are no-ops), keeping the fused
+// reduction bit-identical to LogPDF.
+func lseRows(logp []float64, count, k int, dst []float64) {
+	for p := 0; p < count; p++ {
+		row := logp[p*k : p*k+k]
+		lse := math.Inf(-1)
+		for _, lp := range row {
+			lse = logAdd(lse, lp)
+		}
+		dst[p] = lse
+	}
+}
+
+// ScoreBatch writes log p(x) for every record of data into dst (len(data)
+// long), bit-identical to calling LogPDF per record but batched: per-model
+// constants are loaded once per block instead of once per record, and the
+// per-component inner loops stream through one contiguous panel. Pass a
+// reusable scratch for allocation-free operation, or nil to borrow one
+// from an internal pool.
+func (m *Mixture) ScoreBatch(data []linalg.Vector, dst []float64, s *BatchScratch) {
+	if len(dst) != len(data) {
+		panic("gaussian: ScoreBatch dst length mismatch")
+	}
+	if s == nil {
+		s = scratchPool.Get().(*BatchScratch)
+		defer scratchPool.Put(s)
+	}
+	k := len(m.comps)
+	s.ensure(m.Dim(), k)
+	for base := 0; base < len(data); base += batchBlock {
+		xs := data[base:min(base+batchBlock, len(data))]
+		m.scoreBlock(xs, s)
+		lseRows(s.logp, len(xs), k, dst[base:base+len(xs)])
+	}
+}
+
+// PosteriorBatch computes posteriors Pr(j|x) (Eq. 2) for every record of
+// data into the rows of post (reshaped to len(data)×K) and, when logpdf is
+// non-nil, the per-record log p(x) into it. It returns Σ log p(x) summed
+// in record order. Results are bit-identical to PosteriorInto per record;
+// this is the E-step kernel.
+func (m *Mixture) PosteriorBatch(data []linalg.Vector, post *linalg.Matrix, logpdf []float64, s *BatchScratch) float64 {
+	if logpdf != nil && len(logpdf) != len(data) {
+		panic("gaussian: PosteriorBatch logpdf length mismatch")
+	}
+	if s == nil {
+		s = scratchPool.Get().(*BatchScratch)
+		defer scratchPool.Put(s)
+	}
+	k := len(m.comps)
+	s.ensure(m.Dim(), k)
+	post.Reset(len(data), k)
+	out := post.Data()
+	var sum float64
+	for base := 0; base < len(data); base += batchBlock {
+		xs := data[base:min(base+batchBlock, len(data))]
+		m.scoreBlock(xs, s)
+		lseRows(s.logp, len(xs), k, s.vals)
+		for p := 0; p < len(xs); p++ {
+			lse := s.vals[p]
+			row := s.logp[p*k : p*k+k]
+			dst := out[(base+p)*k : (base+p)*k+k]
+			for j, lp := range row {
+				if math.IsInf(lp, -1) {
+					dst[j] = 0
+					continue
+				}
+				dst[j] = math.Exp(lp - lse)
+			}
+			sum += lse
+			if logpdf != nil {
+				logpdf[base+p] = lse
+			}
+		}
+	}
+	return sum
+}
+
+// AvgLogLikelihoodScratch is AvgLogLikelihood with a caller-owned scratch
+// for allocation-free repeated evaluation (the site's J_fit test scores
+// every chunk through here).
+func (m *Mixture) AvgLogLikelihoodScratch(data []linalg.Vector, s *BatchScratch) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	if s == nil {
+		s = scratchPool.Get().(*BatchScratch)
+		defer scratchPool.Put(s)
+	}
+	k := len(m.comps)
+	s.ensure(m.Dim(), k)
+	var sum float64
+	for base := 0; base < len(data); base += batchBlock {
+		xs := data[base:min(base+batchBlock, len(data))]
+		m.scoreBlock(xs, s)
+		lseRows(s.logp, len(xs), k, s.vals)
+		for p := 0; p < len(xs); p++ {
+			sum += s.vals[p]
+		}
+	}
+	return sum / float64(len(data))
+}
+
+// AvgMaxComponentLLScratch is AvgMaxComponentLL with caller-owned scratch.
+func (m *Mixture) AvgMaxComponentLLScratch(data []linalg.Vector, s *BatchScratch) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	if s == nil {
+		s = scratchPool.Get().(*BatchScratch)
+		defer scratchPool.Put(s)
+	}
+	k := len(m.comps)
+	s.ensure(m.Dim(), k)
+	var sum float64
+	for base := 0; base < len(data); base += batchBlock {
+		xs := data[base:min(base+batchBlock, len(data))]
+		m.scoreBlock(xs, s)
+		for p := 0; p < len(xs); p++ {
+			row := s.logp[p*k : p*k+k]
+			best := math.Inf(-1)
+			for _, lp := range row {
+				if lp > best {
+					best = lp
+				}
+			}
+			sum += best
+		}
+	}
+	return sum / float64(len(data))
+}
+
+// NearestComponents finds, for every record, the component with the
+// smallest squared Mahalanobis distance (ties to the lowest index, like a
+// scalar ascending scan with strict <). idx and dist receive the winning
+// index and distance; either may be nil. SEM's compression phase is the
+// main consumer — it classifies whole buffers at once.
+func (m *Mixture) NearestComponents(data []linalg.Vector, idx []int, dist []float64, s *BatchScratch) {
+	if s == nil {
+		s = scratchPool.Get().(*BatchScratch)
+		defer scratchPool.Put(s)
+	}
+	s.ensure(m.Dim(), len(m.comps))
+	for base := 0; base < len(data); base += batchBlock {
+		xs := data[base:min(base+batchBlock, len(data))]
+		best := s.vals[:len(xs)]
+		bestJ := s.logp[:len(xs)] // reuse as float-encoded winners
+		for p := range best {
+			best[p] = math.Inf(1)
+			bestJ[p] = 0
+		}
+		for j, c := range m.comps {
+			linalg.SubRowsInto(xs, c.mean, s.panel, batchBlock, len(xs))
+			c.chol.QuadFormPanel(s.panel, batchBlock, len(xs), s.maha)
+			for p := 0; p < len(xs); p++ {
+				if s.maha[p] < best[p] {
+					best[p] = s.maha[p]
+					bestJ[p] = float64(j)
+				}
+			}
+		}
+		for p := 0; p < len(xs); p++ {
+			if idx != nil {
+				idx[base+p] = int(bestJ[p])
+			}
+			if dist != nil {
+				dist[base+p] = best[p]
+			}
+		}
+	}
+}

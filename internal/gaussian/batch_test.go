@@ -1,0 +1,193 @@
+package gaussian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cludistream/internal/linalg"
+)
+
+// randMixture builds a random full-covariance mixture. When zeroWeight is
+// set, component 0 gets weight 0 so the batch path's −Inf handling is
+// exercised against the scalar skip.
+func randMixture(t *testing.T, rng *rand.Rand, k, d int, zeroWeight bool) *Mixture {
+	t.Helper()
+	comps := make([]*Component, k)
+	ws := make([]float64, k)
+	for j := range comps {
+		mean := linalg.NewVector(d)
+		for i := range mean {
+			mean[i] = rng.NormFloat64() * 3
+		}
+		cov := linalg.NewSym(d)
+		for r := 0; r < d+3; r++ {
+			v := linalg.NewVector(d)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			cov.AddOuterScaled(0.5, v)
+		}
+		c, err := NewComponent(mean, cov, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps[j] = c
+		ws[j] = 0.2 + rng.Float64()
+	}
+	if zeroWeight {
+		ws[0] = 0
+	}
+	m, err := NewMixture(ws, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randData(rng *rand.Rand, n, d int) []linalg.Vector {
+	out := make([]linalg.Vector, n)
+	for i := range out {
+		out[i] = linalg.NewVector(d)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64() * 4
+		}
+	}
+	return out
+}
+
+// TestScoreBatchBitIdentical pins the batched scorer to the scalar LogPDF
+// path bit-for-bit, across dimensions, component counts, zero weights, and
+// data sizes that straddle the block boundary.
+func TestScoreBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		k, d, n    int
+		zeroWeight bool
+	}{
+		{1, 1, 1, false},
+		{3, 2, 17, false},
+		{5, 4, 127, false},
+		{5, 4, 128, true},
+		{4, 8, 129, false},
+		{6, 12, 400, true},
+	} {
+		m := randMixture(t, rng, tc.k, tc.d, tc.zeroWeight)
+		data := randData(rng, tc.n, tc.d)
+		got := make([]float64, tc.n)
+		m.ScoreBatch(data, got, NewBatchScratch())
+		for i, x := range data {
+			want := m.LogPDF(x)
+			if math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Fatalf("K=%d d=%d n=%d zero=%v: record %d ScoreBatch=%v LogPDF=%v",
+					tc.k, tc.d, tc.n, tc.zeroWeight, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestPosteriorBatchBitIdentical pins PosteriorBatch (posteriors, per-record
+// log-likelihoods, and their ordered sum) to PosteriorInto bit-for-bit.
+func TestPosteriorBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, tc := range []struct {
+		k, d, n    int
+		zeroWeight bool
+	}{
+		{2, 3, 5, false},
+		{5, 4, 300, true},
+		{4, 8, 131, false},
+	} {
+		m := randMixture(t, rng, tc.k, tc.d, tc.zeroWeight)
+		data := randData(rng, tc.n, tc.d)
+		post := linalg.NewMatrix(0, 0)
+		logpdf := make([]float64, tc.n)
+		sum := m.PosteriorBatch(data, post, logpdf, NewBatchScratch())
+
+		scalarPost := make([]float64, tc.k)
+		var scalarSum float64
+		for i, x := range data {
+			lse := m.PosteriorInto(x, scalarPost)
+			scalarSum += lse
+			if math.Float64bits(logpdf[i]) != math.Float64bits(lse) {
+				t.Fatalf("record %d logpdf=%v want %v", i, logpdf[i], lse)
+			}
+			for j := 0; j < tc.k; j++ {
+				if math.Float64bits(post.At(i, j)) != math.Float64bits(scalarPost[j]) {
+					t.Fatalf("record %d comp %d posterior=%v want %v", i, j, post.At(i, j), scalarPost[j])
+				}
+			}
+		}
+		if math.Float64bits(sum) != math.Float64bits(scalarSum) {
+			t.Fatalf("sum=%v want %v", sum, scalarSum)
+		}
+	}
+}
+
+// TestAvgLogLikelihoodBitIdentical pins the batched Definition-1 statistic
+// to an explicit in-order scalar sum of LogPDF — the quantity the J_fit
+// test thresholds, so a single flipped bit could flip a clustering
+// decision.
+func TestAvgLogLikelihoodBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randMixture(t, rng, 5, 6, true)
+	data := randData(rng, 333, 6)
+
+	var sum float64
+	for _, x := range data {
+		sum += m.LogPDF(x)
+	}
+	want := sum / float64(len(data))
+	if got := m.AvgLogLikelihood(data); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("AvgLogLikelihood=%v want %v", got, want)
+	}
+
+	var maxSum float64
+	for _, x := range data {
+		maxSum += m.MaxComponentLogPDF(x)
+	}
+	wantMax := maxSum / float64(len(data))
+	if got := m.AvgMaxComponentLL(data); math.Float64bits(got) != math.Float64bits(wantMax) {
+		t.Fatalf("AvgMaxComponentLL=%v want %v", got, wantMax)
+	}
+}
+
+// TestNearestComponentsBitIdentical pins the batched nearest-component
+// sweep to the scalar ascending argmin over MahalanobisSq.
+func TestNearestComponentsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := randMixture(t, rng, 4, 5, false)
+	data := randData(rng, 200, 5)
+	idx := make([]int, len(data))
+	dist := make([]float64, len(data))
+	m.NearestComponents(data, idx, dist, nil)
+	for i, x := range data {
+		best, bestD := 0, math.Inf(1)
+		for j := 0; j < m.K(); j++ {
+			if d := m.Component(j).MahalanobisSq(x); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if idx[i] != best || math.Float64bits(dist[i]) != math.Float64bits(bestD) {
+			t.Fatalf("record %d: batch (%d, %v), scalar (%d, %v)", i, idx[i], dist[i], best, bestD)
+		}
+	}
+}
+
+// TestBatchScratchReuse verifies one scratch serves mixtures of different
+// shapes in sequence (buffers regrow as needed).
+func TestBatchScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	s := NewBatchScratch()
+	for _, shape := range []struct{ k, d int }{{2, 2}, {6, 10}, {3, 4}} {
+		m := randMixture(t, rng, shape.k, shape.d, false)
+		data := randData(rng, 150, shape.d)
+		got := make([]float64, len(data))
+		m.ScoreBatch(data, got, s)
+		for i, x := range data {
+			if want := m.LogPDF(x); math.Float64bits(got[i]) != math.Float64bits(want) {
+				t.Fatalf("shape %+v record %d: %v want %v", shape, i, got[i], want)
+			}
+		}
+	}
+}

@@ -15,6 +15,10 @@ import (
 type Mixture struct {
 	weights []float64
 	comps   []*Component
+	// logW caches log(weights[j]) (−Inf for zero weights). Mixtures are
+	// immutable, so the cache is computed once in NewMixture instead of
+	// once per record in every scoring loop.
+	logW []float64
 }
 
 // ErrEmptyMixture is returned by constructors given no components.
@@ -50,7 +54,11 @@ func NewMixture(weights []float64, comps []*Component) (*Mixture, error) {
 	}
 	cs := make([]*Component, len(comps))
 	copy(cs, comps)
-	return &Mixture{weights: ws, comps: cs}, nil
+	lw := make([]float64, len(ws))
+	for i, w := range ws {
+		lw[i] = math.Log(w) // Log(0) = -Inf, matching the zero-weight skip
+	}
+	return &Mixture{weights: ws, comps: cs, logW: lw}, nil
 }
 
 // MustMixture is NewMixture that panics on error.
@@ -110,7 +118,7 @@ func (m *Mixture) logPDFScratch(x, diff, half linalg.Vector) float64 {
 		if m.weights[j] == 0 {
 			continue
 		}
-		lp := math.Log(m.weights[j]) + c.LogProbScratch(x, diff, half)
+		lp := m.logW[j] + c.LogProbScratch(x, diff, half)
 		lse = logAdd(lse, lp)
 	}
 	return lse
@@ -129,7 +137,7 @@ func (m *Mixture) MaxComponentLogPDF(x linalg.Vector) float64 {
 		if m.weights[j] == 0 {
 			continue
 		}
-		if lp := math.Log(m.weights[j]) + c.LogProb(x); lp > best {
+		if lp := m.logW[j] + c.LogProb(x); lp > best {
 			best = lp
 		}
 	}
@@ -138,31 +146,17 @@ func (m *Mixture) MaxComponentLogPDF(x linalg.Vector) float64 {
 
 // AvgLogLikelihood is Definition 1: (1/|D|)·Σ_x log p(x). It is the quality
 // measure used by every experiment in Section 6 and the statistic of the
-// J_fit test. An empty data set yields 0.
+// J_fit test. An empty data set yields 0. It runs on the batched scoring
+// kernel (see batch.go), which is bit-identical to summing LogPDF per
+// record but streams through the data block-wise.
 func (m *Mixture) AvgLogLikelihood(data []linalg.Vector) float64 {
-	if len(data) == 0 {
-		return 0
-	}
-	diff := linalg.NewVector(m.Dim())
-	half := linalg.NewVector(m.Dim())
-	var sum float64
-	for _, x := range data {
-		sum += m.logPDFScratch(x, diff, half)
-	}
-	return sum / float64(len(data))
+	return m.AvgLogLikelihoodScratch(data, nil)
 }
 
 // AvgMaxComponentLL is AvgLogLikelihood with the sharpened per-record
-// statistic of Theorem 2's proof.
+// statistic of Theorem 2's proof. Batched like AvgLogLikelihood.
 func (m *Mixture) AvgMaxComponentLL(data []linalg.Vector) float64 {
-	if len(data) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, x := range data {
-		sum += m.MaxComponentLogPDF(x)
-	}
-	return sum / float64(len(data))
+	return m.AvgMaxComponentLLScratch(data, nil)
 }
 
 // PosteriorInto writes Pr(j|x) = w_j·p(x|j) / p(x) (Eq. 2) for all j into
@@ -180,7 +174,7 @@ func (m *Mixture) PosteriorInto(x linalg.Vector, dst []float64) float64 {
 			dst[j] = math.Inf(-1)
 			continue
 		}
-		dst[j] = math.Log(m.weights[j]) + c.LogProbScratch(x, diff, half)
+		dst[j] = m.logW[j] + c.LogProbScratch(x, diff, half)
 		lse = logAdd(lse, dst[j])
 	}
 	for j := range dst {

@@ -110,6 +110,45 @@ func (c *Cholesky) HalfSolveInto(b, dst Vector) {
 	}
 }
 
+// HalfSolvePanel runs the forward solve L·y = b simultaneously for count
+// right-hand sides held dimension-major in panel (panel[i*stride+p] is
+// coordinate i of right-hand side p), in place. The k-loop order and the
+// final division match HalfSolveInto exactly, so each column's result is
+// bit-identical to a scalar half-solve of that column; the win is purely
+// structural — the inner loops stream contiguously across the panel
+// instead of re-walking the factor per record.
+func (c *Cholesky) HalfSolvePanel(panel []float64, stride, count int) {
+	if count == 0 {
+		return
+	}
+	if stride < count || len(panel) < c.n*stride {
+		panic("linalg: Cholesky panel solve shape mismatch")
+	}
+	for i := 0; i < c.n; i++ {
+		row := panel[i*stride : i*stride+count]
+		for k := 0; k < i; k++ {
+			lik := c.at(i, k)
+			prev := panel[k*stride : k*stride+count]
+			for p := range row {
+				row[p] -= lik * prev[p]
+			}
+		}
+		dii := c.at(i, i)
+		for p := range row {
+			row[p] /= dii
+		}
+	}
+}
+
+// QuadFormPanel computes dst[p] = bₚᵀ A⁻¹ bₚ for the count right-hand
+// sides held dimension-major in panel, destroying the panel (it becomes
+// the half-solved L⁻¹b). Each dst[p] is bit-identical to QuadFormScratch
+// on the corresponding column.
+func (c *Cholesky) QuadFormPanel(panel []float64, stride, count int, dst []float64) {
+	c.HalfSolvePanel(panel, stride, count)
+	SumSqPanel(panel, stride, count, c.n, dst)
+}
+
 // QuadForm returns the quadratic form bᵀ A⁻¹ b using the factor, allocating
 // one scratch vector.
 func (c *Cholesky) QuadForm(b Vector) float64 {

@@ -66,6 +66,10 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{coord: coord}
 	for i, sc := range cfg.Sites {
 		sc.SiteID = i + 1
+		// Sites already run one goroutine each; nested EM parallelism would
+		// oversubscribe the cores. Bit-identical at any worker count, so
+		// this is purely a scheduling choice.
+		sc.EM.Workers = 1
 		if cfg.SlidingHorizonChunks > 0 {
 			sc.EmitFitWeightUpdates = true
 		}

@@ -68,6 +68,8 @@ type SEM struct {
 	buffer  []linalg.Vector
 	seen    int // records observed
 	refits  int // EM runs performed (cost accounting)
+	// scratch backs the batched compression sweep across refits.
+	scratch *gaussian.BatchScratch
 }
 
 // New returns an empty SEM instance.
@@ -79,7 +81,7 @@ func New(cfg Config) (*SEM, error) {
 	if cfg.Dim < 1 {
 		return nil, fmt.Errorf("sem: Dim = %d", cfg.Dim)
 	}
-	s := &SEM{cfg: cfg}
+	s := &SEM{cfg: cfg, scratch: gaussian.NewBatchScratch()}
 	s.discard = make([]*em.SuffStats, cfg.K)
 	for j := range s.discard {
 		s.discard[j] = em.NewSuffStats(cfg.Dim)
@@ -144,13 +146,21 @@ func (s *SEM) refit() error {
 
 	// Primary compression: fold confidently-owned buffer records into the
 	// owning component's discard set; retain the rest (ambiguous region).
+	// The nearest-component classification runs batched over the whole
+	// buffer — one blocked Mahalanobis sweep per component instead of a
+	// factor walk per record per component.
+	owner := make([]int, len(s.buffer))
+	maha := make([]float64, len(s.buffer))
+	s.mix.NearestComponents(s.buffer, owner, maha, s.scratch)
 	retained := s.buffer[:0]
-	for _, x := range s.buffer {
-		j, maha := s.nearestComponent(x)
-		if maha <= s.cfg.CompressRadius {
-			s.discard[j].Add(x, 1)
+	var kept int
+	for i, x := range s.buffer {
+		if maha[i] <= s.cfg.CompressRadius {
+			s.discard[owner[i]].Add(x, 1)
 		} else {
+			owner[kept] = owner[i]
 			retained = append(retained, x)
+			kept++
 		}
 	}
 	// If compression freed nothing (pathological spread-out buffer), drop
@@ -158,10 +168,10 @@ func (s *SEM) refit() error {
 	// one-pass bounded-memory.
 	if len(retained) >= s.cfg.BufferSize {
 		forced := retained[:len(retained)/2]
+		forcedOwner := owner[:len(retained)/2]
 		retained = retained[len(retained)/2:]
-		for _, x := range forced {
-			j, _ := s.nearestComponent(x)
-			s.discard[j].Add(x, 1)
+		for i, x := range forced {
+			s.discard[forcedOwner[i]].Add(x, 1)
 		}
 	}
 	s.buffer = append([]linalg.Vector(nil), retained...)

@@ -170,6 +170,11 @@ type Site struct {
 	chunkNum    int // number of completed chunks (1-based after first)
 	nextModelID int
 
+	// scratch backs the batched chunk scoring (J_fit tests and reference
+	// likelihoods); the site is single-goroutine, so one workspace serves
+	// every model it ever tests.
+	scratch *gaussian.BatchScratch
+
 	stats Stats
 }
 
@@ -195,6 +200,7 @@ func New(cfg Config) (*Site, error) {
 		m:           m,
 		events:      events.NewList(),
 		nextModelID: 1,
+		scratch:     gaussian.NewBatchScratch(),
 	}, nil
 }
 
@@ -296,9 +302,9 @@ func (s *Site) fits(m *Model, data []linalg.Vector) bool {
 	eval := completeOnly(data)
 	var avg float64
 	if s.cfg.SharpTest {
-		avg = m.Mixture.AvgMaxComponentLL(eval)
+		avg = m.Mixture.AvgMaxComponentLLScratch(eval, s.scratch)
 	} else {
-		avg = m.Mixture.AvgLogLikelihood(eval)
+		avg = m.Mixture.AvgLogLikelihoodScratch(eval, s.scratch)
 	}
 	return math.Abs(avg-m.RefAvgLL) <= s.cfg.FitEps
 }
@@ -375,9 +381,9 @@ func (s *Site) clusterNewModel(data []linalg.Vector) ([]Update, error) {
 
 	var refLL float64
 	if s.cfg.SharpTest {
-		refLL = mixture.AvgMaxComponentLL(completeOnly(data))
+		refLL = mixture.AvgMaxComponentLLScratch(completeOnly(data), s.scratch)
 	} else {
-		refLL = mixture.AvgLogLikelihood(completeOnly(data))
+		refLL = mixture.AvgLogLikelihoodScratch(completeOnly(data), s.scratch)
 	}
 	m := &Model{
 		ID:         s.nextModelID,
