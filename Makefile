@@ -1,14 +1,24 @@
 GO ?= go
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X cludistream/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build vet test race race-em check tier1 fuzz bench
+.PHONY: all build vet lint test race race-em check tier1 fuzz bench obs-demo
 
 all: check
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static hygiene gate: vet plus gofmt, failing loudly on any unformatted
+# file instead of silently reformatting it.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -24,7 +34,7 @@ race-em:
 	$(GO) test -race ./internal/em/ ./internal/gaussian/ ./internal/parallel/
 
 # Full pre-merge gate.
-check: build vet race-em race
+check: build lint race-em race
 
 # The repo's minimal health check (see ROADMAP.md).
 tier1:
@@ -42,5 +52,16 @@ fuzz:
 # when performance-relevant code changes.
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm' -benchmem . ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry' -benchmem . ; } \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_quick.json
+
+# Live observability demo: run the distributed example with debug
+# endpoints up, snapshot them mid-flight with obsdump, and print the
+# event journal. Everything runs on loopback and exits on its own.
+obs-demo:
+	$(GO) run ./examples/distributed -debug-addr 127.0.0.1:7171 -linger 4s & \
+	sleep 2.5; \
+	$(GO) run ./cmd/obsdump -addr 127.0.0.1:7171; \
+	echo; echo "--- event journal ---"; \
+	$(GO) run ./cmd/obsdump -addr 127.0.0.1:7171 -events -limit 20; \
+	wait

@@ -28,6 +28,7 @@ import (
 	"cludistream/internal/linalg"
 	"cludistream/internal/netsim"
 	"cludistream/internal/site"
+	"cludistream/internal/telemetry"
 	"cludistream/internal/transport"
 	"cludistream/internal/window"
 )
@@ -96,6 +97,13 @@ type Config struct {
 	// (default 2) with deterministic jitter.
 	RetryBackoff    float64
 	RetryMaxBackoff float64
+
+	// Telemetry, when non-nil, instruments the whole deployment — sites,
+	// EM runs, coordinator merges, links and couriers — into the given
+	// registry. Nil (the default) keeps every hot path on a bare nil
+	// check; clustering output is bit-identical either way, because
+	// telemetry only reads values the algorithms already computed.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +162,10 @@ type System struct {
 	dup      int
 	resets   int
 
+	// Facade-level delivery instruments (nil ⇒ no-op).
+	teleDedupe *telemetry.Counter
+	teleResets *telemetry.Counter
+
 	deliveryErr error
 }
 
@@ -169,7 +181,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.NumSites < 1 {
 		return nil, fmt.Errorf("cludistream: NumSites = %d", cfg.NumSites)
 	}
-	coord, err := coordinator.New(coordinator.Config{Dim: cfg.Dim, Merge: cfg.Merge})
+	coord, err := coordinator.New(coordinator.Config{Dim: cfg.Dim, Merge: cfg.Merge, Telemetry: cfg.Telemetry})
 	if err != nil {
 		return nil, err
 	}
@@ -178,6 +190,10 @@ func New(cfg Config) (*System, error) {
 		sim:   netsim.NewSimulator(),
 		coord: coord,
 		fed:   make([]int, cfg.NumSites),
+	}
+	if cfg.Telemetry != nil {
+		s.teleDedupe = cfg.Telemetry.Counter("coord.dedupe_dropped")
+		s.teleResets = cfg.Telemetry.Counter("coord.epoch_resets")
 	}
 	if cfg.Fault != nil {
 		s.seen = make(map[int32]*deliveryWatermark)
@@ -203,6 +219,7 @@ func New(cfg Config) (*System, error) {
 			// Sliding windows require the coordinator's weights to track
 			// the site counters, or deletions would underflow.
 			EmitFitWeightUpdates: cfg.SlidingHorizonChunks > 0,
+			Telemetry:            cfg.Telemetry,
 		}
 		st, err := site.New(sc)
 		if err != nil {
@@ -211,11 +228,14 @@ func New(cfg Config) (*System, error) {
 		s.siteCfgs = append(s.siteCfgs, sc)
 		s.sites = append(s.sites, st)
 		link := s.sim.NewFaultyLink(cfg.LinkLatency, cfg.LinkBandwidth, cfg.Fault, s.deliver)
+		link.SetTelemetry(cfg.Telemetry)
 		s.links = append(s.links, link)
 		if cfg.Fault != nil {
 			s.epochs[i] = 1
 			rng := rand.New(rand.NewSource(cfg.Seed + 104729*int64(i+1)))
-			s.couriers = append(s.couriers, s.sim.NewCourier(link, cfg.RetryBackoff, cfg.RetryMaxBackoff, rng))
+			cour := s.sim.NewCourier(link, cfg.RetryBackoff, cfg.RetryMaxBackoff, rng)
+			cour.SetTelemetry(cfg.Telemetry)
+			s.couriers = append(s.couriers, cour)
 		}
 		if cfg.SlidingHorizonChunks > 0 {
 			tr, err := window.NewTracker(st, cfg.SlidingHorizonChunks)
@@ -247,16 +267,19 @@ func (s *System) deliver(payload []byte) {
 		switch {
 		case msg.Epoch < w.epoch:
 			s.dup++
+			s.teleDedupe.Inc()
 			return
 		case msg.Epoch > w.epoch:
 			if w.epoch != 0 {
 				s.coord.ResetSite(int(msg.SiteID))
 				s.resets++
+				s.teleResets.Inc()
 			}
 			w.epoch, w.maxSeq = msg.Epoch, 0
 		}
 		if msg.Seq <= w.maxSeq {
 			s.dup++
+			s.teleDedupe.Inc()
 			return
 		}
 		w.maxSeq = msg.Seq

@@ -20,9 +20,11 @@ import (
 	"syscall"
 	"time"
 
+	"cludistream/internal/buildinfo"
 	"cludistream/internal/coordinator"
 	"cludistream/internal/gaussian"
 	"cludistream/internal/netio"
+	"cludistream/internal/telemetry"
 )
 
 func main() {
@@ -32,23 +34,42 @@ func main() {
 	dim := flag.Int("dim", 4, "data dimensionality d")
 	interval := flag.Duration("interval", 2*time.Second, "how often to check for model changes to upload")
 	maxRetry := flag.Int("max-retry", 12, "initial parent-dial attempts before giving up (-1 = retry forever)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("aggd"))
+		return
+	}
 
-	coord, err := coordinator.New(coordinator.Config{Dim: *dim})
+	var reg *telemetry.Registry
+	if *debugAddr != "" {
+		reg = telemetry.NewRegistry()
+		dbg, err := telemetry.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer dbg.Close()
+		fmt.Printf("aggd %d: debug endpoints on http://%v/debug/vars\n", *nodeID, dbg.Addr())
+	}
+
+	coord, err := coordinator.New(coordinator.Config{Dim: *dim, Telemetry: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	srv, err := netio.NewServer(*listen, coord)
+	srv, err := netio.NewServerTelemetry(*listen, coord, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("aggd %d: accepting children on %v\n", *nodeID, srv.Addr())
+	fmt.Printf("aggd: version=%s node=%d listen=%v parent=%s dim=%d interval=%v debug_addr=%s\n",
+		buildinfo.Version, *nodeID, srv.Addr(), *connect, *dim, *interval, *debugAddr)
 
 	var up *netio.Uploader
 	if *connect != "" {
-		conn, err := dialConnRetry(*connect, *nodeID, *maxRetry)
+		conn, err := dialConnRetry(*connect, *nodeID, *maxRetry, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -111,10 +132,10 @@ type coordinatorSnapshot struct {
 
 // dialConnRetry retries the parent dial with doubling backoff so an
 // aggregation tree can start leaves-first or ride out a parent restart.
-func dialConnRetry(addr string, nodeID, maxRetry int) (*netio.Conn, error) {
+func dialConnRetry(addr string, nodeID, maxRetry int, reg *telemetry.Registry) (*netio.Conn, error) {
 	backoff := 500 * time.Millisecond
 	for attempt := 1; ; attempt++ {
-		conn, err := netio.DialConn(addr, 0)
+		conn, err := netio.DialConnRetry(addr, netio.RetryPolicy{Telemetry: reg})
 		if err == nil {
 			return conn, nil
 		}

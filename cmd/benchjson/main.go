@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -28,10 +29,15 @@ type Benchmark struct {
 
 // Report is the top-level JSON document.
 type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GoVersion and Gomaxprocs stamp the converting toolchain and core
+	// count, so archived reports say what produced them even when the
+	// bench output lacks a cpu: header.
+	GoVersion  string      `json:"go_version"`
+	Gomaxprocs int         `json:"gomaxprocs"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -76,11 +82,15 @@ func parseLine(line string) (Benchmark, bool) {
 }
 
 func main() {
-	var rep Report
+	rep := Report{GoVersion: runtime.Version(), Gomaxprocs: runtime.GOMAXPROCS(0)}
+	var lines int
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
+		if strings.TrimSpace(line) != "" {
+			lines++
+		}
 		switch {
 		case strings.HasPrefix(line, "goos: "):
 			rep.Goos = strings.TrimPrefix(line, "goos: ")
@@ -100,8 +110,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	if rep.Benchmarks == nil {
-		rep.Benchmarks = []Benchmark{}
+	// No results is an error, not an empty report: a typo'd -bench regex or
+	// a compile failure upstream of the pipe should fail `make bench`
+	// loudly instead of archiving a hollow BENCH file.
+	if len(rep.Benchmarks) == 0 {
+		if lines == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: empty input — expected `go test -bench` output on stdin")
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmark result lines in %d lines of input — malformed or filtered-out bench output\n", lines)
+		}
+		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

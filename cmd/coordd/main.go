@@ -16,27 +16,48 @@ import (
 	"syscall"
 	"time"
 
+	"cludistream/internal/buildinfo"
 	"cludistream/internal/coordinator"
 	"cludistream/internal/netio"
+	"cludistream/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", ":7070", "TCP address to listen on")
 	dim := flag.Int("dim", 4, "data dimensionality d")
 	status := flag.Duration("status", 10*time.Second, "status print interval (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("coordd"))
+		return
+	}
 
-	coord, err := coordinator.New(coordinator.Config{Dim: *dim})
+	var reg *telemetry.Registry
+	if *debugAddr != "" {
+		reg = telemetry.NewRegistry()
+		dbg, err := telemetry.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer dbg.Close()
+		fmt.Printf("coordd: debug endpoints on http://%v/debug/vars\n", dbg.Addr())
+	}
+
+	coord, err := coordinator.New(coordinator.Config{Dim: *dim, Telemetry: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	srv, err := netio.NewServer(*listen, coord)
+	srv, err := netio.NewServerTelemetry(*listen, coord, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("coordd: listening on %v (d=%d)\n", srv.Addr(), *dim)
+	fmt.Printf("coordd: version=%s listen=%v dim=%d status=%v debug_addr=%s\n",
+		buildinfo.Version, srv.Addr(), *dim, *status, *debugAddr)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

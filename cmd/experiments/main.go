@@ -14,14 +14,19 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"cludistream/internal/experiments"
+	"cludistream/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "EM worker goroutines per fit (0 = GOMAXPROCS; results are identical at any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	telemetryOut := flag.String("telemetry", "", `end-of-run telemetry dump: "text", "json", or a file path (.json gets JSON)`)
 	flag.Parse()
 
 	if *list {
@@ -52,6 +58,11 @@ func main() {
 	}
 	p.Seed = *seed
 	p.EMWorkers = *workers
+	var reg *telemetry.Registry
+	if *telemetryOut != "" {
+		reg = telemetry.NewRegistry()
+		p.Telemetry = reg
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -104,4 +115,51 @@ func main() {
 		fmt.Print(tb.Render())
 		fmt.Printf("# [%s completed in %v]\n\n", r.Name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if reg != nil {
+		if err := dumpTelemetry(reg, *telemetryOut); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpTelemetry writes the suite-wide registry snapshot. dest "text" prints
+// a human-readable table to stdout, "json" prints JSON to stdout, and any
+// other value is a file path (JSON when it ends in .json, text otherwise).
+func dumpTelemetry(reg *telemetry.Registry, dest string) error {
+	snap := reg.Snapshot()
+	asJSON := dest == "json" || strings.HasSuffix(dest, ".json")
+	var buf bytes.Buffer
+	if asJSON {
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(&buf, "# telemetry (%d counters, %d histograms, %d journal events)\n",
+			len(snap.Counters), len(snap.Histograms), snap.Journal.Len)
+		for _, name := range reg.CounterNames() {
+			fmt.Fprintf(&buf, "%-28s %d\n", name, snap.Counters[name])
+		}
+		hists := make([]string, 0, len(snap.Histograms))
+		for name := range snap.Histograms {
+			hists = append(hists, name)
+		}
+		sort.Strings(hists)
+		for _, name := range hists {
+			h := snap.Histograms[name]
+			fmt.Fprintf(&buf, "%-28s count=%d sum=%.4g\n", name, h.Count, h.Sum)
+		}
+	}
+	if dest == "text" || dest == "json" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	if err := os.WriteFile(dest, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# telemetry written to %s\n", dest)
+	return nil
 }

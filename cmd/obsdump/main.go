@@ -1,0 +1,230 @@
+// Command obsdump pretty-prints the telemetry of a running daemon (sited,
+// coordd or aggd started with -debug-addr) or of a snapshot file written by
+// `experiments -telemetry out.json`.
+//
+// Usage:
+//
+//	obsdump -addr localhost:7171              # one formatted snapshot
+//	obsdump -addr localhost:7171 -json        # raw JSON snapshot
+//	obsdump -addr localhost:7171 -events      # dump the event journal
+//	obsdump -addr localhost:7171 -events -follow 1s   # tail it forever
+//	obsdump out.json                          # pretty-print a saved snapshot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cludistream/internal/buildinfo"
+	"cludistream/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "", "debug address of a running daemon (host:port)")
+	events := flag.Bool("events", false, "dump the event journal instead of the snapshot")
+	after := flag.Uint64("after", 0, "with -events: only events with sequence > this")
+	limit := flag.Int("limit", 0, "with -events: at most this many events per fetch (0 = all)")
+	follow := flag.Duration("follow", 0, "with -events: poll at this interval forever (0 = once)")
+	raw := flag.Bool("json", false, "emit raw JSON instead of formatted text")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("obsdump"))
+		return
+	}
+
+	var err error
+	switch {
+	case *addr == "" && flag.NArg() == 1:
+		err = dumpFile(flag.Arg(0), *raw)
+	case *addr != "" && *events:
+		err = dumpEvents(*addr, *after, *limit, *follow)
+	case *addr != "":
+		err = dumpSnapshot(*addr, *raw)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: obsdump -addr host:port [-events] [-json] | obsdump snapshot.json")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsdump:", err)
+		os.Exit(1)
+	}
+}
+
+func fetch(rawURL string) ([]byte, error) {
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", rawURL, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+func dumpSnapshot(addr string, raw bool) error {
+	body, err := fetch("http://" + addr + "/debug/vars")
+	if err != nil {
+		return err
+	}
+	if raw {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("decode snapshot: %w", err)
+	}
+	printSnapshot(&snap)
+	return nil
+}
+
+func dumpFile(path string, raw bool) error {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if raw {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("decode %s: %w", path, err)
+	}
+	printSnapshot(&snap)
+	return nil
+}
+
+func printSnapshot(snap *telemetry.Snapshot) {
+	if snap.TakenUnixNs > 0 {
+		fmt.Printf("snapshot taken %s\n", time.Unix(0, snap.TakenUnixNs).Format(time.RFC3339))
+	}
+	if len(snap.Counters) > 0 {
+		fmt.Println("\ncounters:")
+		for _, name := range sortedKeys(snap.Counters) {
+			fmt.Printf("  %-28s %d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Println("\ngauges:")
+		for _, name := range sortedKeys(snap.Gauges) {
+			fmt.Printf("  %-28s %g\n", name, snap.Gauges[name])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Println("\nhistograms:")
+		for _, name := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[name]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Printf("  %-28s count=%d mean=%.4g\n", name, h.Count, mean)
+			for _, b := range h.Buckets {
+				fmt.Printf("    ≤ %-10g %-8d %s\n", b.Le, b.Count, bar(b.Count, h.Count))
+			}
+			if h.Overflow > 0 {
+				fmt.Printf("    > %-10g %-8d %s\n", h.Buckets[len(h.Buckets)-1].Le, h.Overflow, bar(h.Overflow, h.Count))
+			}
+		}
+	}
+	fmt.Printf("\njournal: %d events buffered, last seq %d, %d evicted\n",
+		snap.Journal.Len, snap.Journal.LastSeq, snap.Journal.Dropped)
+}
+
+// bar renders count/total as a proportional text bar.
+func bar(count, total int64) string {
+	if total <= 0 || count <= 0 {
+		return ""
+	}
+	n := int(40 * count / total)
+	if n == 0 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// eventsPage mirrors the /debug/events response shape.
+type eventsPage struct {
+	LastSeq uint64            `json:"last_seq"`
+	Events  []telemetry.Event `json:"events"`
+}
+
+func dumpEvents(addr string, after uint64, limit int, follow time.Duration) error {
+	for {
+		q := url.Values{}
+		if after > 0 {
+			q.Set("after", strconv.FormatUint(after, 10))
+		}
+		if limit > 0 {
+			q.Set("limit", strconv.Itoa(limit))
+		}
+		u := "http://" + addr + "/debug/events"
+		if enc := q.Encode(); enc != "" {
+			u += "?" + enc
+		}
+		body, err := fetch(u)
+		if err != nil {
+			return err
+		}
+		var page eventsPage
+		if err := json.Unmarshal(body, &page); err != nil {
+			return fmt.Errorf("decode events: %w", err)
+		}
+		for _, e := range page.Events {
+			printEvent(e)
+		}
+		if page.LastSeq > after {
+			after = page.LastSeq
+		}
+		if follow <= 0 {
+			return nil
+		}
+		time.Sleep(follow)
+	}
+}
+
+func printEvent(e telemetry.Event) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8d %s %-18s", e.Seq, time.Unix(0, e.UnixNs).Format("15:04:05.000"), e.Kind)
+	if e.Site != 0 {
+		fmt.Fprintf(&b, " site=%d", e.Site)
+	}
+	if e.Model != 0 {
+		fmt.Fprintf(&b, " model=%d", e.Model)
+	}
+	if e.Value != 0 {
+		fmt.Fprintf(&b, " value=%.6g", e.Value)
+	}
+	if e.N != 0 {
+		fmt.Fprintf(&b, " n=%d", e.N)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " (%s)", e.Note)
+	}
+	fmt.Println(b.String())
+}

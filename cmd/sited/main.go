@@ -15,11 +15,13 @@ import (
 	"os"
 	"time"
 
+	"cludistream/internal/buildinfo"
 	"cludistream/internal/linalg"
 	"cludistream/internal/netio"
 	"cludistream/internal/persist"
 	"cludistream/internal/site"
 	"cludistream/internal/stream"
+	"cludistream/internal/telemetry"
 )
 
 func main() {
@@ -40,7 +42,25 @@ func main() {
 	archive := flag.String("archive", "", "write the site's model/event archive here on exit")
 	maxRetry := flag.Int("max-retry", 12, "initial-dial attempts before giving up (-1 = retry forever)")
 	epoch := flag.Uint("epoch", 0, "incarnation number for exactly-once delivery (0 = derive from wall clock)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("sited"))
+		return
+	}
+
+	var reg *telemetry.Registry
+	if *debugAddr != "" {
+		reg = telemetry.NewRegistry()
+		dbg, err := telemetry.Serve(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer dbg.Close()
+		fmt.Printf("sited %d: debug endpoints on http://%v/debug/vars\n", *siteID, dbg.Addr())
+	}
 
 	var gen stream.Generator
 	var csvData []linalg.Vector
@@ -83,6 +103,7 @@ func main() {
 		CMax:                 *cmax,
 		Seed:                 *seed,
 		EmitFitWeightUpdates: *horizon > 0,
+		Telemetry:            reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -96,8 +117,10 @@ func main() {
 	}
 	opts := netio.DialOptions{
 		SlidingHorizonChunks: *horizon,
-		Retry:                netio.RetryPolicy{Epoch: uint32(*epoch)},
+		Retry:                netio.RetryPolicy{Epoch: uint32(*epoch), Telemetry: reg},
 	}
+	fmt.Printf("sited: version=%s site=%d kind=%s dim=%d k=%d epsilon=%g fit_eps=%g delta=%g cmax=%d connect=%s debug_addr=%s\n",
+		buildinfo.Version, *siteID, *kind, *dim, *k, *eps, *fitEps, *delta, *cmax, *connect, *debugAddr)
 	client, err := dialWithRetry(*connect, st, *siteID, opts, *maxRetry)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

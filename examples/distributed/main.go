@@ -11,10 +11,15 @@
 // Run with:
 //
 //	go run ./examples/distributed
+//
+// With -debug-addr the run also serves live /debug/vars and /debug/events
+// telemetry; -linger keeps the process (and those endpoints) up after the
+// stream finishes so they can be inspected — `make obs-demo` uses both.
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -25,14 +30,30 @@ import (
 	"cludistream/internal/persist"
 	"cludistream/internal/site"
 	"cludistream/internal/stream"
+	"cludistream/internal/telemetry"
 )
 
 func main() {
-	coord, err := coordinator.New(coordinator.Config{Dim: 2})
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
+	linger := flag.Duration("linger", 0, "keep the process alive this long after the run (for inspecting -debug-addr)")
+	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *debugAddr != "" {
+		reg = telemetry.NewRegistry()
+		dbg, err := telemetry.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoints on http://%v/debug/vars\n", dbg.Addr())
+	}
+
+	coord, err := coordinator.New(coordinator.Config{Dim: 2, Telemetry: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := netio.NewServer("127.0.0.1:0", coord)
+	srv, err := netio.NewServerTelemetry("127.0.0.1:0", coord, reg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,13 +84,13 @@ func main() {
 			defer wg.Done()
 			st, err := site.New(site.Config{
 				SiteID: id, Dim: 2, K: 3, Epsilon: 0.1, FitEps: 0.8, Delta: 0.01,
-				Seed: int64(id), ChunkSize: 400,
+				Seed: int64(id), ChunkSize: 400, Telemetry: reg,
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
 			client, err := netio.Dial(proxy.Addr(), st, id, netio.DialOptions{
-				Retry: netio.RetryPolicy{BaseBackoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond},
+				Retry: netio.RetryPolicy{BaseBackoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond, Telemetry: reg},
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -133,5 +154,10 @@ func main() {
 		archiveBytes, len(loaded.Models), len(loaded.Events))
 	if m := loaded.WindowMixture(1, 3); m != nil {
 		fmt.Printf("chunks 1-3 were modelled by a %d-component mixture\n", m.K())
+	}
+
+	if *linger > 0 {
+		fmt.Printf("\nlingering %v for telemetry inspection...\n", *linger)
+		time.Sleep(*linger)
 	}
 }

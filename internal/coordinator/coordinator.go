@@ -17,6 +17,7 @@ import (
 	"cludistream/internal/gaussian"
 	"cludistream/internal/kdtree"
 	"cludistream/internal/site"
+	"cludistream/internal/telemetry"
 )
 
 // Config parameterizes a Coordinator.
@@ -41,6 +42,11 @@ type Config struct {
 	IndexMinGroups int
 	// DisableIndex forces exhaustive scans (the ablation baseline).
 	DisableIndex bool
+	// Telemetry, when non-nil, receives merge/split/re-merge counters and
+	// journal events alongside the Stats the experiments already read.
+	// Observational only — the tree it describes is bit-identical with or
+	// without it.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +79,39 @@ type Stats struct {
 	SiteResets     int
 }
 
+// coordTele holds the coordinator's telemetry instruments, resolved once
+// at construction; all pointers nil (no-op) when no registry is set.
+type coordTele struct {
+	reg           *telemetry.Registry
+	updates       *telemetry.Counter
+	newModels     *telemetry.Counter
+	weightUpdates *telemetry.Counter
+	deletions     *telemetry.Counter
+	splits        *telemetry.Counter
+	remerges      *telemetry.Counter
+	groupsCreated *telemetry.Counter
+	groupsRemoved *telemetry.Counter
+	siteResets    *telemetry.Counter
+}
+
+func newCoordTele(reg *telemetry.Registry) coordTele {
+	if reg == nil {
+		return coordTele{}
+	}
+	return coordTele{
+		reg:           reg,
+		updates:       reg.Counter("coord.updates_handled"),
+		newModels:     reg.Counter("coord.new_models"),
+		weightUpdates: reg.Counter("coord.weight_updates"),
+		deletions:     reg.Counter("coord.deletions"),
+		splits:        reg.Counter("coord.splits"),
+		remerges:      reg.Counter("coord.remerges"),
+		groupsCreated: reg.Counter("coord.groups_created"),
+		groupsRemoved: reg.Counter("coord.groups_removed"),
+		siteResets:    reg.Counter("coord.site_resets"),
+	}
+}
+
 // siteModel tracks one registered remote-site model and its record counter.
 type siteModel struct {
 	siteID  int
@@ -96,6 +135,7 @@ type Coordinator struct {
 	location map[MemberKey]int
 
 	stats Stats
+	tele  coordTele
 }
 
 // New constructs a Coordinator for streams of the given dimensionality.
@@ -110,6 +150,7 @@ func New(cfg Config) (*Coordinator, error) {
 		nextID:   1,
 		models:   make(map[int]map[int]*siteModel),
 		location: make(map[MemberKey]int),
+		tele:     newCoordTele(cfg.Telemetry),
 	}
 	if !cfg.DisableIndex {
 		c.index = kdtree.New(cfg.Dim)
@@ -121,6 +162,7 @@ func New(cfg Config) (*Coordinator, error) {
 // site r_i updated").
 func (c *Coordinator) HandleUpdate(u site.Update) error {
 	c.stats.UpdatesHandled++
+	c.tele.updates.Inc()
 	switch u.Kind {
 	case site.NewModel:
 		return c.handleNewModel(u)
@@ -149,6 +191,10 @@ func (c *Coordinator) handleNewModel(u site.Update) error {
 	sm := &siteModel{siteID: u.SiteID, modelID: u.ModelID, mix: u.Mixture, counter: u.Count}
 	byModel[u.ModelID] = sm
 	c.stats.NewModels++
+	c.tele.newModels.Inc()
+	c.tele.reg.Record(telemetry.Event{
+		Kind: "new-model", Site: u.SiteID, Model: u.ModelID, N: u.Count,
+	})
 
 	for j := 0; j < sm.mix.K(); j++ {
 		key := MemberKey{SiteID: u.SiteID, ModelID: u.ModelID, Comp: j}
@@ -169,6 +215,7 @@ func (c *Coordinator) handleWeightUpdate(u site.Update) error {
 		return fmt.Errorf("coordinator: weight update for unknown model %d of site %d", u.ModelID, u.SiteID)
 	}
 	c.stats.WeightUpdates++
+	c.tele.weightUpdates.Inc()
 	return c.shiftWeight(sm, u.Count)
 }
 
@@ -181,6 +228,7 @@ func (c *Coordinator) HandleDeletion(siteID, modelID, count int) error {
 		return fmt.Errorf("coordinator: deletion for unknown model %d of site %d", modelID, siteID)
 	}
 	c.stats.Deletions++
+	c.tele.deletions.Inc()
 	return c.shiftWeight(sm, -count)
 }
 
@@ -201,6 +249,8 @@ func (c *Coordinator) ResetSite(siteID int) {
 	}
 	delete(c.models, siteID)
 	c.stats.SiteResets++
+	c.tele.siteResets.Inc()
+	c.tele.reg.Record(telemetry.Event{Kind: "site-reset", Site: siteID})
 }
 
 // shiftWeight adjusts a model's counter and propagates the new absolute
@@ -270,6 +320,7 @@ func (c *Coordinator) place(m *member) {
 		g := &Group{id: c.nextID}
 		c.nextID++
 		c.stats.GroupsCreated++
+		c.tele.groupsCreated.Inc()
 		g.insert(m)
 		c.refreshGroup(g)
 		m.mremergeAtJoin = math.Inf(1) // own group: perfectly stable
@@ -283,6 +334,7 @@ func (c *Coordinator) place(m *member) {
 	c.refreshGroup(best)
 	c.location[m.key] = best.id
 	c.stats.Remerges++
+	c.tele.remerges.Inc()
 }
 
 // candidates returns the groups to evaluate for placement: all of them
@@ -331,6 +383,10 @@ func (c *Coordinator) checkSiteModel(sm *siteModel) {
 		}
 		// Split from the father...
 		c.stats.Splits++
+		c.tele.splits.Inc()
+		c.tele.reg.Record(telemetry.Event{
+			Kind: "split", Site: sm.siteID, Model: sm.modelID, Value: msplit, N: j,
+		})
 		g.remove(i)
 		c.refreshGroup(g)
 		delete(c.location, key)
@@ -364,6 +420,7 @@ func (c *Coordinator) compact() {
 			continue
 		}
 		c.stats.GroupsRemoved++
+		c.tele.groupsRemoved.Inc()
 		delete(c.byID, g.id)
 		if c.index != nil {
 			c.index.Remove(g.id)

@@ -8,6 +8,7 @@ import (
 
 	"cludistream/internal/gaussian"
 	"cludistream/internal/linalg"
+	"cludistream/internal/telemetry"
 )
 
 // CovType selects the covariance structure EM estimates.
@@ -62,6 +63,12 @@ type Config struct {
 	// for cores. Embedders that already parallelize across sites (the
 	// parallel package, the daemons) pin this to 1 to avoid oversubscription.
 	Workers int
+	// Telemetry, when non-nil, receives per-fit counters (runs, iteration
+	// totals, convergence outcomes) and an "em-fit" journal event with the
+	// final average log-likelihood. Purely observational: it reads values
+	// the fit computed anyway and never touches the rng, so fitted
+	// mixtures are bit-identical with or without it.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -148,12 +155,39 @@ func Fit(data []linalg.Vector, cfg Config) (*Result, error) {
 		prevAvgLL = avgLL
 	}
 
-	return &Result{
+	res := &Result{
 		Mixture:          mix,
 		AvgLogLikelihood: mix.AvgLogLikelihood(data),
 		Iterations:       iter,
 		Converged:        converged,
-	}, nil
+	}
+	recordFit(cfg, "em-fit", res)
+	return res, nil
+}
+
+// recordFit publishes one fit's outcome to cfg.Telemetry; a no-op when no
+// registry is configured.
+func recordFit(cfg Config, kind string, res *Result) {
+	reg := cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	reg.Counter("em.fits").Inc()
+	reg.Counter("em.iterations").Add(int64(res.Iterations))
+	if res.Converged {
+		reg.Counter("em.converged").Inc()
+	} else {
+		reg.Counter("em.nonconverged").Inc()
+	}
+	reg.Histogram("em.iterations_per_fit", 2, 5, 10, 20, 50, 100).
+		Observe(float64(res.Iterations))
+	note := "converged"
+	if !res.Converged {
+		note = "max-iter"
+	}
+	reg.Record(telemetry.Event{
+		Kind: kind, Value: res.AvgLogLikelihood, N: res.Iterations, Note: note,
+	})
 }
 
 // FitStats runs EM where the "data set" is a collection of weighted
@@ -267,12 +301,14 @@ func FitStats(blocks []*SuffStats, cfg Config) (*Result, error) {
 	for i, b := range nonEmpty {
 		sumLL += b.W * logpdf[i]
 	}
-	return &Result{
+	res := &Result{
 		Mixture:          mix,
 		AvgLogLikelihood: sumLL / totalW,
 		Iterations:       iter,
 		Converged:        converged,
-	}, nil
+	}
+	recordFit(cfg, "em-fit-stats", res)
+	return res, nil
 }
 
 // initialModel builds the iteration-0 mixture: k-means++ centers (or the

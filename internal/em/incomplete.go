@@ -132,12 +132,14 @@ func FitIncomplete(data []linalg.Vector, cfg Config) (*Result, error) {
 		}
 		prevAvgLL = avgLL
 	}
-	return &Result{
+	res := &Result{
 		Mixture:          mix,
 		AvgLogLikelihood: avgLL,
 		Iterations:       iter,
 		Converged:        converged,
-	}, nil
+	}
+	recordFit(cfg, "em-fit-incomplete", res)
+	return res, nil
 }
 
 // meanImpute fills missing entries with per-attribute observed means.

@@ -10,6 +10,7 @@ import (
 	"cludistream/internal/sem"
 	"cludistream/internal/site"
 	"cludistream/internal/stream"
+	"cludistream/internal/telemetry"
 
 	root "cludistream"
 )
@@ -53,6 +54,10 @@ type Params struct {
 	// fused E-step reduces on fixed shard boundaries — so figures never
 	// depend on the core count they were produced on.
 	EMWorkers int
+	// Telemetry, when non-nil, instruments every site, EM fit, system and
+	// coordinator the suite constructs. Figures are unchanged with it on
+	// (telemetry never alters clustering output).
+	Telemetry *telemetry.Registry
 }
 
 // Paper returns the paper's parameter setting.
@@ -102,15 +107,16 @@ func (p Params) nfdParams() Params {
 // siteConfig builds the standard remote-site configuration.
 func (p Params) siteConfig(id int) site.Config {
 	return site.Config{
-		SiteID:  id,
-		Dim:     p.Dim,
-		K:       p.K,
-		Epsilon: p.Epsilon,
-		FitEps:  p.FitEps,
-		Delta:   p.Delta,
-		CMax:    p.CMax,
-		Seed:    p.Seed + int64(id)*7919,
-		EM:      em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
+		SiteID:    id,
+		Dim:       p.Dim,
+		K:         p.K,
+		Epsilon:   p.Epsilon,
+		FitEps:    p.FitEps,
+		Delta:     p.Delta,
+		CMax:      p.CMax,
+		Seed:      p.Seed + int64(id)*7919,
+		EM:        em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
+		Telemetry: p.Telemetry,
 	}
 }
 
@@ -121,7 +127,7 @@ func (p Params) semConfig() sem.Config {
 		Dim:        p.Dim,
 		BufferSize: p.SEMBuffer,
 		Seed:       p.Seed,
-		EM:         em.Config{MaxIter: 25, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
+		EM:         em.Config{MaxIter: 25, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers, Telemetry: p.Telemetry},
 	}
 }
 
@@ -196,15 +202,16 @@ func runSEM(cfg sem.Config, gen stream.Generator, n int) (*sem.SEM, time.Duratio
 // newSystem builds a full CluDistream deployment with these parameters.
 func newSystem(p Params, dim, sites int) (*root.System, error) {
 	return root.New(root.Config{
-		NumSites: sites,
-		Dim:      dim,
-		K:        p.K,
-		Epsilon:  p.Epsilon,
-		FitEps:   p.FitEps,
-		Delta:    p.Delta,
-		CMax:     p.CMax,
-		Seed:     p.Seed,
-		EM:       em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
+		NumSites:  sites,
+		Dim:       dim,
+		K:         p.K,
+		Epsilon:   p.Epsilon,
+		FitEps:    p.FitEps,
+		Delta:     p.Delta,
+		CMax:      p.CMax,
+		Seed:      p.Seed,
+		EM:        em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
+		Telemetry: p.Telemetry,
 	})
 }
 

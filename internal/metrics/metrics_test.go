@@ -127,3 +127,59 @@ func TestPearson(t *testing.T) {
 	}()
 	Pearson(a, []float64{1})
 }
+
+func TestHistogramExactBoundaries(t *testing.T) {
+	// x = lo lands in the first bucket; x = hi is outside the half-open
+	// [lo, hi) range and must clamp into the last bucket, not vanish.
+	data := []linalg.Vector{{0}, {1}}
+	h := Histogram(data, 0, 4, 0, 1)
+	if h[0] != 1 {
+		t.Fatalf("x = lo landed in %v, want bucket 0", h)
+	}
+	if h[3] != 1 {
+		t.Fatalf("x = hi landed in %v, want clamped into bucket 3", h)
+	}
+	// An interior bucket edge belongs to the bucket it opens.
+	h = Histogram([]linalg.Vector{{0.5}}, 0, 2, 0, 1)
+	if h[1] != 1 {
+		t.Fatalf("x = midpoint landed in %v, want bucket 1", h)
+	}
+}
+
+func TestTheorem3BytesHandComputed(t *testing.T) {
+	// Second hand-computed point away from the paper defaults:
+	// d=2, ε=0.1, δ=0.05 → M = ⌈-2·2·ln(0.05·1.95)/0.1⌉ = ⌈93.12⌉ = 94;
+	// then 8·(94·2 + 2·3·(4+2+1)) = 8·(188 + 42) = 1840 bytes.
+	if m := chunk.Size(2, 0.1, 0.05); m != 94 {
+		t.Fatalf("chunk.Size(2, 0.1, 0.05) = %d, want 94", m)
+	}
+	if got := Theorem3Bytes(2, 3, 2, 0.1, 0.05); got != 1840 {
+		t.Fatalf("Theorem3Bytes(2,3,2) = %d, want 1840", got)
+	}
+}
+
+func TestMeanSingleElement(t *testing.T) {
+	if got := Mean([]float64{7.5}); got != 7.5 {
+		t.Fatalf("Mean([7.5]) = %v", got)
+	}
+}
+
+func TestMinMaxSingleElement(t *testing.T) {
+	lo, hi := MinMax([]float64{-3.25})
+	if lo != -3.25 || hi != -3.25 {
+		t.Fatalf("MinMax([x]) = %v %v, want both -3.25", lo, hi)
+	}
+}
+
+func TestMinMaxEmptyPanicsWithMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MinMax([]) did not panic")
+		}
+		if s, ok := r.(string); !ok || s != "metrics: MinMax of empty slice" {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	MinMax([]float64{})
+}

@@ -10,6 +10,7 @@ import (
 
 	"cludistream/internal/linalg"
 	"cludistream/internal/site"
+	"cludistream/internal/telemetry"
 	"cludistream/internal/transport"
 	"cludistream/internal/window"
 )
@@ -44,6 +45,9 @@ type RetryPolicy struct {
 	Rand *rand.Rand
 	// Sleep replaces time.Sleep in blocking flushes (test hook).
 	Sleep func(time.Duration)
+	// Telemetry, when non-nil, mirrors DeliveryStats into net.* counters
+	// and journals reconnects, backoff waits and drops.
+	Telemetry *telemetry.Registry
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -106,6 +110,43 @@ type pending struct {
 	attempts int
 }
 
+// connTele holds a Conn's transport instruments (all nil ⇒ no-op). The
+// counters aggregate across every Conn sharing a registry, so a daemon's
+// snapshot shows deployment-wide delivery behaviour.
+type connTele struct {
+	reg         *telemetry.Registry
+	sends       *telemetry.Counter
+	acked       *telemetry.Counter
+	goodput     *telemetry.Counter
+	retransmit  *telemetry.Counter
+	retries     *telemetry.Counter
+	reconnects  *telemetry.Counter
+	dropped     *telemetry.Counter
+	rejected    *telemetry.Counter
+	backoffs    *telemetry.Counter
+	backoffSecs *telemetry.Histogram
+}
+
+func newConnTele(reg *telemetry.Registry) connTele {
+	if reg == nil {
+		return connTele{}
+	}
+	return connTele{
+		reg:        reg,
+		sends:      reg.Counter("net.sends"),
+		acked:      reg.Counter("net.acked"),
+		goodput:    reg.Counter("net.goodput_bytes"),
+		retransmit: reg.Counter("net.retransmit_bytes"),
+		retries:    reg.Counter("net.retries"),
+		reconnects: reg.Counter("net.reconnects"),
+		dropped:    reg.Counter("net.dropped"),
+		rejected:   reg.Counter("net.rejected"),
+		backoffs:   reg.Counter("net.backoff_waits"),
+		backoffSecs: reg.Histogram("net.backoff_seconds",
+			0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10),
+	}
+}
+
 // Conn is a fault-tolerant protocol connection: messages are assigned
 // per-connection monotone sequence numbers, queued in a bounded outbox,
 // and delivered with frame+ack round trips. A broken connection is
@@ -129,6 +170,7 @@ type Conn struct {
 	notBefore time.Time // earliest next reconnect attempt
 
 	stats DeliveryStats
+	tele  connTele
 }
 
 // DialConn opens a protocol connection to a Server with the default
@@ -146,7 +188,7 @@ func DialConnRetry(addr string, pol RetryPolicy) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{addr: addr, pol: pol, nc: nc}, nil
+	return &Conn{addr: addr, pol: pol, nc: nc, tele: newConnTele(pol.Telemetry)}, nil
 }
 
 // Send queues one message for delivery and opportunistically drains the
@@ -165,8 +207,10 @@ func (c *Conn) Send(msg transport.Message) error {
 		c.outbox[0] = pending{}
 		c.outbox = c.outbox[1:]
 		c.stats.Dropped++
+		c.tele.dropped.Inc()
 	}
 	c.outbox = append(c.outbox, pending{payload: transport.Encode(msg)})
+	c.tele.sends.Inc()
 	return c.flushLocked(false, time.Time{})
 }
 
@@ -223,34 +267,46 @@ func (c *Conn) flushLocked(block bool, deadline time.Time) error {
 			}
 			c.nc = nc
 			c.stats.Reconnects++
+			c.tele.reconnects.Inc()
+			if c.tele.reg != nil {
+				c.tele.reg.Record(telemetry.Event{
+					Kind: "net-reconnect", N: c.fails, Note: c.addr,
+				})
+			}
 		}
 		head := &c.outbox[0]
 		head.attempts++
 		if head.attempts > 1 {
 			c.stats.RetransmitBytes += len(head.payload)
+			c.tele.retransmit.Add(int64(len(head.payload)))
 		}
 		err := c.roundTrip(head.payload)
 		switch {
 		case err == nil:
 			c.stats.Acked++
 			c.stats.GoodputBytes += len(head.payload)
+			c.tele.acked.Inc()
+			c.tele.goodput.Add(int64(len(head.payload)))
 			c.popHead()
 			c.fails = 0
 		case errors.Is(err, ErrRemote):
 			// The coordinator decoded the frame and refused it; the
 			// connection is healthy and retrying cannot help.
 			c.stats.Rejected++
+			c.tele.rejected.Inc()
 			c.popHead()
 			rejected = true
 			c.fails = 0
 		default:
 			c.stats.Retries++
+			c.tele.retries.Inc()
 			c.nc.Close()
 			c.nc = nil
 			c.fails++
 			c.armBackoff()
 			if c.pol.MaxAttempts > 0 && c.outbox[0].attempts >= c.pol.MaxAttempts {
 				c.stats.Dropped++
+				c.tele.dropped.Inc()
 				c.popHead()
 			}
 			if !block {
@@ -283,6 +339,8 @@ func (c *Conn) armBackoff() {
 	}
 	d = d/2 + time.Duration(c.pol.Rand.Int63n(int64(d/2)+1))
 	c.notBefore = time.Now().Add(d)
+	c.tele.backoffs.Inc()
+	c.tele.backoffSecs.Observe(d.Seconds())
 }
 
 func (c *Conn) popHead() {

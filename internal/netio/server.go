@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"cludistream/internal/coordinator"
+	"cludistream/internal/telemetry"
 	"cludistream/internal/transport"
 )
 
@@ -32,6 +33,7 @@ type Server struct {
 	// frames and frames from dead incarnations are acked without
 	// re-applying, making delivery exactly-once in effect.
 	seen map[int32]*siteSeq
+	tele serverTele
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -40,15 +42,50 @@ type Server struct {
 	closing chan struct{}
 }
 
+// serverTele holds the coordinator endpoint's receive-side instruments
+// (all nil ⇒ no-op).
+type serverTele struct {
+	reg        *telemetry.Registry
+	bytesIn    *telemetry.Counter
+	applied    *telemetry.Counter
+	applyErrs  *telemetry.Counter
+	dups       *telemetry.Counter
+	dupBytes   *telemetry.Counter
+	siteResets *telemetry.Counter
+}
+
+func newServerTele(reg *telemetry.Registry) serverTele {
+	if reg == nil {
+		return serverTele{}
+	}
+	return serverTele{
+		reg:        reg,
+		bytesIn:    reg.Counter("srv.bytes_in"),
+		applied:    reg.Counter("srv.applied"),
+		applyErrs:  reg.Counter("srv.apply_errors"),
+		dups:       reg.Counter("srv.duplicates"),
+		dupBytes:   reg.Counter("srv.duplicate_bytes"),
+		siteResets: reg.Counter("srv.site_resets"),
+	}
+}
+
 // NewServer listens on addr ("host:port", ":0" for an ephemeral port) and
 // serves the given coordinator until Close. Serving starts immediately in
 // background goroutines.
 func NewServer(addr string, coord *coordinator.Coordinator) (*Server, error) {
+	return NewServerTelemetry(addr, coord, nil)
+}
+
+// NewServerTelemetry is NewServer with receive-side srv.* instruments
+// registered in reg (nil reg behaves exactly like NewServer). A separate
+// constructor because NewServer starts accepting before it returns, so
+// instruments cannot be attached after the fact without racing apply.
+func NewServerTelemetry(addr string, coord *coordinator.Coordinator, reg *telemetry.Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, coord: coord, conns: make(map[net.Conn]struct{}), closing: make(chan struct{}), seen: make(map[int32]*siteSeq)}
+	s := &Server{ln: ln, coord: coord, conns: make(map[net.Conn]struct{}), closing: make(chan struct{}), seen: make(map[int32]*siteSeq), tele: newServerTele(reg)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -140,11 +177,13 @@ func (s *Server) apply(payload []byte) bool {
 		s.mu.Lock()
 		s.applyErr++
 		s.mu.Unlock()
+		s.tele.applyErrs.Inc()
 		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bytesIn += len(payload)
+	s.tele.bytesIn.Add(int64(len(payload)))
 	if msg.Seq != 0 {
 		tr := s.seen[msg.SiteID]
 		if tr == nil {
@@ -157,11 +196,14 @@ func (s *Server) apply(payload []byte) bool {
 			// stops retrying, but never apply.
 			s.dup++
 			s.dupBytes += len(payload)
+			s.tele.dups.Inc()
+			s.tele.dupBytes.Add(int64(len(payload)))
 			return true
 		case msg.Epoch > tr.epoch:
 			if tr.epoch != 0 {
 				s.coord.ResetSite(int(msg.SiteID))
 				s.resets++
+				s.tele.siteResets.Inc()
 				s.logf("netio: site %d returned with epoch %d, state reset", msg.SiteID, msg.Epoch)
 			}
 			tr.epoch, tr.maxSeq = msg.Epoch, 0
@@ -169,11 +211,14 @@ func (s *Server) apply(payload []byte) bool {
 		if msg.Seq <= tr.maxSeq {
 			s.dup++
 			s.dupBytes += len(payload)
+			s.tele.dups.Inc()
+			s.tele.dupBytes.Add(int64(len(payload)))
 			return true
 		}
 		tr.maxSeq = msg.Seq
 	}
 	s.messages++
+	s.tele.applied.Inc()
 	switch msg.Kind {
 	case transport.MsgDeletion:
 		err = s.coord.HandleDeletion(int(msg.SiteID), int(msg.ModelID), int(msg.Count))
@@ -182,6 +227,7 @@ func (s *Server) apply(payload []byte) bool {
 	}
 	if err != nil {
 		s.applyErr++
+		s.tele.applyErrs.Inc()
 		s.logf("netio: apply %v from site %d: %v", msg.Kind, msg.SiteID, err)
 		return false
 	}

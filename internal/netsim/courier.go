@@ -3,6 +3,8 @@ package netsim
 import (
 	"math"
 	"math/rand"
+
+	"cludistream/internal/telemetry"
 )
 
 // Courier provides ordered at-least-once delivery over a faulty Link:
@@ -26,6 +28,22 @@ type Courier struct {
 
 	retries   int
 	delivered int
+
+	teleRetries   *telemetry.Counter
+	teleDelivered *telemetry.Counter
+	teleBackoff   *telemetry.Histogram
+}
+
+// SetTelemetry registers sim.courier_* instruments in reg (nil detaches).
+func (c *Courier) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		c.teleRetries, c.teleDelivered, c.teleBackoff = nil, nil, nil
+		return
+	}
+	c.teleRetries = reg.Counter("sim.courier_retries")
+	c.teleDelivered = reg.Counter("sim.courier_delivered")
+	c.teleBackoff = reg.Histogram("sim.courier_backoff_seconds",
+		0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10)
 }
 
 // NewCourier wraps link with retransmission. baseBackoff defaults to
@@ -62,15 +80,18 @@ func (c *Courier) pump() {
 			c.queue = c.queue[1:]
 			c.attempts = 0
 			c.delivered++
+			c.teleDelivered.Inc()
 			continue
 		}
 		c.attempts++
 		c.retries++
+		c.teleRetries.Inc()
 		d := c.base * math.Pow(2, float64(c.attempts-1))
 		if d > c.max {
 			d = c.max
 		}
 		d *= 0.5 + 0.5*c.rng.Float64()
+		c.teleBackoff.Observe(d)
 		c.waiting = true
 		c.sim.Schedule(d, func() {
 			c.waiting = false

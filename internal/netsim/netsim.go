@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"cludistream/internal/telemetry"
 )
 
 // Simulator owns the virtual clock and the pending-event heap.
@@ -152,6 +154,38 @@ type Link struct {
 	sendLog         []sendRecord
 	// busyUntil serializes transmissions on a finite-bandwidth link.
 	busyUntil float64
+
+	tele linkTele
+}
+
+// linkTele holds a Link's instruments (all nil ⇒ no-op). Every link
+// sharing a registry increments the same sim.* counters, so the registry
+// view is the whole simulated network.
+type linkTele struct {
+	bytesSent  *telemetry.Counter
+	messages   *telemetry.Counter
+	goodput    *telemetry.Counter
+	retransmit *telemetry.Counter
+	dropped    *telemetry.Counter
+	dropBytes  *telemetry.Counter
+}
+
+// SetTelemetry registers sim.* instruments for this link in reg (nil
+// detaches). Attach before traffic flows; counters only cover subsequent
+// sends.
+func (l *Link) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		l.tele = linkTele{}
+		return
+	}
+	l.tele = linkTele{
+		bytesSent:  reg.Counter("sim.bytes_sent"),
+		messages:   reg.Counter("sim.messages"),
+		goodput:    reg.Counter("sim.goodput_bytes"),
+		retransmit: reg.Counter("sim.retransmit_bytes"),
+		dropped:    reg.Counter("sim.dropped_messages"),
+		dropBytes:  reg.Counter("sim.dropped_bytes"),
+	}
 }
 
 type sendRecord struct {
@@ -194,8 +228,11 @@ func (l *Link) TrySend(payload []byte, retransmit bool) bool {
 	n := len(payload)
 	l.bytesSent += n
 	l.messages++
+	l.tele.bytesSent.Add(int64(n))
+	l.tele.messages.Inc()
 	if retransmit {
 		l.retransmitBytes += n
+		l.tele.retransmit.Add(int64(n))
 	}
 	l.sendLog = append(l.sendLog, sendRecord{at: l.sim.Now(), bytes: n})
 
@@ -211,9 +248,12 @@ func (l *Link) TrySend(payload []byte, retransmit bool) bool {
 	if l.fault != nil && l.fault.lost(arrive) {
 		l.droppedMessages++
 		l.droppedBytes += n
+		l.tele.dropped.Inc()
+		l.tele.dropBytes.Add(int64(n))
 		return false
 	}
 	l.goodputBytes += n
+	l.tele.goodput.Add(int64(n))
 	if l.deliver != nil {
 		p := payload
 		l.sim.ScheduleAt(arrive, func() { l.deliver(p) })

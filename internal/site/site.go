@@ -20,6 +20,7 @@ import (
 	"cludistream/internal/gaussian"
 	"cludistream/internal/linalg"
 	"cludistream/internal/smem"
+	"cludistream/internal/telemetry"
 )
 
 // UpdateKind discriminates the two message types a site can emit
@@ -127,6 +128,14 @@ type Config struct {
 	AutoKMax int
 	// AutoKMin is the lower bound of the AutoKMax sweep (default 1).
 	AutoKMin int
+	// Telemetry, when non-nil, receives per-chunk decision counters and
+	// journal events (chunk tested/fit/refit/reactivated with the J_fit
+	// margin, archive-hit depth, EM iteration counts) and is propagated to
+	// the inner EM runs. It never alters clustering output: with Telemetry
+	// nil the only cost is a nil check per instrument call site, and with
+	// it set the instruments observe values the algorithm already computed
+	// (pinned bit-identical by the facade's telemetry tests).
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +148,9 @@ func (c Config) withDefaults() Config {
 	c.EM.K = c.K
 	if c.EM.Seed == 0 {
 		c.EM.Seed = c.Seed
+	}
+	if c.EM.Telemetry == nil {
+		c.EM.Telemetry = c.Telemetry
 	}
 	return c
 }
@@ -155,11 +167,51 @@ type Stats struct {
 	Reactivated int // chunks explained by re-activating an archived model
 }
 
+// siteTele holds the site's telemetry instruments, resolved once at
+// construction. With no registry configured every pointer is nil and each
+// call below is a single nil-check branch — the zero-overhead disabled
+// path the telemetry tests pin.
+type siteTele struct {
+	reg         *telemetry.Registry // journal access; nil when disabled
+	records     *telemetry.Counter
+	chunks      *telemetry.Counter
+	tested      *telemetry.Counter
+	fits        *telemetry.Counter
+	refits      *telemetry.Counter
+	reactivated *telemetry.Counter
+	tests       *telemetry.Counter
+	emRuns      *telemetry.Counter
+	jfitMargin  *telemetry.Histogram
+	hitDepth    *telemetry.Histogram
+}
+
+func newSiteTele(reg *telemetry.Registry) siteTele {
+	if reg == nil {
+		return siteTele{}
+	}
+	return siteTele{
+		reg:         reg,
+		records:     reg.Counter("site.records"),
+		chunks:      reg.Counter("site.chunks"),
+		tested:      reg.Counter("site.chunks_tested"),
+		fits:        reg.Counter("site.chunks_fit"),
+		refits:      reg.Counter("site.chunks_refit"),
+		reactivated: reg.Counter("site.chunks_reactivated"),
+		tests:       reg.Counter("site.tests"),
+		emRuns:      reg.Counter("site.em_runs"),
+		// J_fit margins live on the ε scale; the c_max recommendation is
+		// 3–4, so depth buckets 1..4 plus overflow cover every finding.
+		jfitMargin: reg.Histogram("site.jfit_margin", 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 5),
+		hitDepth:   reg.Histogram("site.archive_hit_depth", 1, 2, 3, 4),
+	}
+}
+
 // Site is one remote-site processor.
 type Site struct {
 	cfg     Config
 	chunker *chunk.Chunker
 	m       int // chunk size M
+	tele    siteTele
 
 	current *Model
 	// archive holds retired models, oldest first. The multi-test strategy
@@ -198,6 +250,7 @@ func New(cfg Config) (*Site, error) {
 		cfg:         cfg,
 		chunker:     chunk.NewChunker(m, cfg.Dim),
 		m:           m,
+		tele:        newSiteTele(cfg.Telemetry),
 		events:      events.NewList(),
 		nextModelID: 1,
 		scratch:     gaussian.NewBatchScratch(),
@@ -218,6 +271,7 @@ func (s *Site) Observe(x linalg.Vector) ([]Update, error) {
 		return nil, err
 	}
 	s.stats.Records++
+	s.tele.records.Inc()
 	if full == nil {
 		return nil, nil
 	}
@@ -245,6 +299,7 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 	}
 	s.chunkNum++
 	s.stats.Chunks++
+	s.tele.chunks.Inc()
 
 	// Line 2: the very first chunk is always clustered.
 	if s.current == nil {
@@ -253,9 +308,18 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 
 	// Test 1: current model (line 5, FitDistribution).
 	s.stats.Tests++
-	if s.fits(s.current, data) {
+	s.tele.tests.Inc()
+	s.tele.tested.Inc()
+	margin, ok := s.fitMargin(s.current, data)
+	s.tele.jfitMargin.Observe(margin)
+	if ok {
 		s.current.Counter += s.m
 		s.stats.Fits++
+		s.tele.fits.Inc()
+		s.tele.reg.Record(telemetry.Event{
+			Kind: "chunk-fit", Site: s.cfg.SiteID, Model: s.current.ID,
+			Value: margin, N: s.chunkNum,
+		})
 		if s.cfg.EmitFitWeightUpdates {
 			return []Update{{
 				SiteID:  s.cfg.SiteID,
@@ -271,14 +335,25 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 	// Multi-test: probe the most recent archived models, newest first,
 	// up to CMax-1 additional tests.
 	budget := s.cfg.CMax - 1
+	depth := 0 // archived models probed so far (the multi-test depth)
 	for i := len(s.archive) - 1; i >= 0 && budget > 0; i-- {
 		cand := s.archive[i]
 		s.stats.Tests++
+		s.tele.tests.Inc()
 		budget--
-		if s.fits(cand, data) {
+		depth++
+		margin, ok := s.fitMargin(cand, data)
+		s.tele.jfitMargin.Observe(margin)
+		if ok {
 			s.reactivate(i)
 			cand.Counter += s.m
 			s.stats.Reactivated++
+			s.tele.reactivated.Inc()
+			s.tele.hitDepth.Observe(float64(depth))
+			s.tele.reg.Record(telemetry.Event{
+				Kind: "chunk-reactivated", Site: s.cfg.SiteID, Model: cand.ID,
+				Value: margin, N: depth,
+			})
 			// The coordinator must learn that weight moved to an old model.
 			return []Update{{
 				SiteID:  s.cfg.SiteID,
@@ -294,11 +369,13 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 	return s.clusterNewModel(data)
 }
 
-// fits evaluates the test criterion J_fit = |Avg_Prn − Avg_Pr0| ≤ ε
-// (Eq. 4, justified by Theorem 2). The statistic is computed over the
-// chunk's complete records only — incomplete ones have no well-defined
-// joint likelihood — matching the reference Avg_Pr0.
-func (s *Site) fits(m *Model, data []linalg.Vector) bool {
+// fitMargin evaluates the test criterion J_fit = |Avg_Prn − Avg_Pr0| ≤ ε
+// (Eq. 4, justified by Theorem 2), returning both the margin |Avg_Prn −
+// Avg_Pr0| (the Theorem-2 observable telemetry journals) and the verdict.
+// The statistic is computed over the chunk's complete records only —
+// incomplete ones have no well-defined joint likelihood — matching the
+// reference Avg_Pr0.
+func (s *Site) fitMargin(m *Model, data []linalg.Vector) (margin float64, ok bool) {
 	eval := completeOnly(data)
 	var avg float64
 	if s.cfg.SharpTest {
@@ -306,7 +383,8 @@ func (s *Site) fits(m *Model, data []linalg.Vector) bool {
 	} else {
 		avg = m.Mixture.AvgLogLikelihoodScratch(eval, s.scratch)
 	}
-	return math.Abs(avg-m.RefAvgLL) <= s.cfg.FitEps
+	margin = math.Abs(avg - m.RefAvgLL)
+	return margin, margin <= s.cfg.FitEps
 }
 
 // completeOnly filters out records with missing attributes; it returns the
@@ -342,6 +420,8 @@ func hasNaN(x linalg.Vector) bool {
 func (s *Site) clusterNewModel(data []linalg.Vector) ([]Update, error) {
 	s.stats.EMRuns++
 	s.stats.Refits++
+	s.tele.emRuns.Inc()
+	s.tele.refits.Inc()
 	cfg := s.cfg.EM
 	cfg.Seed = s.cfg.Seed + int64(s.nextModelID) // deterministic but varying
 
@@ -394,6 +474,10 @@ func (s *Site) clusterNewModel(data []linalg.Vector) ([]Update, error) {
 	}
 	s.nextModelID++
 	s.current = m
+	s.tele.reg.Record(telemetry.Event{
+		Kind: "chunk-refit", Site: s.cfg.SiteID, Model: m.ID,
+		Value: refLL, N: s.chunkNum,
+	})
 	return []Update{{
 		SiteID:  s.cfg.SiteID,
 		ModelID: m.ID,

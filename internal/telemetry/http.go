@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Handler serves the registry's debug surface:
+//
+//	/debug/vars          — JSON Snapshot (expvar-style, but structured)
+//	/debug/events        — JSON journal events; ?after=SEQ tails from a
+//	                       sequence number, ?limit=N bounds the reply
+//	/debug/pprof/...     — net/http/pprof (profile, heap, goroutine, trace)
+//	/                    — tiny index of the above
+//
+// The handler is safe on a nil registry (it serves empty snapshots), so
+// daemons can expose pprof even when telemetry is off.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		after, err := parseUint(q.Get("after"))
+		if err != nil {
+			http.Error(w, "bad after: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		limit := 0
+		if s := q.Get("limit"); s != "" {
+			limit, err = strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		events := r.Journal().Since(after, limit)
+		if events == nil {
+			events = []Event{}
+		}
+		writeJSON(w, struct {
+			LastSeq uint64  `json:"last_seq"`
+			Events  []Event `json:"events"`
+		}{r.Journal().LastSeq(), events})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("cludistream debug endpoints:\n" +
+			"  /debug/vars    telemetry snapshot (JSON)\n" +
+			"  /debug/events  decision journal (JSON; ?after=SEQ&limit=N)\n" +
+			"  /debug/pprof/  runtime profiles\n"))
+	})
+	return mux
+}
+
+func parseUint(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // best-effort: a broken client connection is not our error
+}
+
+// DebugServer is a running debug HTTP listener.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug surface on addr ("host:port", ":0" for an
+// ephemeral port) in a background goroutine. Callers Close it on
+// shutdown.
+func Serve(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) // Serve returns when ln closes; nothing to report
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the listening address (useful with ":0").
+func (d *DebugServer) Addr() net.Addr { return d.ln.Addr() }
+
+// Close stops the listener and closes idle connections.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerVars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("site.chunks_fit").Add(7)
+	r.Histogram("site.archive_hit_depth", 1, 2, 3, 4).Observe(2)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["site.chunks_fit"] != 7 {
+		t.Fatalf("snapshot counters = %v", s.Counters)
+	}
+	if s.Histograms["site.archive_hit_depth"].Count != 1 {
+		t.Fatalf("snapshot histograms = %v", s.Histograms)
+	}
+}
+
+func TestHandlerEvents(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 5; i++ {
+		r.Record(Event{Kind: "chunk-refit", Site: 1, N: i})
+	}
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	var reply struct {
+		LastSeq uint64  `json:"last_seq"`
+		Events  []Event `json:"events"`
+	}
+	get := func(path string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("/debug/events")
+	if reply.LastSeq != 5 || len(reply.Events) != 5 {
+		t.Fatalf("events = %+v", reply)
+	}
+	get("/debug/events?after=3&limit=1")
+	if len(reply.Events) != 1 || reply.Events[0].N != 5 {
+		t.Fatalf("tail = %+v", reply.Events)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/events?after=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad after: status %d", resp.StatusCode)
+	}
+}
+
+func TestHandlerPprofAndIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil)) // pprof must work without telemetry
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/debug/pprof/", "/debug/pprof/cmdline", "/debug/vars"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d (%s)", path, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d", resp.StatusCode)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("coord.updates_handled").Inc()
+	d, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get("http://" + d.Addr().String() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["coord.updates_handled"] != 1 {
+		t.Fatalf("snapshot = %v", s.Counters)
+	}
+}

@@ -1,0 +1,346 @@
+// Package telemetry is the observability substrate for CluDistream's
+// runtime decisions: a registry of atomic counters, gauges and fixed-bucket
+// histograms, plus a bounded structured event journal (see journal.go) and
+// an HTTP debug surface (see http.go).
+//
+// Design constraints, in order:
+//
+//  1. Telemetry must never change clustering output. Instruments only read
+//     values the algorithms already computed; nothing here touches a rand
+//     source or reorders floating-point work. The facade pins this with a
+//     bit-identical on/off test.
+//  2. Disabled telemetry must cost a nil check and nothing else. Every
+//     method on every type is safe on a nil receiver, so instrumented code
+//     resolves instrument pointers once at construction time and calls them
+//     unconditionally; with no registry configured the pointers are nil and
+//     each call is a single predictable branch.
+//  3. Stdlib only, and safe for concurrent use: counters and histogram
+//     buckets are atomics, so site goroutines, the netio server and the
+//     HTTP snapshot reader never contend on a lock in the hot path.
+//
+// Naming convention: instruments are namespaced "layer.metric" —
+// "site.chunks_fit", "em.iterations", "coord.dedupe_dropped",
+// "net.retransmit_bytes" — so a snapshot reads as a map of the system.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-receiver safe (no-ops / zeros), which is the entire disabled path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is allowed but instruments should not need it).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated float64 level (queue depth, last value).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: observation v lands in the first
+// bucket whose upper bound is >= v, and values above the last bound clamp
+// into a final overflow bucket — mass is never dropped, mirroring
+// metrics.Histogram's clamping convention. Bounds are fixed at creation;
+// counts, total and sum are atomics.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds (inclusive)
+	counts []atomic.Int64
+	over   atomic.Int64 // observations above bounds[len-1]
+	n      atomic.Int64
+	sum    Gauge
+}
+
+// NewHistogram builds a histogram with the given ascending inclusive upper
+// bounds. At least one bound is required; non-ascending bounds panic (an
+// instrumentation bug, not data).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be ascending")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(bounds))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.n.Add(1)
+	h.sum.Add(v)
+	// Linear scan: instrument bucket counts are small (4–20) and the scan
+	// is branch-predictable; sort.SearchFloat64s would allocate nothing
+	// either but costs more on tiny slices.
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.over.Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at or below the inclusive upper bound Le (and above the previous bound).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time histogram reading.
+type HistogramSnapshot struct {
+	Count    int64    `json:"count"`
+	Sum      float64  `json:"sum"`
+	Buckets  []Bucket `json:"buckets"`
+	Overflow int64    `json:"overflow"` // observations above the last bound
+}
+
+// snapshot reads the histogram. Buckets are read individually, so a
+// concurrent Observe may be visible in some buckets and not the totals;
+// snapshots are diagnostics, not invariants.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:    h.n.Load(),
+		Sum:      h.sum.Value(),
+		Overflow: h.over.Load(),
+		Buckets:  make([]Bucket, len(h.bounds)),
+	}
+	for i, ub := range h.bounds {
+		s.Buckets[i] = Bucket{Le: ub, Count: h.counts[i].Load()}
+	}
+	return s
+}
+
+// Registry names and owns instruments. Lookup methods create on first use
+// and are cheap enough for per-fit or per-chunk call sites; per-record hot
+// paths should resolve instruments once and keep the pointers. A nil
+// *Registry is the disabled state: every method no-ops and every lookup
+// returns a nil instrument whose methods also no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	journal  *Journal
+}
+
+// DefaultJournalCap is the event-journal capacity NewRegistry provisions.
+const DefaultJournalCap = 4096
+
+// NewRegistry returns an empty registry with a DefaultJournalCap journal.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		journal:  NewJournal(DefaultJournalCap),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. The bounds
+// apply only on first creation; later lookups reuse the existing buckets
+// regardless of the bounds argument. Nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Journal returns the registry's event journal (nil on a nil registry).
+func (r *Registry) Journal() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.journal
+}
+
+// Record appends one event to the journal (no-op on a nil registry).
+func (r *Registry) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.journal.Record(e)
+}
+
+// JournalInfo summarizes the journal inside a snapshot.
+type JournalInfo struct {
+	Len     int    `json:"len"`
+	LastSeq uint64 `json:"last_seq"`
+	Dropped uint64 `json:"dropped"` // events evicted by the ring bound
+}
+
+// Snapshot is a point-in-time JSON-friendly reading of every instrument.
+// Map keys JSON-encode in sorted order, so encoded snapshots are
+// deterministic given deterministic counter values.
+type Snapshot struct {
+	TakenUnixNs int64                        `json:"taken_unix_ns"`
+	Counters    map[string]int64             `json:"counters"`
+	Gauges      map[string]float64           `json:"gauges"`
+	Histograms  map[string]HistogramSnapshot `json:"histograms"`
+	Journal     JournalInfo                  `json:"journal"`
+}
+
+// Snapshot captures the current value of every instrument. On a nil
+// registry it returns an empty (but non-nil-mapped) snapshot so callers
+// can serve it unconditionally.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		TakenUnixNs: time.Now().UnixNano(),
+		Counters:    map[string]int64{},
+		Gauges:      map[string]float64{},
+		Histograms:  map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	for name, h := range hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	if j := r.journal; j != nil {
+		s.Journal = j.Info()
+	}
+	return s
+}
+
+// CounterNames returns the sorted names of all registered counters.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	// Every lookup and every instrument method must be a no-op on nil.
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := r.Gauge("g")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	h := r.Histogram("h", 1, 2)
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram observed")
+	}
+	r.Record(Event{Kind: "x"})
+	if j := r.Journal(); j.Len() != 0 || j.LastSeq() != 0 || j.Since(0, 0) != nil {
+		t.Fatal("nil journal retained events")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+	if r.CounterNames() != nil {
+		t.Fatal("nil CounterNames")
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("site.chunks")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("site.chunks") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("net.queued")
+	g.Set(4)
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndClamping(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{-10, 0.5, 1, 1.5, 3, 4, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// -10, 0.5, 1 ≤ 1 → bucket 0; 1.5 → bucket 1; 3, 4 → bucket 2;
+	// 100 overflows.
+	want := []int64{3, 1, 2}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d (le=%v) = %d, want %d", i, b.Le, b.Count, want[i])
+		}
+	}
+	if s.Overflow != 1 {
+		t.Fatalf("overflow = %d", s.Overflow)
+	}
+	var total int64 = s.Overflow
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatal("histogram mass lost")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram() },
+		func() { NewHistogram(2, 1) },
+		func() { NewHistogram(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramFirstBoundsWin(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("h", 1, 2, 3)
+	h2 := r.Histogram("h", 10)
+	if h1 != h2 {
+		t.Fatal("same name must return the same histogram")
+	}
+	h2.Observe(2.5)
+	if got := h1.snapshot().Buckets[2].Count; got != 1 {
+		t.Fatalf("observation did not land in the original buckets: %d", got)
+	}
+}
+
+func TestJournalRingEviction(t *testing.T) {
+	j := NewJournal(3)
+	for i := 1; i <= 5; i++ {
+		j.Record(Event{Kind: "e", N: i})
+	}
+	if j.Len() != 3 {
+		t.Fatalf("len = %d", j.Len())
+	}
+	if j.LastSeq() != 5 {
+		t.Fatalf("last seq = %d", j.LastSeq())
+	}
+	got := j.Since(0, 0)
+	if len(got) != 3 || got[0].N != 3 || got[2].N != 5 {
+		t.Fatalf("retained = %+v", got)
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+3) {
+			t.Fatalf("seq[%d] = %d", i, e.Seq)
+		}
+	}
+	if info := j.Info(); info.Dropped != 2 || info.Len != 3 || info.LastSeq != 5 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestJournalSinceAndLimit(t *testing.T) {
+	j := NewJournal(10)
+	for i := 1; i <= 6; i++ {
+		j.Record(Event{Kind: "e", N: i})
+	}
+	if got := j.Since(4, 0); len(got) != 2 || got[0].N != 5 {
+		t.Fatalf("since(4) = %+v", got)
+	}
+	// Limit keeps the newest events.
+	if got := j.Since(0, 2); len(got) != 2 || got[0].N != 5 || got[1].N != 6 {
+		t.Fatalf("limit=2 = %+v", got)
+	}
+	if got := j.Since(100, 0); len(got) != 0 {
+		t.Fatalf("since(100) = %+v", got)
+	}
+}
+
+func TestSnapshotJSONDeterministicShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Inc()
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h", 1, 2).Observe(3)
+	r.Record(Event{Kind: "chunk-fit", Site: 1, Value: 0.1})
+
+	s := r.Snapshot()
+	if s.Counters["a.one"] != 1 || s.Counters["b.two"] != 2 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+	if s.Journal.Len != 1 || s.Journal.LastSeq != 1 {
+		t.Fatalf("journal info = %+v", s.Journal)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map keys marshal sorted, so a.one precedes b.two.
+	txt := string(raw)
+	if !strings.Contains(txt, `"a.one":1`) ||
+		strings.Index(txt, "a.one") > strings.Index(txt, "b.two") {
+		t.Fatalf("snapshot JSON not in sorted key order: %s", txt)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Histograms["h"].Overflow != 1 {
+		t.Fatalf("round-trip lost histogram overflow: %+v", back.Histograms["h"])
+	}
+	if names := r.CounterNames(); len(names) != 2 || names[0] != "a.one" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			h := r.Histogram("h", 0.5)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 2))
+				r.Record(Event{Kind: "e", Site: id})
+				r.Gauge("g").Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != goroutines*per {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := r.Histogram("h").Count(); got != goroutines*per {
+		t.Fatalf("histogram count = %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != goroutines*per {
+		t.Fatalf("gauge = %v", got)
+	}
+	if got := r.Journal().LastSeq(); got != goroutines*per {
+		t.Fatalf("journal seq = %d", got)
+	}
+}
+
+// BenchmarkDisabledCounter pins constraint 2: the disabled path is a nil
+// check. On any machine this is well under a nanosecond per call.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("h", 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(1)
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
