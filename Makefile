@@ -2,7 +2,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X cludistream/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build vet lint test race race-em check tier1 fuzz bench obs-demo
+.PHONY: all build vet lint test race race-em race-parallel alloc-gate check tier1 fuzz bench bench-compare obs-demo
 
 all: check
 
@@ -33,8 +33,19 @@ race:
 race-em:
 	$(GO) test -race ./internal/em/ ./internal/gaussian/ ./internal/parallel/
 
+# Sharded-apply determinism and Feed/Close lifecycle races, run twice so
+# goroutine interleavings get a second roll of the dice.
+race-parallel:
+	$(GO) test -race -run 'TestShardedApplyMatchesMutex|TestFeedCloseConcurrencyHammer|TestQueueDepthGauges' -count 2 ./internal/parallel/
+
+# Steady-state ingest must not allocate: the benchmark itself asserts
+# 0 allocs/record via testing.AllocsPerRun before timing, so a handful of
+# iterations is enough to enforce the gate.
+alloc-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkSiteSteadyState' -benchtime 100x .
+
 # Full pre-merge gate.
-check: build lint race-em race
+check: build lint race-em race-parallel alloc-gate race
 
 # The repo's minimal health check (see ROADMAP.md).
 tier1:
@@ -54,6 +65,18 @@ bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry' -benchmem . ; } \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_quick.json
+
+# Regression check against the committed snapshot: rerun the hot-path
+# micro-benchmarks (skipping the slow figure reproductions), convert to
+# JSON, and diff ns/op against BENCH_quick.json. Fails when any shared
+# benchmark slowed down by more than 10%; figure benchmarks present only
+# in the snapshot show up as informational "(no baseline)" rows.
+bench-compare:
+	@tmp=$$(mktemp) && \
+	$(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry' -benchmem . \
+	  | $(GO) run ./cmd/benchjson > $$tmp && \
+	$(GO) run ./cmd/benchjson -compare BENCH_quick.json $$tmp; \
+	rc=$$?; rm -f $$tmp; exit $$rc
 
 # Live observability demo: run the distributed example with debug
 # endpoints up, snapshot them mid-flight with obsdump, and print the

@@ -70,6 +70,18 @@ type Config struct {
 	AutoKMax int
 	// AutoKMin is the lower bound of the AutoKMax sweep (default 1).
 	AutoKMin int
+	// WarmStart controls whether sites seed EM refits from the
+	// best-scoring archived model when the chunk drifted only slightly
+	// past the fit threshold (see site.Config.WarmStart). Empty selects
+	// site.WarmStartOn; site.WarmStartCold restores cold k-means++ inits.
+	WarmStart string
+	// WarmAuditEvery audits every Nth warm refit against a cold run and
+	// keeps the higher-likelihood model (default 8; see site.Config).
+	WarmAuditEvery int
+	// WarmMargin bounds how far past the fit threshold a chunk may land
+	// while still warm-starting (default 4×FitEps; negative disables the
+	// bound; see site.Config.WarmMargin).
+	WarmMargin float64
 
 	// LinkLatency is the one-way site→coordinator delay in simulated
 	// seconds (default 0.05).
@@ -202,20 +214,23 @@ func New(cfg Config) (*System, error) {
 	}
 	for i := 0; i < cfg.NumSites; i++ {
 		sc := site.Config{
-			SiteID:    i + 1,
-			Dim:       cfg.Dim,
-			K:         cfg.K,
-			Epsilon:   cfg.Epsilon,
-			FitEps:    cfg.FitEps,
-			Delta:     cfg.Delta,
-			CMax:      cfg.CMax,
-			EM:        cfg.EM,
-			Seed:      cfg.Seed + int64(i)*7919, // distinct, deterministic
-			SharpTest: cfg.SharpTest,
-			UseSMEM:   cfg.UseSMEM,
-			AutoKMax:  cfg.AutoKMax,
-			AutoKMin:  cfg.AutoKMin,
-			ChunkSize: cfg.ChunkSize,
+			SiteID:         i + 1,
+			Dim:            cfg.Dim,
+			K:              cfg.K,
+			Epsilon:        cfg.Epsilon,
+			FitEps:         cfg.FitEps,
+			Delta:          cfg.Delta,
+			CMax:           cfg.CMax,
+			EM:             cfg.EM,
+			Seed:           cfg.Seed + int64(i)*7919, // distinct, deterministic
+			SharpTest:      cfg.SharpTest,
+			UseSMEM:        cfg.UseSMEM,
+			AutoKMax:       cfg.AutoKMax,
+			AutoKMin:       cfg.AutoKMin,
+			ChunkSize:      cfg.ChunkSize,
+			WarmStart:      cfg.WarmStart,
+			WarmAuditEvery: cfg.WarmAuditEvery,
+			WarmMargin:     cfg.WarmMargin,
 			// Sliding windows require the coordinator's weights to track
 			// the site counters, or deletions would underflow.
 			EmitFitWeightUpdates: cfg.SlidingHorizonChunks > 0,

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(ns map[string]float64) *Report {
+	rep := &Report{}
+	for name, v := range ns {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name:       name,
+			Iterations: 1,
+			Metrics:    map[string]float64{"ns/op": v},
+		})
+	}
+	return rep
+}
+
+func TestCompareReportsMatchesByName(t *testing.T) {
+	rows := compareReports(
+		report(map[string]float64{"A": 100, "B": 200, "Gone": 5}),
+		report(map[string]float64{"A": 90, "B": 250, "New": 7}),
+	)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	// Sorted by name: A, B, Gone, New.
+	if rows[0].Name != "A" || math.Abs(rows[0].Pct-(-10)) > 1e-9 {
+		t.Fatalf("row A = %+v, want -10%%", rows[0])
+	}
+	if rows[1].Name != "B" || math.Abs(rows[1].Pct-25) > 1e-9 {
+		t.Fatalf("row B = %+v, want +25%%", rows[1])
+	}
+	if rows[2].Name != "Gone" || !math.IsNaN(rows[2].Pct) || !math.IsNaN(rows[2].New) {
+		t.Fatalf("row Gone = %+v, want NaN pct/new", rows[2])
+	}
+	if rows[3].Name != "New" || !math.IsNaN(rows[3].Pct) || !math.IsNaN(rows[3].Old) {
+		t.Fatalf("row New = %+v, want NaN pct/old", rows[3])
+	}
+}
+
+func TestCompareRowRegressed(t *testing.T) {
+	cases := []struct {
+		pct  float64
+		want bool
+	}{
+		{pct: 25, want: true},
+		{pct: 10, want: false}, // at threshold is not beyond it
+		{pct: -40, want: false},
+		{pct: math.NaN(), want: false}, // one-sided rows never regress
+	}
+	for _, c := range cases {
+		r := compareRow{Pct: c.pct}
+		if got := r.Regressed(10); got != c.want {
+			t.Errorf("Regressed(10) with pct=%v: got %v, want %v", c.pct, got, c.want)
+		}
+	}
+}
+
+func TestWriteComparisonFlagsRegressions(t *testing.T) {
+	rows := compareReports(
+		report(map[string]float64{"Fast": 100, "Slow": 100}),
+		report(map[string]float64{"Fast": 105, "Slow": 150}),
+	)
+	var sb strings.Builder
+	if !writeComparison(&sb, rows, 10) {
+		t.Fatal("writeComparison returned false, want regression detected")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Slow") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("output missing regression marker:\n%s", out)
+	}
+	if strings.Contains(strings.Split(out, "\n")[0], "REGRESSION") {
+		t.Fatalf("Fast row flagged as regression:\n%s", out)
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeJSON := func(path, body string) {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJSON(oldPath, `{"go_version":"go1.x","gomaxprocs":1,"benchmarks":[
+		{"name":"SiteObserve","iterations":10,"metrics":{"ns/op":1000}}]}`)
+	writeJSON(newPath, `{"go_version":"go1.x","gomaxprocs":1,"benchmarks":[
+		{"name":"SiteObserve","iterations":10,"metrics":{"ns/op":1050}}]}`)
+
+	var sb strings.Builder
+	regressed, err := runCompare(oldPath, newPath, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("+5%% flagged as regression at 10%% threshold:\n%s", sb.String())
+	}
+
+	writeJSON(newPath, `{"go_version":"go1.x","gomaxprocs":1,"benchmarks":[
+		{"name":"SiteObserve","iterations":10,"metrics":{"ns/op":1200}}]}`)
+	sb.Reset()
+	regressed, err = runCompare(oldPath, newPath, 10, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("+20%% not flagged at 10%% threshold:\n%s", sb.String())
+	}
+
+	if _, err := runCompare(filepath.Join(dir, "missing.json"), newPath, 10, &sb); err == nil {
+		t.Fatal("missing old report: want error")
+	}
+	writeJSON(oldPath, `{"benchmarks":[]}`)
+	if _, err := runCompare(oldPath, newPath, 10, &sb); err == nil {
+		t.Fatal("empty old report: want error")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"cludistream/internal/experiments"
+	"cludistream/internal/site"
 	"cludistream/internal/telemetry"
 )
 
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "global random seed")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	workers := flag.Int("workers", 0, "EM worker goroutines per fit (0 = GOMAXPROCS; results are identical at any value)")
+	cold := flag.Bool("cold", false, "disable warm-start refit seeding (A/B baseline: every EM refit uses cold k-means++ init)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	telemetryOut := flag.String("telemetry", "", `end-of-run telemetry dump: "text", "json", or a file path (.json gets JSON)`)
@@ -58,6 +60,9 @@ func main() {
 	}
 	p.Seed = *seed
 	p.EMWorkers = *workers
+	if *cold {
+		p.WarmStart = site.WarmStartCold
+	}
 	var reg *telemetry.Registry
 	if *telemetryOut != "" {
 		reg = telemetry.NewRegistry()

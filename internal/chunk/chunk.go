@@ -34,10 +34,26 @@ func Size(d int, epsilon, delta float64) int {
 
 // Chunker accumulates records and emits full chunks. It owns the single
 // per-site data buffer that Theorem 3 charges M records of memory for.
+//
+// Records are stored in a flat row-major slab — one contiguous
+// size×dim float64 block per chunk, with the emitted []linalg.Vector
+// acting as row headers into it — so chunk scoring streams through
+// memory in order. Add copies the record into the slab; the caller
+// keeps ownership of (and may freely reuse) the vector it passed in.
+//
+// Emitted chunks follow a two-buffer recycle protocol: the Chunker fills
+// one buffer while the previously emitted chunk is being processed, and
+// Recycle hands a processed chunk's storage back for the buffer after
+// that. A caller that recycles every chunk it receives (the site does)
+// runs with exactly two chunk buffers and zero allocations per record in
+// steady state; a caller that never calls Recycle simply costs one slab
+// allocation per chunk, matching the pre-recycle behaviour.
 type Chunker struct {
 	size    int
 	dim     int
-	buf     []linalg.Vector
+	buf     []linalg.Vector // size row headers into one flat slab
+	fill    int             // records currently in buf
+	spare   []linalg.Vector // recycled buffer awaiting reuse (nil if none)
 	emitted int
 }
 
@@ -50,40 +66,78 @@ func NewChunker(size, dim int) *Chunker {
 	if dim < 1 {
 		panic(fmt.Sprintf("chunk: dim %d < 1", dim))
 	}
-	return &Chunker{size: size, dim: dim, buf: make([]linalg.Vector, 0, size)}
+	c := &Chunker{size: size, dim: dim}
+	c.buf = c.newBuf()
+	return c
+}
+
+// newBuf allocates one chunk buffer: a flat slab plus its row headers.
+func (c *Chunker) newBuf() []linalg.Vector {
+	slab := make([]float64, c.size*c.dim)
+	buf := make([]linalg.Vector, c.size)
+	for i := range buf {
+		buf[i] = slab[i*c.dim : (i+1)*c.dim : (i+1)*c.dim]
+	}
+	return buf
 }
 
 // Size returns the chunk size.
 func (c *Chunker) Size() int { return c.size }
 
-// Add appends one record. When the buffer reaches the chunk size, the full
-// chunk is returned (ownership transfers to the caller) and the buffer
-// resets; otherwise Add returns nil. Records of the wrong dimension are
-// rejected with an error.
+// Add copies one record into the buffer. When the buffer reaches the chunk
+// size, the full chunk is returned (valid until the caller recycles it)
+// and filling switches to the spare buffer; otherwise Add returns nil.
+// Records of the wrong dimension are rejected with an error.
 func (c *Chunker) Add(x linalg.Vector) ([]linalg.Vector, error) {
 	if len(x) != c.dim {
 		return nil, fmt.Errorf("chunk: record dim %d, want %d", len(x), c.dim)
 	}
-	c.buf = append(c.buf, x)
-	if len(c.buf) < c.size {
+	copy(c.buf[c.fill], x)
+	c.fill++
+	if c.fill < c.size {
 		return nil, nil
 	}
 	out := c.buf
-	c.buf = make([]linalg.Vector, 0, c.size)
+	c.buf, c.spare = c.spare, nil
+	if c.buf == nil {
+		c.buf = c.newBuf()
+	}
+	c.fill = 0
 	c.emitted++
 	return out, nil
 }
 
+// Recycle returns a chunk previously emitted by Add to the Chunker for
+// reuse, after the caller is completely done with it (no references to the
+// chunk or its records may be retained). Chunks of the wrong shape and
+// surplus buffers beyond the one spare slot are dropped, so Recycle never
+// needs an error path.
+func (c *Chunker) Recycle(chunk []linalg.Vector) {
+	if c.spare != nil || len(chunk) != c.size || c.size == 0 || len(chunk[0]) != c.dim {
+		return
+	}
+	c.spare = chunk
+}
+
 // Pending returns the number of buffered records not yet forming a chunk.
-func (c *Chunker) Pending() int { return len(c.buf) }
+func (c *Chunker) Pending() int { return c.fill }
 
 // Emitted returns how many full chunks have been produced.
 func (c *Chunker) Emitted() int { return c.emitted }
 
 // Flush returns the partial buffer (possibly empty) and resets it. Used at
 // stream end or when a window query must account for in-flight records.
+// Ownership of the returned records transfers to the caller; the flushed
+// buffer is replaced rather than reused, so the records stay valid.
 func (c *Chunker) Flush() []linalg.Vector {
-	out := c.buf
-	c.buf = make([]linalg.Vector, 0, c.size)
+	if c.fill == 0 {
+		return nil
+	}
+	out := c.buf[:c.fill]
+	c.buf, c.spare = c.spare, nil
+	if c.buf == nil {
+		c.buf = c.newBuf()
+	}
+	c.fill = 0
 	return out
 }

@@ -143,3 +143,81 @@ func TestChunkerNoAliasing(t *testing.T) {
 		t.Fatal("returned chunks alias internal buffer")
 	}
 }
+
+func TestChunkerAddCopies(t *testing.T) {
+	// Add copies the record: mutating the caller's vector afterwards must
+	// not change what the chunk holds.
+	c := NewChunker(2, 1)
+	x := linalg.Vector{7}
+	c.Add(x)
+	x[0] = -1
+	full, _ := c.Add(linalg.Vector{8})
+	if full[0][0] != 7 || full[1][0] != 8 {
+		t.Fatalf("chunk = %v, want [[7] [8]]", full)
+	}
+}
+
+func TestChunkerRecycleReusesStorage(t *testing.T) {
+	c := NewChunker(2, 2)
+	c.Add(linalg.Vector{1, 2})
+	first, _ := c.Add(linalg.Vector{3, 4})
+	c.Recycle(first)
+	c.Add(linalg.Vector{5, 6})
+	second, _ := c.Add(linalg.Vector{7, 8})
+	c.Recycle(second)
+	c.Add(linalg.Vector{9, 10})
+	third, _ := c.Add(linalg.Vector{11, 12})
+	// With a recycled buffer always available, the third chunk must be the
+	// first one's storage coming back around (two-buffer steady state).
+	if &third[0][0] != &first[0][0] {
+		t.Fatal("recycled storage not reused")
+	}
+	if third[0][0] != 9 || third[1][1] != 12 {
+		t.Fatalf("third chunk = %v", third)
+	}
+}
+
+func TestChunkerRecycleRejectsWrongShape(t *testing.T) {
+	c := NewChunker(2, 2)
+	// Wrong length and wrong dim are silently dropped, never adopted.
+	c.Recycle(make([]linalg.Vector, 3))
+	c.Recycle([]linalg.Vector{{1}, {2}})
+	c.Add(linalg.Vector{1, 2})
+	full, err := c.Add(linalg.Vector{3, 4})
+	if err != nil || len(full) != 2 || len(full[0]) != 2 {
+		t.Fatalf("chunk after bad recycles = %v (%v)", full, err)
+	}
+}
+
+func TestChunkerSteadyStateZeroAlloc(t *testing.T) {
+	c := NewChunker(50, 4)
+	x := make(linalg.Vector, 4)
+	avg := testing.AllocsPerRun(200, func() {
+		full, err := c.Add(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full != nil {
+			c.Recycle(full)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Add+Recycle allocates %v per record in steady state", avg)
+	}
+}
+
+func TestChunkerFlushKeepsRecordsValid(t *testing.T) {
+	// Flush transfers ownership: the flushed records must survive the
+	// chunker filling (and emitting) subsequent chunks.
+	c := NewChunker(2, 1)
+	c.Add(linalg.Vector{1})
+	got := c.Flush()
+	for i := 0; i < 10; i++ {
+		if full, _ := c.Add(linalg.Vector{float64(100 + i)}); full != nil {
+			c.Recycle(full)
+		}
+	}
+	if len(got) != 1 || got[0][0] != 1 {
+		t.Fatalf("flushed records clobbered: %v", got)
+	}
+}

@@ -92,6 +92,15 @@ type coordTele struct {
 	groupsCreated *telemetry.Counter
 	groupsRemoved *telemetry.Counter
 	siteResets    *telemetry.Counter
+	groups        *telemetry.Gauge
+	leaves        *telemetry.Gauge
+}
+
+// setSizes publishes the current group/leaf population after a handled
+// message (nil-safe; no-op without a registry).
+func (t coordTele) setSizes(groups, leaves int) {
+	t.groups.Set(float64(groups))
+	t.leaves.Set(float64(leaves))
 }
 
 func newCoordTele(reg *telemetry.Registry) coordTele {
@@ -109,6 +118,8 @@ func newCoordTele(reg *telemetry.Registry) coordTele {
 		groupsCreated: reg.Counter("coord.groups_created"),
 		groupsRemoved: reg.Counter("coord.groups_removed"),
 		siteResets:    reg.Counter("coord.site_resets"),
+		groups:        reg.Gauge("coord.groups"),
+		leaves:        reg.Gauge("coord.leaves"),
 	}
 }
 
@@ -163,6 +174,7 @@ func New(cfg Config) (*Coordinator, error) {
 func (c *Coordinator) HandleUpdate(u site.Update) error {
 	c.stats.UpdatesHandled++
 	c.tele.updates.Inc()
+	defer c.tele.setSizes(len(c.groups), len(c.location))
 	switch u.Kind {
 	case site.NewModel:
 		return c.handleNewModel(u)
@@ -229,6 +241,7 @@ func (c *Coordinator) HandleDeletion(siteID, modelID, count int) error {
 	}
 	c.stats.Deletions++
 	c.tele.deletions.Inc()
+	defer c.tele.setSizes(len(c.groups), len(c.location))
 	return c.shiftWeight(sm, -count)
 }
 

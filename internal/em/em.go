@@ -42,6 +42,14 @@ type Config struct {
 	// paper applies ϖ to the total log-likelihood; we use the average so
 	// the same tolerance works across chunk sizes.
 	Tol float64
+	// RelTol, when positive, adds a relative convergence test alongside the
+	// absolute one: EM also stops once |avgLL − prev| ≤ RelTol·|prev| (prev
+	// finite). Warm-started refits sit close to a mode from iteration 0,
+	// where the absolute Tol can be needlessly strict on streams whose
+	// log-likelihood scale is large; the relative test ends those runs as
+	// soon as the improvement is negligible at the likelihood's own scale.
+	// Zero (the default) disables it, keeping pre-existing fits bit-identical.
+	RelTol float64
 	// CovType selects full or diagonal covariances.
 	CovType CovType
 	// MinVar floors every covariance diagonal (default 1e-6).
@@ -69,6 +77,16 @@ type Config struct {
 	// the fit computed anyway and never touches the rng, so fitted
 	// mixtures are bit-identical with or without it.
 	Telemetry *telemetry.Registry
+}
+
+// converged reports whether the change from prev to avgLL satisfies the
+// absolute Tol or, when RelTol is set and prev is finite, the relative test.
+func (c Config) converged(avgLL, prev float64) bool {
+	delta := math.Abs(avgLL - prev)
+	if delta <= c.Tol {
+		return true
+	}
+	return c.RelTol > 0 && !math.IsInf(prev, 0) && delta <= c.RelTol*math.Abs(prev)
 }
 
 func (c Config) withDefaults() Config {
@@ -147,7 +165,7 @@ func Fit(data []linalg.Vector, cfg Config) (*Result, error) {
 			return nil, err
 		}
 
-		if math.Abs(avgLL-prevAvgLL) <= cfg.Tol {
+		if cfg.converged(avgLL, prevAvgLL) {
 			converged = true
 			iter++
 			break
@@ -287,7 +305,7 @@ func FitStats(blocks []*SuffStats, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if math.Abs(avgLL-prevAvgLL) <= cfg.Tol {
+		if cfg.converged(avgLL, prevAvgLL) {
 			converged = true
 			iter++
 			break

@@ -267,3 +267,97 @@ func TestFitStatsErrors(t *testing.T) {
 		t.Error("K=0 should error")
 	}
 }
+
+func TestFitRelTol(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	// Overlapping clusters: absolute-tolerance EM grinds through a long
+	// likelihood plateau that a relative stop cuts short.
+	data, _ := genMixtureData(rng, []linalg.Vector{{-1.5}, {1.5}}, 1, 800)
+	strict, err := Fit(data, Config{K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Fit(data, Config{K: 2, Seed: 3, RelTol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Iterations > strict.Iterations {
+		t.Fatalf("RelTol fit took %d iterations, absolute-only took %d",
+			loose.Iterations, strict.Iterations)
+	}
+	if math.IsNaN(loose.AvgLogLikelihood) || math.IsInf(loose.AvgLogLikelihood, 0) {
+		t.Fatalf("RelTol log-likelihood = %v", loose.AvgLogLikelihood)
+	}
+	// The early stop may shave only plateau iterations: the final
+	// likelihoods must agree to well within the relative tolerance band.
+	if rel := math.Abs(loose.AvgLogLikelihood-strict.AvgLogLikelihood) /
+		math.Abs(strict.AvgLogLikelihood); rel > 1e-2 {
+		t.Fatalf("RelTol changed log-likelihood by %v relative", rel)
+	}
+	// RelTol: 0 (the default) must leave fits bit-identical.
+	again, err := Fit(data, Config{K: 2, Seed: 3, RelTol: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Iterations != strict.Iterations ||
+		again.AvgLogLikelihood != strict.AvgLogLikelihood {
+		t.Fatal("RelTol=0 altered the fit")
+	}
+}
+
+func TestFitRelTolFirstIteration(t *testing.T) {
+	// prev log-likelihood starts at -Inf; |Inf delta| <= RelTol*Inf is true
+	// in float math, so an unguarded relative test would declare
+	// convergence after a single iteration. Even an absurd RelTol must run
+	// at least two.
+	rng := rand.New(rand.NewSource(82))
+	data, _ := genMixtureData(rng, []linalg.Vector{{-5}, {5}}, 1, 400)
+	res, err := Fit(data, Config{K: 2, Seed: 3, RelTol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("RelTol=1 converged after %d iteration(s)", res.Iterations)
+	}
+}
+
+func TestFitInitModelDimMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	data, _ := genMixtureData(rng, []linalg.Vector{{-5}, {5}}, 1, 200)
+	_, wrongDim := genMixtureData(rng, []linalg.Vector{{-5, 0}, {5, 0}}, 1, 4)
+	if _, err := Fit(data, Config{K: 2, Seed: 1, InitModel: wrongDim}); err == nil {
+		t.Error("dim-mismatched InitModel accepted")
+	}
+}
+
+func TestFitInitModelNearSingular(t *testing.T) {
+	// A warm-start seed may carry a collapsed component (e.g. an archived
+	// model of a vanished regime). EM must reseed it from the data — the
+	// dead-component path — and converge to a finite fit, never NaN.
+	rng := rand.New(rand.NewSource(84))
+	data, _ := genMixtureData(rng, []linalg.Vector{{-4}, {4}}, 1, 600)
+	seed := gaussian.MustMixture(
+		[]float64{0.5, 0.5},
+		[]*gaussian.Component{
+			gaussian.Spherical(linalg.Vector{-4}, 1),
+			gaussian.Spherical(linalg.Vector{1000}, 1e-12), // collapsed, off-data
+		})
+	res, err := Fit(data, Config{K: 2, Seed: 1, InitModel: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.AvgLogLikelihood) || math.IsInf(res.AvgLogLikelihood, 0) {
+		t.Fatalf("near-singular warm start log-likelihood = %v", res.AvgLogLikelihood)
+	}
+	for j := 0; j < res.Mixture.K(); j++ {
+		c := res.Mixture.Component(j)
+		for _, v := range c.Mean() {
+			if math.IsNaN(v) {
+				t.Fatalf("component %d mean has NaN: %v", j, c.Mean())
+			}
+		}
+		if w := res.Mixture.Weight(j); math.IsNaN(w) || w <= 0 {
+			t.Fatalf("component %d weight = %v", j, w)
+		}
+	}
+}

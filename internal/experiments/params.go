@@ -49,6 +49,12 @@ type Params struct {
 	SEMBuffer int
 	// SamplePoints is how many x-axis points sweeps produce.
 	SamplePoints int
+	// WarmStart selects the sites' refit-seeding policy (empty ⇒
+	// site.WarmStartOn): warm refits seed EM from the best-scoring tested
+	// model when drift stayed inside the WarmMargin gate, which cuts EM
+	// iterations without changing which chunks refit. site.WarmStartCold
+	// restores the pre-warm-start cold k-means++ path for A/B runs.
+	WarmStart string
 	// EMWorkers caps the worker goroutines of every inner EM fit (0 ⇒
 	// GOMAXPROCS). Fitted models are bit-identical at any value — the
 	// fused E-step reduces on fixed shard boundaries — so figures never
@@ -116,6 +122,7 @@ func (p Params) siteConfig(id int) site.Config {
 		CMax:      p.CMax,
 		Seed:      p.Seed + int64(id)*7919,
 		EM:        em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
+		WarmStart: p.WarmStart,
 		Telemetry: p.Telemetry,
 	}
 }
@@ -211,6 +218,7 @@ func newSystem(p Params, dim, sites int) (*root.System, error) {
 		CMax:      p.CMax,
 		Seed:      p.Seed,
 		EM:        em.Config{MaxIter: 50, Tol: 1e-3, MinVar: 1e-4, Workers: p.EMWorkers},
+		WarmStart: p.WarmStart,
 		Telemetry: p.Telemetry,
 	})
 }

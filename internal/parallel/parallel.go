@@ -1,10 +1,11 @@
 // Package parallel is the multi-core in-process runtime: one goroutine per
-// remote site, each consuming its own stream through a buffered channel,
-// with model updates funneled to a shared coordinator under a mutex. It is
-// the deployment shape between the fully simulated System (internal/netsim
-// clock, exact byte accounting) and the fully distributed one
-// (internal/netio over TCP): same protocol semantics, real concurrency,
-// zero network.
+// remote site, each consuming its own stream through a buffered channel.
+// Model updates flow through per-site ordered queues drained by a single
+// apply goroutine (actor pattern), so site goroutines never stall on the
+// coordinator's merge/placement work. It is the deployment shape between
+// the fully simulated System (internal/netsim clock, exact byte
+// accounting) and the fully distributed one (internal/netio over TCP):
+// same protocol semantics, real concurrency, zero network.
 package parallel
 
 import (
@@ -15,6 +16,7 @@ import (
 	"cludistream/internal/gaussian"
 	"cludistream/internal/linalg"
 	"cludistream/internal/site"
+	"cludistream/internal/telemetry"
 	"cludistream/internal/transport"
 	"cludistream/internal/window"
 )
@@ -26,10 +28,31 @@ type Config struct {
 	Sites []site.Config
 	// Coord configures the shared coordinator.
 	Coord coordinator.Config
-	// Buffer is the per-site input channel depth (default 256).
+	// Buffer is the per-site input channel depth (default 256). The apply
+	// queues use the same depth.
 	Buffer int
 	// SlidingHorizonChunks enables sliding-window deletions per site.
 	SlidingHorizonChunks int
+	// MutexApply reverts to the pre-actor behaviour: each site goroutine
+	// applies its own updates to the coordinator inline under a mutex,
+	// blocking on merge/placement work. Kept as the reference
+	// implementation the sharded apply loop is pinned against; production
+	// paths leave it off.
+	MutexApply bool
+	// Telemetry, when non-nil, exports per-site apply-queue depth gauges
+	// (parallel.queue_depth.site<N>, sampled at every drain) and is NOT
+	// propagated to sites or the coordinator — wire those through their
+	// own configs.
+	Telemetry *telemetry.Registry
+}
+
+// applyMsg is one coordinator mutation riding a site's apply queue.
+// Exactly one of the two kinds is set; size is its wire-equivalent cost.
+type applyMsg struct {
+	update   site.Update
+	deletion window.Deletion
+	isDel    bool
+	size     int
 }
 
 // Cluster runs the sites.
@@ -38,17 +61,33 @@ type Cluster struct {
 	inputs []chan linalg.Vector
 	wg     sync.WaitGroup
 
+	// Apply path: per-site FIFO queues (channel order = seq order within a
+	// site) drained in ascending siteID by the one apply goroutine. notify
+	// has capacity 1 and works as a pending flag: producers enqueue first,
+	// then set it; the apply goroutine re-checks every queue after
+	// consuming it, so no enqueue is ever missed.
+	queues     []chan applyMsg
+	notify     chan struct{}
+	quit       chan struct{}
+	applyWg    sync.WaitGroup
+	mutexApply bool
+	depth      []*telemetry.Gauge
+
 	coordMu sync.Mutex
 	coord   *coordinator.Coordinator
 
-	errMu sync.Mutex
-	err   error // first error observed by any site goroutine
-
-	statMu   sync.Mutex
+	// mu guards the cross-goroutine bookkeeping: the first error observed
+	// by any site or apply goroutine, and the byte/message totals (updated
+	// together with the error path, so one lock serves both).
+	mu       sync.Mutex
+	err      error
 	bytesOut int
 	messages int
 
-	closed bool
+	// closeMu serialises Feed against Close so intake channels are never
+	// closed mid-send.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 // New builds and starts a Cluster; site goroutines run until Close.
@@ -63,7 +102,12 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{coord: coord}
+	c := &Cluster{
+		coord:      coord,
+		mutexApply: cfg.MutexApply,
+		notify:     make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+	}
 	for i, sc := range cfg.Sites {
 		sc.SiteID = i + 1
 		// Sites already run one goroutine each; nested EM parallelism would
@@ -87,14 +131,24 @@ func New(cfg Config) (*Cluster, error) {
 		in := make(chan linalg.Vector, cfg.Buffer)
 		c.sites = append(c.sites, st)
 		c.inputs = append(c.inputs, in)
+		c.queues = append(c.queues, make(chan applyMsg, cfg.Buffer))
+		var g *telemetry.Gauge
+		if cfg.Telemetry != nil {
+			g = cfg.Telemetry.Gauge(fmt.Sprintf("parallel.queue_depth.site%d", i+1))
+		}
+		c.depth = append(c.depth, g)
 		c.wg.Add(1)
 		go c.run(st, tr, in, i+1)
+	}
+	if !c.mutexApply {
+		c.applyWg.Add(1)
+		go c.applyLoop()
 	}
 	return c, nil
 }
 
-// run is one site goroutine: observe records, apply updates to the shared
-// coordinator. After an error it keeps draining its channel so feeders
+// run is one site goroutine: observe records, hand resulting updates to
+// the apply path. After an error it keeps draining its channel so feeders
 // never block; the error surfaces through Feed/Close.
 func (c *Cluster) run(st *site.Site, tr *window.Tracker, in <-chan linalg.Vector, siteID int) {
 	defer c.wg.Done()
@@ -110,7 +164,7 @@ func (c *Cluster) run(st *site.Site, tr *window.Tracker, in <-chan linalg.Vector
 			continue
 		}
 		for _, u := range ups {
-			if err := c.applyUpdate(u); err != nil {
+			if err := c.submitUpdate(siteID, u); err != nil {
 				c.setErr(err)
 				failed = true
 				break
@@ -120,7 +174,7 @@ func (c *Cluster) run(st *site.Site, tr *window.Tracker, in <-chan linalg.Vector
 			continue
 		}
 		for _, d := range tr.Expire(siteID) {
-			if err := c.applyDeletion(d); err != nil {
+			if err := c.submitDeletion(siteID, d); err != nil {
 				c.setErr(err)
 				failed = true
 				break
@@ -129,62 +183,127 @@ func (c *Cluster) run(st *site.Site, tr *window.Tracker, in <-chan linalg.Vector
 	}
 }
 
-func (c *Cluster) applyUpdate(u site.Update) error {
-	size := transport.FromSiteUpdate(u).WireSize()
-	c.coordMu.Lock()
-	err := c.coord.HandleUpdate(u)
-	c.coordMu.Unlock()
-	if err != nil {
-		return err
+func (c *Cluster) submitUpdate(siteID int, u site.Update) error {
+	m := applyMsg{update: u, size: transport.FromSiteUpdate(u).WireSize()}
+	if c.mutexApply {
+		return c.apply(m)
 	}
-	c.statMu.Lock()
-	c.bytesOut += size
-	c.messages++
-	c.statMu.Unlock()
+	c.enqueue(siteID, m)
 	return nil
 }
 
-func (c *Cluster) applyDeletion(d window.Deletion) error {
-	size := transport.Message{Kind: transport.MsgDeletion}.WireSize()
+func (c *Cluster) submitDeletion(siteID int, d window.Deletion) error {
+	m := applyMsg{
+		deletion: d,
+		isDel:    true,
+		size:     transport.Message{Kind: transport.MsgDeletion}.WireSize(),
+	}
+	if c.mutexApply {
+		return c.apply(m)
+	}
+	c.enqueue(siteID, m)
+	return nil
+}
+
+// enqueue puts one message on the site's apply queue (blocking only on
+// apply-loop backpressure) and flags the apply goroutine.
+func (c *Cluster) enqueue(siteID int, m applyMsg) {
+	c.queues[siteID-1] <- m
+	select {
+	case c.notify <- struct{}{}:
+	default:
+	}
+}
+
+// applyLoop is the coordinator actor: it alone mutates the coordinator
+// while the cluster runs, draining the per-site queues on every notify and
+// once more on shutdown.
+func (c *Cluster) applyLoop() {
+	defer c.applyWg.Done()
+	for {
+		select {
+		case <-c.notify:
+			c.drainQueues()
+		case <-c.quit:
+			// All site goroutines have exited; one final sweep empties
+			// whatever they enqueued after the last notify was consumed.
+			c.drainQueues()
+			return
+		}
+	}
+}
+
+// drainQueues applies every queued message, visiting sites in ascending
+// siteID and each site's queue in FIFO (= seq) order, which keeps the
+// apply order deterministic within a drain.
+func (c *Cluster) drainQueues() {
+	for i := range c.queues {
+	site:
+		for {
+			select {
+			case m := <-c.queues[i]:
+				if err := c.apply(m); err != nil {
+					c.setErr(err)
+				}
+			default:
+				break site
+			}
+		}
+		c.depth[i].Set(float64(len(c.queues[i])))
+	}
+}
+
+// apply performs one coordinator mutation and accounts its wire cost. In
+// sharded mode only the apply goroutine calls it; coordMu is still taken
+// so Snapshot/GlobalMixture can read concurrently.
+func (c *Cluster) apply(m applyMsg) error {
 	c.coordMu.Lock()
-	err := c.coord.HandleDeletion(d.SiteID, d.ModelID, d.Count)
+	var err error
+	if m.isDel {
+		err = c.coord.HandleDeletion(m.deletion.SiteID, m.deletion.ModelID, m.deletion.Count)
+	} else {
+		err = c.coord.HandleUpdate(m.update)
+	}
 	c.coordMu.Unlock()
 	if err != nil {
 		return err
 	}
-	c.statMu.Lock()
-	c.bytesOut += size
+	c.mu.Lock()
+	c.bytesOut += m.size
 	c.messages++
-	c.statMu.Unlock()
+	c.mu.Unlock()
 	return nil
 }
 
 func (c *Cluster) setErr(err error) {
-	c.errMu.Lock()
+	c.mu.Lock()
 	if c.err == nil {
 		c.err = err
 	}
-	c.errMu.Unlock()
+	c.mu.Unlock()
 }
 
 // Err returns the first error any site goroutine hit (nil if none).
 func (c *Cluster) Err() error {
-	c.errMu.Lock()
-	defer c.errMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.err
 }
 
 // Feed enqueues one record for site i (0-based). It blocks only on
 // backpressure (full channel) and surfaces any previously recorded error.
+// Safe to call from multiple goroutines, concurrently with Close.
 func (c *Cluster) Feed(i int, x linalg.Vector) error {
 	if i < 0 || i >= len(c.inputs) {
 		return fmt.Errorf("parallel: site index %d of %d", i, len(c.inputs))
 	}
-	if c.closed {
-		return fmt.Errorf("parallel: cluster closed")
-	}
 	if err := c.Err(); err != nil {
 		return err
+	}
+	c.closeMu.RLock()
+	defer c.closeMu.RUnlock()
+	if c.closed {
+		return fmt.Errorf("parallel: cluster closed")
 	}
 	c.inputs[i] <- x
 	return nil
@@ -193,21 +312,30 @@ func (c *Cluster) Feed(i int, x linalg.Vector) error {
 // NumSites returns the site count.
 func (c *Cluster) NumSites() int { return len(c.sites) }
 
-// Close stops intake, waits for all sites to drain, and returns the first
-// error encountered.
+// Close stops intake, waits for all sites and the apply loop to drain,
+// and returns the first error encountered. Safe to call more than once
+// and concurrently with Feed.
 func (c *Cluster) Close() error {
-	if !c.closed {
+	c.closeMu.Lock()
+	first := !c.closed
+	if first {
 		c.closed = true
 		for _, in := range c.inputs {
 			close(in)
 		}
 	}
+	c.closeMu.Unlock()
 	c.wg.Wait()
+	if first && !c.mutexApply {
+		close(c.quit)
+	}
+	c.applyWg.Wait()
 	return c.Err()
 }
 
-// Snapshot runs fn with the coordinator locked. Safe while sites run, but
-// typically called after Close.
+// Snapshot runs fn with the coordinator locked. Safe while sites run —
+// the apply goroutine takes the same lock per message — but typically
+// called after Close.
 func (c *Cluster) Snapshot(fn func(*coordinator.Coordinator)) {
 	c.coordMu.Lock()
 	defer c.coordMu.Unlock()
@@ -227,7 +355,7 @@ func (c *Cluster) Site(i int) *site.Site { return c.sites[i] }
 
 // Stats returns (wire-equivalent bytes, messages) applied so far.
 func (c *Cluster) Stats() (bytesOut, messages int) {
-	c.statMu.Lock()
-	defer c.statMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.bytesOut, c.messages
 }

@@ -110,6 +110,34 @@ type Config struct {
 	// ChunkSize overrides the Theorem-1 chunk size when positive. Used by
 	// tests and by experiments that sweep M directly.
 	ChunkSize int
+	// WarmStart selects the refit initialization strategy. The default
+	// (WarmStartOn) seeds each refit's EM from the best-scoring model the
+	// multi-test loop just evaluated — those scores are already computed,
+	// and a nearby seed skips k-means++ and most iterations (the lever the
+	// streaming-GMM literature measures). WarmStartCold is the escape
+	// hatch: always initialize from scratch, bit-identical to the
+	// pre-warm-start code path. Warm starts never apply to the SMEM,
+	// auto-K or incomplete-data fitters, which keep their own init.
+	WarmStart string
+	// WarmAuditEvery is the cold-audit cadence of the warm-start quality
+	// guard (default 8): every Nth warm refit also runs the cold fit and
+	// keeps whichever converged to the higher log-likelihood, so a
+	// systematic warm-start quality regression cannot persist silently.
+	// Set to 1 to audit every refit (output log-likelihood then provably
+	// never trails cold start). Warm results that come back non-finite
+	// fall back to cold immediately, regardless of cadence.
+	WarmAuditEvery int
+	// WarmMargin bounds how far from fitting the best tested model may be
+	// and still seed a warm start, measured on the J_fit margin
+	// |Avg_Prn − Avg_Pr0|. Warm starts are a drift optimization: a model
+	// that barely failed the ε test is one EM polish away from the new
+	// regime, while a model hundreds of nats off describes a different
+	// regime entirely, and seeding EM from it parks the fit in a worse
+	// local optimum than k-means++ would find. Candidates with margin
+	// above WarmMargin are treated as novel regimes and refit cold.
+	// Default 4×FitEps (a few Theorem-2 noise widths past the test
+	// boundary); negative means no bound.
+	WarmMargin float64
 	// EmitFitWeightUpdates makes a fitting chunk emit a WeightUpdate for
 	// the current model instead of staying silent. Landmark-window
 	// deployments leave this off (Section 5.3's stability property);
@@ -138,12 +166,37 @@ type Config struct {
 	Telemetry *telemetry.Registry
 }
 
+// Accepted Config.WarmStart values.
+const (
+	// WarmStartOn seeds refit EM from the best-scoring tested model.
+	WarmStartOn = "on"
+	// WarmStartCold always initializes refit EM from scratch (k-means++).
+	WarmStartCold = "cold"
+)
+
+// warmRelTol is the relative log-likelihood stop applied to warm-started
+// refits when Config.EM.RelTol is unset. Audited refits compare against a
+// full-precision cold fit, so a systematically premature stop surfaces as
+// audit losses rather than silent quality drift.
+const warmRelTol = 1e-4
+
 func (c Config) withDefaults() Config {
 	if c.CMax <= 0 {
 		c.CMax = 4
 	}
 	if c.FitEps == 0 {
 		c.FitEps = c.Epsilon
+	}
+	if c.WarmStart == "" {
+		c.WarmStart = WarmStartOn
+	}
+	if c.WarmAuditEvery <= 0 {
+		c.WarmAuditEvery = 8
+	}
+	if c.WarmMargin == 0 {
+		c.WarmMargin = 4 * c.FitEps
+	} else if c.WarmMargin < 0 {
+		c.WarmMargin = math.Inf(1)
 	}
 	c.EM.K = c.K
 	if c.EM.Seed == 0 {
@@ -165,6 +218,13 @@ type Stats struct {
 	Fits        int // chunks that fit an existing model
 	Refits      int // chunks that required new EM models
 	Reactivated int // chunks explained by re-activating an archived model
+
+	// Warm-start refit accounting (zero under WarmStartCold).
+	WarmRefits      int // refits that kept the warm-started fit
+	ColdRefits      int // refits run cold (disabled, no seed, or K mismatch)
+	WarmFallbacks   int // warm fits discarded for a cold result (audit loss or non-finite)
+	WarmAudits      int // warm refits that also ran the cold comparison fit
+	IterationsSaved int // Σ (cold iters − warm iters) over audited refits; can go negative
 }
 
 // siteTele holds the site's telemetry instruments, resolved once at
@@ -181,6 +241,10 @@ type siteTele struct {
 	reactivated *telemetry.Counter
 	tests       *telemetry.Counter
 	emRuns      *telemetry.Counter
+	warmRefits  *telemetry.Counter
+	coldRefits  *telemetry.Counter
+	warmFalls   *telemetry.Counter
+	iterSaved   *telemetry.Counter
 	jfitMargin  *telemetry.Histogram
 	hitDepth    *telemetry.Histogram
 }
@@ -199,6 +263,10 @@ func newSiteTele(reg *telemetry.Registry) siteTele {
 		reactivated: reg.Counter("site.chunks_reactivated"),
 		tests:       reg.Counter("site.tests"),
 		emRuns:      reg.Counter("site.em_runs"),
+		warmRefits:  reg.Counter("site.warm_refits"),
+		coldRefits:  reg.Counter("site.cold_refits"),
+		warmFalls:   reg.Counter("site.warm_fallbacks"),
+		iterSaved:   reg.Counter("site.warm_iterations_saved"),
 		// J_fit margins live on the ε scale; the c_max recommendation is
 		// 3–4, so depth buckets 1..4 plus overflow cover every finding.
 		jfitMargin: reg.Histogram("site.jfit_margin", 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 5),
@@ -227,6 +295,9 @@ type Site struct {
 	// every model it ever tests.
 	scratch *gaussian.BatchScratch
 
+	// warmSeq counts warm-start refit attempts, driving the audit cadence.
+	warmSeq int
+
 	stats Stats
 }
 
@@ -238,6 +309,9 @@ func New(cfg Config) (*Site, error) {
 	}
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("site: K = %d", cfg.K)
+	}
+	if cfg.WarmStart != WarmStartOn && cfg.WarmStart != WarmStartCold {
+		return nil, fmt.Errorf("site: WarmStart = %q (want %q or %q)", cfg.WarmStart, WarmStartOn, WarmStartCold)
 	}
 	m := cfg.ChunkSize
 	if m <= 0 {
@@ -264,9 +338,14 @@ func (s *Site) ChunkSize() int { return s.m }
 func (s *Site) ID() int { return s.cfg.SiteID }
 
 // Observe consumes one record and returns any updates produced (non-nil
-// only when a chunk completed and changed the model state).
+// only when a chunk completed and changed the model state). The record is
+// copied into the chunk buffer, so the caller may reuse x immediately; in
+// steady-state test mode (chunk fits, nothing transmitted) the whole path
+// — buffering, chunk completion, batched J_fit scoring — performs zero
+// heap allocations per record, with chunk storage recycled through the
+// chunker's two-buffer protocol.
 func (s *Site) Observe(x linalg.Vector) ([]Update, error) {
-	full, err := s.chunker.Add(x.Clone())
+	full, err := s.chunker.Add(x)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +354,11 @@ func (s *Site) Observe(x linalg.Vector) ([]Update, error) {
 	if full == nil {
 		return nil, nil
 	}
-	return s.ProcessChunk(full)
+	ups, err := s.ProcessChunk(full)
+	// Nothing downstream retains chunk records (EM and the scorers copy
+	// what they keep), so the buffer can go straight back into rotation.
+	s.chunker.Recycle(full)
+	return ups, err
 }
 
 // ObserveAll consumes a batch of records, collecting all updates.
@@ -303,14 +386,22 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 
 	// Line 2: the very first chunk is always clustered.
 	if s.current == nil {
-		return s.clusterNewModel(data)
+		return s.clusterNewModel(data, nil)
 	}
+
+	// Every J_fit test below scores the chunk's average log-likelihood
+	// under a candidate model; the best-scoring candidate doubles as the
+	// warm-start seed if all tests fail and a refit is needed.
+	bestAvg := math.Inf(-1)
+	bestMargin := math.Inf(1)
+	var bestSeed *gaussian.Mixture
 
 	// Test 1: current model (line 5, FitDistribution).
 	s.stats.Tests++
 	s.tele.tests.Inc()
 	s.tele.tested.Inc()
-	margin, ok := s.fitMargin(s.current, data)
+	avg, margin, ok := s.fitScore(s.current, data)
+	bestAvg, bestMargin, bestSeed = avg, margin, s.current.Mixture
 	s.tele.jfitMargin.Observe(margin)
 	if ok {
 		s.current.Counter += s.m
@@ -342,7 +433,10 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 		s.tele.tests.Inc()
 		budget--
 		depth++
-		margin, ok := s.fitMargin(cand, data)
+		avg, margin, ok := s.fitScore(cand, data)
+		if avg > bestAvg {
+			bestAvg, bestMargin, bestSeed = avg, margin, cand.Mixture
+		}
 		s.tele.jfitMargin.Observe(margin)
 		if ok {
 			s.reactivate(i)
@@ -364,27 +458,34 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 		}
 	}
 
-	// No model fits: archive the current model (lines 8–9) and cluster.
+	// No model fits: archive the current model (lines 8–9) and cluster,
+	// seeding EM from the best-scoring model the tests just evaluated —
+	// but only if that model nearly fit (drift); a seed far past the
+	// WarmMargin bound describes a different regime and would steer EM
+	// into a worse basin than a cold start.
 	s.retireCurrent()
-	return s.clusterNewModel(data)
+	if bestMargin > s.cfg.WarmMargin {
+		bestSeed = nil
+	}
+	return s.clusterNewModel(data, bestSeed)
 }
 
-// fitMargin evaluates the test criterion J_fit = |Avg_Prn − Avg_Pr0| ≤ ε
-// (Eq. 4, justified by Theorem 2), returning both the margin |Avg_Prn −
-// Avg_Pr0| (the Theorem-2 observable telemetry journals) and the verdict.
-// The statistic is computed over the chunk's complete records only —
-// incomplete ones have no well-defined joint likelihood — matching the
-// reference Avg_Pr0.
-func (s *Site) fitMargin(m *Model, data []linalg.Vector) (margin float64, ok bool) {
+// fitScore evaluates the test criterion J_fit = |Avg_Prn − Avg_Pr0| ≤ ε
+// (Eq. 4, justified by Theorem 2), returning the chunk's average
+// log-likelihood under the model (the warm-start ranking key), the margin
+// |Avg_Prn − Avg_Pr0| (the Theorem-2 observable telemetry journals), and
+// the verdict. The statistic is computed over the chunk's complete records
+// only — incomplete ones have no well-defined joint likelihood — matching
+// the reference Avg_Pr0.
+func (s *Site) fitScore(m *Model, data []linalg.Vector) (avg, margin float64, ok bool) {
 	eval := completeOnly(data)
-	var avg float64
 	if s.cfg.SharpTest {
 		avg = m.Mixture.AvgMaxComponentLLScratch(eval, s.scratch)
 	} else {
 		avg = m.Mixture.AvgLogLikelihoodScratch(eval, s.scratch)
 	}
 	margin = math.Abs(avg - m.RefAvgLL)
-	return margin, margin <= s.cfg.FitEps
+	return avg, margin, margin <= s.cfg.FitEps
 }
 
 // completeOnly filters out records with missing attributes; it returns the
@@ -416,8 +517,10 @@ func hasNaN(x linalg.Vector) bool {
 
 // clusterNewModel applies the configured clustering (plain EM, SMEM or a
 // BIC K-sweep) to the chunk and installs the result as the current model
-// (lines 2 and 10 of Algorithm 1).
-func (s *Site) clusterNewModel(data []linalg.Vector) ([]Update, error) {
+// (lines 2 and 10 of Algorithm 1). seed, when non-nil, is the best-scoring
+// model of the failed multi-test pass, offered to the plain-EM path as a
+// warm start.
+func (s *Site) clusterNewModel(data []linalg.Vector, seed *gaussian.Mixture) ([]Update, error) {
 	s.stats.EMRuns++
 	s.stats.Refits++
 	s.tele.emRuns.Inc()
@@ -452,7 +555,7 @@ func (s *Site) clusterNewModel(data []linalg.Vector) ([]Update, error) {
 		}
 		mixture = res.Mixture
 	default:
-		res, err := em.Fit(data, cfg)
+		res, err := s.fitChunk(data, cfg, seed)
 		if err != nil {
 			return nil, fmt.Errorf("site %d: EM on chunk %d: %w", s.cfg.SiteID, s.chunkNum, err)
 		}
@@ -485,6 +588,94 @@ func (s *Site) clusterNewModel(data []linalg.Vector) ([]Update, error) {
 		Mixture: m.Mixture,
 		Count:   s.m,
 	}}, nil
+}
+
+// fitChunk runs the plain-EM refit, warm-started from seed when enabled.
+//
+// The warm path replaces k-means++ initialization with the seed mixture
+// (em.Config.InitModel), which typically converges in a fraction of the
+// iterations because the seed was scored as the closest existing
+// explanation of the chunk. Two guards keep clustering quality from
+// silently degrading: a non-finite warm log-likelihood falls back to a
+// cold fit immediately, and every WarmAuditEvery-th warm refit also runs
+// the cold fit and keeps whichever model converged to the higher
+// log-likelihood. Both arms derive from the same deterministic seed, so
+// site output remains a pure function of the stream.
+func (s *Site) fitChunk(data []linalg.Vector, cfg em.Config, seed *gaussian.Mixture) (*em.Result, error) {
+	warmOK := s.cfg.WarmStart == WarmStartOn && seed != nil &&
+		seed.K() == cfg.K && seed.Dim() == s.cfg.Dim
+	if !warmOK {
+		s.stats.ColdRefits++
+		s.tele.coldRefits.Inc()
+		return em.Fit(data, cfg)
+	}
+
+	warmCfg := cfg
+	warmCfg.InitModel = seed
+	if warmCfg.RelTol == 0 {
+		// A warm seed sits near a mode from iteration 0, so most of its
+		// run is the final likelihood plateau; the relative stop ends the
+		// crawl once improvement is negligible at the likelihood's own
+		// scale. Cold fits keep the absolute-only test (bit-identical to
+		// the pre-warm-start path) unless the caller sets EM.RelTol.
+		warmCfg.RelTol = warmRelTol
+	}
+	warm, warmErr := em.Fit(data, warmCfg)
+	audit := s.warmSeq%s.cfg.WarmAuditEvery == 0
+	s.warmSeq++
+	healthy := warmErr == nil && isFiniteLL(warm.AvgLogLikelihood)
+	if healthy && !audit {
+		s.stats.WarmRefits++
+		s.tele.warmRefits.Inc()
+		s.tele.reg.Record(telemetry.Event{
+			Kind: "warm-refit", Site: s.cfg.SiteID, Model: s.nextModelID,
+			Value: warm.AvgLogLikelihood, N: warm.Iterations, Note: "warm",
+		})
+		return warm, nil
+	}
+
+	cold, coldErr := em.Fit(data, cfg)
+	if !healthy {
+		// Degenerate warm fit (error, NaN or infinite log-likelihood):
+		// discard it; the cold result — whatever it is — is the answer.
+		s.stats.WarmFallbacks++
+		s.tele.warmFalls.Inc()
+		s.tele.reg.Record(telemetry.Event{
+			Kind: "warm-refit", Site: s.cfg.SiteID, Model: s.nextModelID,
+			Note: "fallback-cold",
+		})
+		return cold, coldErr
+	}
+	if coldErr != nil {
+		// Warm succeeded, cold audit failed — keep the warm model.
+		s.stats.WarmRefits++
+		s.tele.warmRefits.Inc()
+		return warm, nil
+	}
+	s.stats.WarmAudits++
+	s.stats.IterationsSaved += cold.Iterations - warm.Iterations
+	s.tele.iterSaved.Add(int64(cold.Iterations - warm.Iterations))
+	if cold.AvgLogLikelihood > warm.AvgLogLikelihood {
+		s.stats.WarmFallbacks++
+		s.tele.warmFalls.Inc()
+		s.tele.reg.Record(telemetry.Event{
+			Kind: "warm-refit", Site: s.cfg.SiteID, Model: s.nextModelID,
+			Value: cold.AvgLogLikelihood, N: cold.Iterations, Note: "audit-cold-win",
+		})
+		return cold, nil
+	}
+	s.stats.WarmRefits++
+	s.tele.warmRefits.Inc()
+	s.tele.reg.Record(telemetry.Event{
+		Kind: "warm-refit", Site: s.cfg.SiteID, Model: s.nextModelID,
+		Value: warm.AvgLogLikelihood, N: warm.Iterations, Note: "audit-warm-win",
+	})
+	return warm, nil
+}
+
+// isFiniteLL reports whether a fit's log-likelihood is a usable number.
+func isFiniteLL(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // retireCurrent moves the current model to the archive and publishes its
