@@ -2,7 +2,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X cludistream/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build vet lint test race race-em race-parallel alloc-gate check tier1 fuzz bench bench-compare obs-demo
+.PHONY: all build vet lint test race race-em race-parallel alloc-gate check tier1 fuzz bench bench-compare obs-demo dst dst-long
 
 all: check
 
@@ -45,17 +45,32 @@ alloc-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkSiteSteadyState' -benchtime 100x .
 
 # Full pre-merge gate.
-check: build lint race-em race-parallel alloc-gate race
+check: build lint race-em race-parallel alloc-gate race dst
+
+# Deterministic simulation testing (internal/dst): sweep seeded
+# whole-system scenarios — random deployments, drift programs, and fault
+# schedules — under the full invariant suite. A failure prints the seed
+# and writes a replayable artifact; `go run ./cmd/dst replay -seed N`
+# reproduces it bit-identically.
+dst:
+	$(GO) run ./cmd/dst run -seeds 150
+
+# Nightly depth: more seeds, larger deployments and drift programs.
+dst-long:
+	$(GO) run ./cmd/dst run -seeds 500 -long
+	$(GO) run ./cmd/dst run -seeds 1500
 
 # The repo's minimal health check (see ROADMAP.md).
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
-# Short fuzz pass over the wire decoders and the frame/ack protocol.
+# Short fuzz pass over the wire decoders, the frame/ack protocol, and the
+# archive loader.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/netio/
 	$(GO) test -run=^$$ -fuzz=FuzzReadAck -fuzztime=5s ./internal/netio/
+	$(GO) test -run=^$$ -fuzz=FuzzLoad -fuzztime=10s ./internal/persist/
 
 # Machine-readable benchmark snapshot: one pass over every figure
 # reproduction (-benchtime 1x — each figure is a full experiment) plus the

@@ -116,6 +116,14 @@ type Config struct {
 	// check; clustering output is bit-identical either way, because
 	// telemetry only reads values the algorithms already computed.
 	Telemetry *telemetry.Registry
+
+	// OnApply, when non-nil, is invoked inside the simulation immediately
+	// after a delivered message is applied to the coordinator — after the
+	// exactly-once dedupe let it through. The deterministic simulation
+	// tests hang their per-update invariant suite on this hook; it must
+	// not mutate the system. Duplicates and stale-epoch messages that the
+	// dedupe drops never reach it.
+	OnApply func(transport.Message)
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +172,15 @@ type System struct {
 	coord    *coordinator.Coordinator
 	fed      []int // records fed per site (drives the virtual clock)
 
+	// outstanding mirrors, per site, each model's net record count at the
+	// coordinator (sends minus deletions, in emission order — links and
+	// couriers are FIFO, so the mirror matches the coordinator's state at
+	// the moment each message is applied). The coordinator deletes a model
+	// whose weight drains to zero (Section 7's sliding-window rule), so a
+	// later WeightUpdate referencing it must be upgraded to a full
+	// synopsis; see sendUpdate.
+	outstanding []map[int]int
+
 	// Fault-tolerant mode (cfg.Fault != nil): per-site couriers, sender
 	// epochs and sequence numbers, plus the coordinator-side dedupe
 	// watermarks mirroring netio.Server.
@@ -177,6 +194,12 @@ type System struct {
 	// Facade-level delivery instruments (nil ⇒ no-op).
 	teleDedupe *telemetry.Counter
 	teleResets *telemetry.Counter
+
+	// dedupeBroken disables the sequence-number half of the exactly-once
+	// dedupe — a deliberately injected bug used by the deterministic
+	// simulation tests to prove their invariant suite has teeth. Never set
+	// in production paths; see InjectDedupeFault.
+	dedupeBroken bool
 
 	deliveryErr error
 }
@@ -242,13 +265,20 @@ func New(cfg Config) (*System, error) {
 		}
 		s.siteCfgs = append(s.siteCfgs, sc)
 		s.sites = append(s.sites, st)
-		link := s.sim.NewFaultyLink(cfg.LinkLatency, cfg.LinkBandwidth, cfg.Fault, s.deliver)
+		s.outstanding = append(s.outstanding, make(map[int]int))
+		link, err := s.sim.NewFaultyLink(cfg.LinkLatency, cfg.LinkBandwidth, cfg.Fault, s.deliver)
+		if err != nil {
+			return nil, err
+		}
 		link.SetTelemetry(cfg.Telemetry)
 		s.links = append(s.links, link)
 		if cfg.Fault != nil {
 			s.epochs[i] = 1
 			rng := rand.New(rand.NewSource(cfg.Seed + 104729*int64(i+1)))
-			cour := s.sim.NewCourier(link, cfg.RetryBackoff, cfg.RetryMaxBackoff, rng)
+			cour, err := s.sim.NewCourier(link, cfg.RetryBackoff, cfg.RetryMaxBackoff, rng)
+			if err != nil {
+				return nil, err
+			}
 			cour.SetTelemetry(cfg.Telemetry)
 			s.couriers = append(s.couriers, cour)
 		}
@@ -292,12 +322,14 @@ func (s *System) deliver(payload []byte) {
 			}
 			w.epoch, w.maxSeq = msg.Epoch, 0
 		}
-		if msg.Seq <= w.maxSeq {
+		if msg.Seq <= w.maxSeq && !s.dedupeBroken {
 			s.dup++
 			s.teleDedupe.Inc()
 			return
 		}
-		w.maxSeq = msg.Seq
+		if msg.Seq > w.maxSeq {
+			w.maxSeq = msg.Seq
+		}
 	}
 	switch msg.Kind {
 	case transport.MsgDeletion:
@@ -308,7 +340,17 @@ func (s *System) deliver(payload []byte) {
 	if err != nil && s.deliveryErr == nil {
 		s.deliveryErr = err
 	}
+	if s.cfg.OnApply != nil {
+		s.cfg.OnApply(msg)
+	}
 }
+
+// InjectDedupeFault deliberately breaks the sequence-number dedupe so
+// duplicate deliveries are applied twice. It exists solely for the
+// deterministic simulation tests (internal/dst), which use it to prove
+// the exactly-once invariant catches a real dedupe regression; calling it
+// anywhere else forfeits the exactly-once guarantee.
+func (s *System) InjectDedupeFault() { s.dedupeBroken = true }
 
 // Feed delivers one record to site siteIdx (0-based). The simulated clock
 // advances to the record's arrival time (records arrive at ArrivalRate per
@@ -327,10 +369,11 @@ func (s *System) Feed(siteIdx int, x linalg.Vector) error {
 		return err
 	}
 	for _, u := range ups {
-		s.send(siteIdx, transport.FromSiteUpdate(u))
+		s.sendUpdate(siteIdx, u)
 	}
 	if s.trackers != nil {
 		for _, d := range s.trackers[siteIdx].Expire(siteIdx + 1) {
+			s.outstanding[siteIdx][d.ModelID] -= d.Count
 			s.send(siteIdx, transport.Message{
 				Kind:    transport.MsgDeletion,
 				SiteID:  int32(d.SiteID),
@@ -340,6 +383,27 @@ func (s *System) Feed(siteIdx int, x linalg.Vector) error {
 		}
 	}
 	return s.deliveryErr
+}
+
+// sendUpdate routes one site update to the coordinator, upgrading a
+// WeightUpdate whose model the coordinator has deleted (sliding windows:
+// every record of the model expired, so its weight drained to zero and
+// Section 7's rule removed it) into a full NewModel synopsis. The site
+// cannot know the coordinator dropped the model — only the sender, which
+// also emits the deletions, can; without the upgrade the coordinator
+// would reject the update as referencing an unknown model.
+func (s *System) sendUpdate(siteIdx int, u site.Update) {
+	if u.Kind == site.WeightUpdate && s.outstanding[siteIdx][u.ModelID] <= 0 {
+		for _, m := range s.sites[siteIdx].Models() {
+			if m.ID == u.ModelID {
+				u.Kind = site.NewModel
+				u.Mixture = m.Mixture
+				break
+			}
+		}
+	}
+	s.outstanding[siteIdx][u.ModelID] += u.Count
+	s.send(siteIdx, transport.FromSiteUpdate(u))
 }
 
 // send routes one message onto site siteIdx's link. In fault-tolerant mode
@@ -386,6 +450,9 @@ func (s *System) CrashSite(siteIdx int) error {
 	s.epochs[siteIdx]++
 	s.seqs[siteIdx] = 0
 	s.fed[siteIdx] = 0
+	// The coordinator discards the dead incarnation's models on the first
+	// higher-epoch message; the outstanding mirror starts over with it.
+	s.outstanding[siteIdx] = make(map[int]int)
 	return nil
 }
 
@@ -440,6 +507,7 @@ type DeliveryStats struct {
 	RetransmitBytes int
 	DroppedMessages int
 	DroppedBytes    int
+	DupDelivered    int // messages the fault plan delivered twice
 	Retries         int
 	Duplicates      int
 	SiteResets      int
@@ -455,6 +523,7 @@ func (s *System) DeliveryStats() DeliveryStats {
 		m, b := l.Dropped()
 		d.DroppedMessages += m
 		d.DroppedBytes += b
+		d.DupDelivered += l.DupDelivered()
 	}
 	for _, c := range s.couriers {
 		d.Retries += c.Retries()

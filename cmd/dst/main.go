@@ -1,0 +1,215 @@
+// Command dst drives the deterministic simulation testing harness
+// (internal/dst): seeded whole-system scenarios with fault injection, a
+// per-update invariant suite, replayable failures, and a greedy schedule
+// minimizer.
+//
+// Usage:
+//
+//	dst run -seeds 100                 # sweep seeds 1..100 (short scenarios)
+//	dst run -seeds 500 -long           # nightly: bigger deployments
+//	dst replay -seed 42                # re-run one seed twice, prove bit-identical
+//	dst replay -scenario fail.json     # replay a written scenario file
+//	dst shrink -scenario fail.json -o min.json
+//
+// A violating run writes a self-contained artifact
+// (dst-fail-seed<N>.json: seed, scenario, violation, journal slice) and
+// exits 1. replay exits 2 if two runs of the same input ever diverge —
+// that would mean the harness itself lost determinism.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cludistream/internal/dst"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	case "shrink":
+		cmdShrink(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dst <run|replay|shrink> [flags]")
+}
+
+// cmdRun sweeps a seed range, stopping at the first violation with a
+// written artifact.
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seeds := fs.Int("seeds", 100, "number of seeds to run")
+	start := fs.Int64("start", 1, "first seed")
+	long := fs.Bool("long", false, "long mode: larger deployments and drift programs")
+	inject := fs.Bool("inject-dedupe-bug", false, "deliberately break the coordinator dedupe (harness self-test)")
+	dir := fs.String("artifact-dir", ".", "directory for failure artifacts")
+	verbose := fs.Bool("v", false, "print each seed's summary")
+	fs.Parse(args)
+
+	opts := dst.Options{InjectDedupeFault: *inject}
+	t0 := time.Now()
+	for seed := *start; seed < *start+int64(*seeds); seed++ {
+		sc := dst.Generate(seed, !*long)
+		res, err := dst.Run(sc, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dst: seed %d: %v\n", seed, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Printf("seed %-6d sites=%d dim=%d updates=%-4d dup=%-3d retries=%-4d t=%.1fs fp=%016x\n",
+				seed, sc.NumSites, sc.Dim, res.Updates, res.Delivery.DupDelivered, res.Delivery.Retries, res.SimTime, res.Fingerprint)
+		}
+		if res.Violation != nil {
+			path := filepath.Join(*dir, fmt.Sprintf("dst-fail-seed%d.json", seed))
+			if err := writeArtifact(path, res); err != nil {
+				fmt.Fprintf(os.Stderr, "dst: writing artifact: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "dst: seed %d FAILED: %v\n  artifact: %s\n  replay:   dst replay -seed %d%s\n",
+				seed, res.Violation, path, seed, longFlag(*long))
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("dst: %d seeds green in %.1fs\n", *seeds, time.Since(t0).Seconds())
+}
+
+// cmdReplay runs one seed (or scenario file) twice and proves the two
+// runs are bit-identical, printing the deterministic core.
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "seed to replay (generates the scenario)")
+	scenarioPath := fs.String("scenario", "", "scenario file to replay instead of a seed")
+	long := fs.Bool("long", false, "long mode (must match the run that failed)")
+	inject := fs.Bool("inject-dedupe-bug", false, "deliberately break the coordinator dedupe")
+	fs.Parse(args)
+
+	sc, err := loadScenario(*seed, *scenarioPath, *long)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dst:", err)
+		os.Exit(2)
+	}
+	opts := dst.Options{InjectDedupeFault: *inject}
+	var cores [2][]byte
+	var last *dst.Result
+	for i := range cores {
+		res, err := dst.Run(sc, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dst: replay %d: %v\n", i+1, err)
+			os.Exit(2)
+		}
+		core := coreJSON(res)
+		cores[i] = core
+		last = res
+	}
+	if string(cores[0]) != string(cores[1]) {
+		fmt.Fprintf(os.Stderr, "dst: NON-DETERMINISTIC: replays diverged\nfirst:  %s\nsecond: %s\n", cores[0], cores[1])
+		os.Exit(2)
+	}
+	fmt.Printf("replay bit-identical across 2 runs:\n%s\n", cores[0])
+	if last.Violation != nil {
+		os.Exit(1)
+	}
+}
+
+// cmdShrink minimizes a failing scenario.
+func cmdShrink(args []string) {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "seed to shrink (generates the scenario)")
+	scenarioPath := fs.String("scenario", "", "scenario file to shrink")
+	long := fs.Bool("long", false, "long mode")
+	inject := fs.Bool("inject-dedupe-bug", false, "deliberately break the coordinator dedupe")
+	out := fs.String("o", "dst-min.json", "output path for the minimized scenario")
+	fs.Parse(args)
+
+	sc, err := loadScenario(*seed, *scenarioPath, *long)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dst:", err)
+		os.Exit(2)
+	}
+	opts := dst.Options{InjectDedupeFault: *inject}
+	min, runs := dst.Shrink(sc, opts)
+	res, err := dst.Run(min, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dst:", err)
+		os.Exit(2)
+	}
+	if res.Violation == nil {
+		fmt.Fprintln(os.Stderr, "dst: input scenario does not fail; nothing to shrink")
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dst:", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	if err := dst.WriteScenario(f, min); err != nil {
+		fmt.Fprintln(os.Stderr, "dst:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("shrunk after %d runs: %d sites, %d outages, drop=%.2f dup=%.2f — still fails with: %v\nwrote %s\n",
+		runs, min.NumSites, len(min.Outages), min.DropProb, min.DupProb, res.Violation, *out)
+}
+
+// loadScenario resolves the -seed/-scenario flags.
+func loadScenario(seed int64, path string, long bool) (dst.Scenario, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return dst.Scenario{}, err
+		}
+		defer f.Close()
+		return dst.ReadScenario(f)
+	case seed != 0:
+		return dst.Generate(seed, !long), nil
+	default:
+		return dst.Scenario{}, fmt.Errorf("need -seed or -scenario")
+	}
+}
+
+func writeArtifact(path string, res *dst.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return dst.WriteArtifact(f, res.ToArtifact())
+}
+
+func coreJSON(res *dst.Result) []byte {
+	c := dst.Core{
+		Seed:             res.Scenario.Seed,
+		Updates:          res.Updates,
+		SimTime:          res.SimTime,
+		Fingerprint:      res.Fingerprint,
+		CleanFingerprint: res.CleanFingerprint,
+	}
+	if res.Violation != nil {
+		c.Violation = *res.Violation
+	}
+	b, _ := json.Marshal(c)
+	return b
+}
+
+func longFlag(long bool) string {
+	if long {
+		return " -long"
+	}
+	return ""
+}

@@ -467,18 +467,56 @@ func (c *Coordinator) Groups() []*Group {
 // GlobalMixture returns the coordinator's answer to a mining request: the
 // mixture of group representatives weighted by group mass. Returns nil
 // before any model has arrived.
+//
+// The components are ordered canonically — by mean, then covariance, then
+// weight — not by group ID. Group IDs depend on the coordinator's
+// history (splits, site resets), while the canonical order depends only
+// on the tree's final content; since mixture normalization sums the
+// weights in slice order, canonical ordering is what makes two
+// coordinators that converged to the same groups return bit-identical
+// mixtures (the recovery guarantee the chaos and simulation tests pin).
+// Means lead the sort because they are the stable coordinate: group
+// weights drift with every update, and an order keyed on them would make
+// successive snapshots of an unchanged clustering positionally different
+// (which the hierarchy layer's change detection would mistake for churn).
 func (c *Coordinator) GlobalMixture() *gaussian.Mixture {
-	var comps []*gaussian.Component
-	var weights []float64
+	type entry struct {
+		weight float64
+		comp   *gaussian.Component
+	}
+	var entries []entry
 	for _, g := range c.Groups() {
 		if g.rep == nil || g.weight <= 0 {
 			continue
 		}
-		comps = append(comps, g.rep)
-		weights = append(weights, g.weight)
+		entries = append(entries, entry{g.weight, g.rep})
 	}
-	if len(comps) == 0 {
+	if len(entries) == 0 {
 		return nil
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		ea, eb := entries[a], entries[b]
+		ma, mb := ea.comp.Mean(), eb.comp.Mean()
+		for i := range ma {
+			if ma[i] != mb[i] {
+				return ma[i] < mb[i]
+			}
+		}
+		ca, cb := ea.comp.Cov(), eb.comp.Cov()
+		for i := 0; i < ca.Order(); i++ {
+			for j := 0; j <= i; j++ {
+				if ca.At(i, j) != cb.At(i, j) {
+					return ca.At(i, j) < cb.At(i, j)
+				}
+			}
+		}
+		return ea.weight < eb.weight
+	})
+	comps := make([]*gaussian.Component, len(entries))
+	weights := make([]float64, len(entries))
+	for i, e := range entries {
+		comps[i] = e.comp
+		weights[i] = e.weight
 	}
 	mix, err := gaussian.NewMixture(weights, comps)
 	if err != nil {
@@ -522,6 +560,34 @@ func (c *Coordinator) NumModels() int {
 		n += len(byModel)
 	}
 	return n
+}
+
+// ModelWeight is one registered site model and its record counter — the
+// observable the exactly-once invariant compares against a reference
+// replay: a double-applied weight update shows up here immediately.
+type ModelWeight struct {
+	SiteID  int
+	ModelID int
+	Counter int
+}
+
+// ModelWeights returns every registered site model with its counter,
+// sorted by (site, model) so the result is deterministic regardless of
+// map iteration order.
+func (c *Coordinator) ModelWeights() []ModelWeight {
+	out := make([]ModelWeight, 0, c.NumModels())
+	for _, byModel := range c.models {
+		for _, sm := range byModel {
+			out = append(out, ModelWeight{SiteID: sm.siteID, ModelID: sm.modelID, Counter: sm.counter})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].SiteID != out[b].SiteID {
+			return out[a].SiteID < out[b].SiteID
+		}
+		return out[a].ModelID < out[b].ModelID
+	})
+	return out
 }
 
 // Stats returns a copy of the work counters.

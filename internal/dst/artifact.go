@@ -1,0 +1,110 @@
+package dst
+
+import (
+	"encoding/json"
+	"io"
+
+	"cludistream/internal/persist"
+	"cludistream/internal/telemetry"
+)
+
+// Artifact serialization tags (persist's versioned JSON envelope).
+const (
+	artifactFormat = "cludistream-dst-artifact"
+	scenarioFormat = "cludistream-dst-scenario"
+	formatVersion  = 1
+)
+
+// Artifact is a self-contained failure report: everything needed to
+// understand and replay a violation without the process that found it —
+// the seed, the full scenario, the violation itself, the run's
+// fingerprints, and the tail of the telemetry decision journal leading up
+// to the failure. Journal entries carry wall-clock timestamps, so replay
+// equality is defined on Core(), not on the journal.
+type Artifact struct {
+	Seed             int64             `json:"seed"`
+	Scenario         Scenario          `json:"scenario"`
+	Violation        Violation         `json:"violation"`
+	Updates          int               `json:"updates"`
+	SimTime          float64           `json:"sim_time"`
+	Fingerprint      uint64            `json:"fingerprint"`
+	CleanFingerprint uint64            `json:"clean_fingerprint"`
+	Journal          []telemetry.Event `json:"journal,omitempty"`
+}
+
+// Core is the deterministic portion of an artifact: two replays of the
+// same seed must produce equal Cores bit for bit.
+type Core struct {
+	Seed             int64     `json:"seed"`
+	Violation        Violation `json:"violation"`
+	Updates          int       `json:"updates"`
+	SimTime          float64   `json:"sim_time"`
+	Fingerprint      uint64    `json:"fingerprint"`
+	CleanFingerprint uint64    `json:"clean_fingerprint"`
+}
+
+// Core projects the artifact onto its replay-stable fields.
+func (a *Artifact) Core() Core {
+	return Core{
+		Seed:             a.Seed,
+		Violation:        a.Violation,
+		Updates:          a.Updates,
+		SimTime:          a.SimTime,
+		Fingerprint:      a.Fingerprint,
+		CleanFingerprint: a.CleanFingerprint,
+	}
+}
+
+// ToArtifact packages a violating result (nil for green runs).
+func (r *Result) ToArtifact() *Artifact {
+	if r.Violation == nil {
+		return nil
+	}
+	return &Artifact{
+		Seed:             r.Scenario.Seed,
+		Scenario:         r.Scenario,
+		Violation:        *r.Violation,
+		Updates:          r.Updates,
+		SimTime:          r.SimTime,
+		Fingerprint:      r.Fingerprint,
+		CleanFingerprint: r.CleanFingerprint,
+		Journal:          r.Journal,
+	}
+}
+
+// WriteArtifact serializes an artifact into persist's envelope.
+func WriteArtifact(w io.Writer, a *Artifact) error {
+	return persist.SaveJSONEnvelope(w, artifactFormat, formatVersion, a)
+}
+
+// ReadArtifact loads an artifact written by WriteArtifact; foreign or
+// corrupted inputs return persist.ErrBadFormat-wrapped errors.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	payload, _, err := persist.LoadJSONEnvelope(r, artifactFormat, formatVersion)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(payload, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// WriteScenario serializes a scenario alone (the shrink output).
+func WriteScenario(w io.Writer, sc Scenario) error {
+	return persist.SaveJSONEnvelope(w, scenarioFormat, formatVersion, sc)
+}
+
+// ReadScenario loads a scenario written by WriteScenario and validates it.
+func ReadScenario(r io.Reader) (Scenario, error) {
+	payload, _, err := persist.LoadJSONEnvelope(r, scenarioFormat, formatVersion)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var sc Scenario
+	if err := json.Unmarshal(payload, &sc); err != nil {
+		return Scenario{}, err
+	}
+	return sc, sc.Validate()
+}

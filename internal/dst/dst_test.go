@@ -1,0 +1,224 @@
+package dst
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/persist"
+)
+
+// TestSeededScenariosGreen is the harness's bread and butter: every seed
+// generates a different deployment and fault schedule, and the whole
+// invariant suite must hold on all of them. `make dst` sweeps 100+ seeds
+// through cmd/dst; this test keeps a smaller always-on sample in go test.
+func TestSeededScenariosGreen(t *testing.T) {
+	n := int64(12)
+	if testing.Short() {
+		n = 5
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		sc := Generate(seed, true)
+		res, err := Run(sc, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("seed %d: %v", seed, res.Violation)
+		}
+		if res.Updates == 0 {
+			t.Fatalf("seed %d: no coordinator updates applied — scenario exercised nothing", seed)
+		}
+		if res.Fingerprint != res.CleanFingerprint {
+			t.Fatalf("seed %d: fingerprints differ without a violation", seed)
+		}
+	}
+}
+
+// dedupeBugScenario is a deterministic scenario that duplicates every
+// delivery (DupProb 1) — the stress the injected dedupe regression must
+// fail under no matter how other fault draws perturb the RNG stream.
+func dedupeBugScenario() Scenario {
+	return Scenario{
+		Seed:        424242,
+		NumSites:    1,
+		Dim:         1,
+		K:           2,
+		ChunkSize:   100,
+		DupProb:     1,
+		LinkLatency: 0.05,
+		ArrivalRate: 1000,
+		Sites: []SiteScript{{
+			StreamSeed: 9001,
+			Regimes:    []Regime{{Mean: 0, Chunks: 2}, {Mean: 200, Chunks: 2}, {Mean: 0, Chunks: 2}},
+		}},
+	}
+}
+
+// TestInjectedDedupeBugCaught proves the invariant suite has teeth: with
+// the coordinator's sequence-number dedupe deliberately broken, the
+// exactly-once invariant must flag the first double-applied update.
+func TestInjectedDedupeBugCaught(t *testing.T) {
+	sc := dedupeBugScenario()
+	res, err := Run(sc, Options{InjectDedupeFault: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("broken dedupe not detected: invariant suite has no teeth")
+	}
+	if res.Violation.Invariant != "exactly-once" {
+		t.Fatalf("violation = %v, want the exactly-once invariant", res.Violation)
+	}
+	if !strings.Contains(res.Violation.Detail, "twice") {
+		t.Errorf("violation detail %q does not name the duplicate application", res.Violation.Detail)
+	}
+	if len(res.Journal) == 0 {
+		t.Error("failure result carries no journal slice")
+	}
+
+	// The same scenario with the dedupe intact must be green.
+	clean, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Violation != nil {
+		t.Fatalf("scenario fails even without the injected bug: %v", clean.Violation)
+	}
+}
+
+// TestReplayBitIdentical pins the determinism contract: replaying the
+// failing seed reproduces the same violation at the same update count and
+// virtual time, twice in a row, with byte-identical artifact cores.
+func TestReplayBitIdentical(t *testing.T) {
+	sc := dedupeBugScenario()
+	var cores [][]byte
+	for i := 0; i < 2; i++ {
+		res, err := Run(sc, Options{InjectDedupeFault: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := res.ToArtifact()
+		if art == nil {
+			t.Fatalf("replay %d: violation not reproduced", i)
+		}
+		core, err := json.Marshal(art.Core())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores = append(cores, core)
+	}
+	if !bytes.Equal(cores[0], cores[1]) {
+		t.Fatalf("replays diverged:\n%s\n%s", cores[0], cores[1])
+	}
+}
+
+// TestShrinkMinimizes checks the greedy minimizer strips fault-schedule
+// elements that are irrelevant to the violation while preserving it.
+func TestShrinkMinimizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrink runs many scenarios")
+	}
+	sc := dedupeBugScenario()
+	// Pad the scenario with faults the dedupe bug does not need.
+	sc.DropProb = 0.1
+	sc.Outages = []OutageSpec{{Start: 0.1, End: 0.4}, {Start: 0.9, End: 1.2, CoordRestart: true}}
+
+	min, runs := Shrink(sc, Options{InjectDedupeFault: true})
+	if runs < 2 {
+		t.Fatalf("shrink ran only %d scenarios", runs)
+	}
+	res, err := Run(min, Options{InjectDedupeFault: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("shrunk scenario no longer fails")
+	}
+	if min.DropProb != 0 || len(min.Outages) != 0 {
+		t.Errorf("irrelevant faults survived the shrink: DropProb=%v Outages=%v", min.DropProb, min.Outages)
+	}
+	if min.DupProb == 0 {
+		t.Error("shrink removed the duplicate delivery the bug needs")
+	}
+}
+
+// TestScenarioJSONRoundTrip: a generated scenario survives the persist
+// envelope bit-identically — the property that makes artifacts
+// self-contained repro cases.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := Generate(seed, seed%2 == 0)
+		var buf bytes.Buffer
+		if err := WriteScenario(&buf, sc); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadScenario(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, sc) {
+			t.Fatalf("seed %d: round-trip changed the scenario:\n got %+v\nwant %+v", seed, got, sc)
+		}
+	}
+}
+
+// TestArtifactRoundTrip: artifacts survive their envelope, and corrupted
+// or foreign inputs surface persist.ErrBadFormat instead of garbage.
+func TestArtifactRoundTrip(t *testing.T) {
+	sc := dedupeBugScenario()
+	res, err := Run(sc, Options{InjectDedupeFault: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := res.ToArtifact()
+	if art == nil {
+		t.Fatal("no artifact")
+	}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Core() != art.Core() {
+		t.Fatalf("artifact core changed in round-trip:\n got %+v\nwant %+v", got.Core(), art.Core())
+	}
+
+	for name, data := range map[string][]byte{
+		"not json":       []byte("clearly not json"),
+		"wrong format":   []byte(`{"format":"something-else","version":1,"payload":{}}`),
+		"future version": []byte(`{"format":"cludistream-dst-artifact","version":99,"payload":{}}`),
+		"no payload":     []byte(`{"format":"cludistream-dst-artifact","version":1}`),
+	} {
+		if _, err := ReadArtifact(bytes.NewReader(data)); !errors.Is(err, persist.ErrBadFormat) {
+			t.Errorf("%s: error %v, want ErrBadFormat", name, err)
+		}
+	}
+}
+
+// TestFingerprintCanonical: the fingerprint must ignore component order
+// and nothing else.
+func TestFingerprintCanonical(t *testing.T) {
+	c1 := gaussian.Spherical(linalg.Vector{0}, 1)
+	c2 := gaussian.Spherical(linalg.Vector{5}, 2)
+	a := gaussian.MustMixture([]float64{0.25, 0.75}, []*gaussian.Component{c1, c2})
+	b := gaussian.MustMixture([]float64{0.75, 0.25}, []*gaussian.Component{c2, c1})
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("fingerprint depends on component order")
+	}
+	c := gaussian.MustMixture([]float64{0.26, 0.74}, []*gaussian.Component{c1, c2})
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("fingerprint ignores a weight change")
+	}
+	if Fingerprint(nil) != 0 {
+		t.Error("nil mixture must fingerprint to 0")
+	}
+}

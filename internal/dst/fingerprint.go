@@ -1,0 +1,49 @@
+package dst
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"cludistream/internal/gaussian"
+)
+
+// Fingerprint canonicalizes a mixture to a 64-bit hash: every component is
+// serialized as its exact float64 bits (weight, mean, packed covariance),
+// the serializations are sorted, and the concatenation is FNV-1a hashed.
+// Sorting makes the fingerprint independent of component order, so two
+// coordinators that converged to the same model under different delivery
+// schedules fingerprint identically — and any numeric drift, however
+// small, does not ("recovered" means bit-identical, not merely close).
+func Fingerprint(m *gaussian.Mixture) uint64 {
+	if m == nil {
+		return 0
+	}
+	recs := make([][]byte, 0, m.K())
+	for j := 0; j < m.K(); j++ {
+		c := m.Component(j)
+		b := appendBits(nil, m.Weight(j))
+		for _, v := range c.Mean() {
+			b = appendBits(b, v)
+		}
+		cov := c.Cov()
+		for i := 0; i < cov.Order(); i++ {
+			for k := 0; k <= i; k++ {
+				b = appendBits(b, cov.At(i, k))
+			}
+		}
+		recs = append(recs, b)
+	}
+	sort.Slice(recs, func(a, b int) bool { return bytes.Compare(recs[a], recs[b]) < 0 })
+	h := fnv.New64a()
+	for _, r := range recs {
+		h.Write(r)
+	}
+	return h.Sum64()
+}
+
+func appendBits(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}

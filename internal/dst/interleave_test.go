@@ -1,0 +1,145 @@
+package dst
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+)
+
+// coordOp is one coordinator-bound message: a site update or a
+// negative-weight deletion.
+type coordOp struct {
+	del bool
+	u   site.Update
+}
+
+// randomSiteOps builds one site's FIFO message sequence: models announced
+// with NewModel, reinforced with WeightUpdates, and partially expired with
+// deletions that never drive a counter to zero (a drained model leaves the
+// coordinator; resurrecting it is the facade's job, not this test's).
+// Model means come from a well-separated palette so cross-site grouping
+// has no borderline merge decisions — the property under test is order
+// independence, not threshold sensitivity.
+func randomSiteOps(rng *rand.Rand, siteID int) []coordOp {
+	palette := []float64{0, 200, -200, 400}
+	var ops []coordOp
+	nModels := 1 + rng.Intn(3)
+	for m := 1; m <= nModels; m++ {
+		mean := palette[(m-1)%len(palette)]
+		mix := gaussian.MustMixture(
+			[]float64{0.5, 0.5},
+			[]*gaussian.Component{
+				gaussian.Spherical(linalg.Vector{mean - 1 - rng.Float64()}, 0.5+rng.Float64()),
+				gaussian.Spherical(linalg.Vector{mean + 1 + rng.Float64()}, 0.5+rng.Float64()),
+			})
+		ops = append(ops, coordOp{u: site.Update{
+			SiteID: siteID, ModelID: m, Kind: site.NewModel, Mixture: mix, Count: 100,
+		}})
+		total := 100
+		for extra := rng.Intn(3); extra > 0; extra-- {
+			ops = append(ops, coordOp{u: site.Update{
+				SiteID: siteID, ModelID: m, Kind: site.WeightUpdate, Count: 100,
+			}})
+			total += 100
+		}
+		if rng.Intn(2) == 0 {
+			ops = append(ops, coordOp{del: true, u: site.Update{
+				SiteID: siteID, ModelID: m, Count: 1 + rng.Intn(total/2),
+			}})
+		}
+	}
+	return ops
+}
+
+// interleaveOps merges the per-site queues into one delivery order,
+// preserving each site's FIFO order (the only ordering the transport
+// guarantees) while the cross-site schedule follows rng.
+func interleaveOps(queues [][]coordOp, rng *rand.Rand) []coordOp {
+	pos := make([]int, len(queues))
+	var out []coordOp
+	for {
+		var live []int
+		for i := range queues {
+			if pos[i] < len(queues[i]) {
+				live = append(live, i)
+			}
+		}
+		if len(live) == 0 {
+			return out
+		}
+		i := live[rng.Intn(len(live))]
+		out = append(out, queues[i][pos[i]])
+		pos[i]++
+	}
+}
+
+// applyOps feeds one delivery order to a fresh coordinator and returns
+// its observable end state: the canonical global-mixture fingerprint and
+// the sorted per-model counters.
+func applyOps(t *testing.T, ops []coordOp) (uint64, []coordinator.ModelWeight) {
+	t.Helper()
+	c, err := coordinator.New(coordinator.Config{Dim: 1, Merge: mergeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ops {
+		if o.del {
+			err = c.HandleDeletion(o.u.SiteID, o.u.ModelID, o.u.Count)
+		} else {
+			err = c.HandleUpdate(o.u)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Fingerprint(c.GlobalMixture()), c.ModelWeights()
+}
+
+// TestQuickCoordinatorOrderIndependence: the coordinator's final groups —
+// observed through the canonical global-mixture fingerprint and the
+// per-model counters — must not depend on how updates from different
+// sites interleave on the wire. Per-site FIFO order is preserved (the
+// transport guarantees it); everything across sites is fair game.
+func TestQuickCoordinatorOrderIndependence(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSites := 2 + rng.Intn(3)
+		queues := make([][]coordOp, nSites)
+		for i := range queues {
+			queues[i] = randomSiteOps(rng, i+1)
+		}
+
+		// Baseline: round-robin delivery.
+		base := interleaveOps(queues, rand.New(rand.NewSource(0)))
+		baseFP, baseWeights := applyOps(t, base)
+		if baseFP == 0 {
+			t.Logf("seed %d: empty baseline mixture", seed)
+			return false
+		}
+		for p := 0; p < 4; p++ {
+			perm := interleaveOps(queues, rand.New(rand.NewSource(seed*13+int64(p)+1)))
+			fp, weights := applyOps(t, perm)
+			if fp != baseFP {
+				t.Logf("seed %d perm %d: fingerprint %016x, baseline %016x", seed, p, fp, baseFP)
+				return false
+			}
+			if diff := weightsDiff(weights, baseWeights); diff != "" {
+				t.Logf("seed %d perm %d: %s", seed, p, diff)
+				return false
+			}
+		}
+		return true
+	}
+	n := 25
+	if testing.Short() {
+		n = 8
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package dst is a FoundationDB-style deterministic simulation testing
+// harness for the whole CluDistream deployment. A Scenario — sites,
+// dimensionality, a drift program per site, chunk sizes, and a fault
+// schedule of losses, duplicate deliveries, outage windows (including
+// coordinator restarts) and site crash/replays — is generated from a
+// single seed, runs the full site→transport→netsim→coordinator stack
+// under one virtual clock, and is checked against a system-wide invariant
+// suite after every delivered update. Every run is a pure function of the
+// seed: replaying a seed reproduces the same decisions, the same
+// deliveries, and the same violation (if any), bit for bit.
+//
+// The headline invariant follows Tran's exact distributed clustering
+// result: the coordinator's final model must be exactly the model of a
+// fault-free replay, regardless of the network schedule. The remaining
+// invariants check the paper's own structures continuously as models
+// evolve — exactly-once application, event-list consistency, Theorem-2
+// fit-test soundness, a Theorem-3-style communication-cost bound, and
+// telemetry conservation laws.
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cludistream/internal/netsim"
+)
+
+// Regime is one phase of a site's drift program: the stream parks on a
+// well-separated bimodal distribution centred at Mean for Chunks chunks.
+type Regime struct {
+	Mean   float64 `json:"mean"`
+	Chunks int     `json:"chunks"`
+}
+
+// OutageSpec is a receiver-down window of the fault schedule.
+// CoordRestart marks windows that model the coordinator process dying and
+// restarting with its persisted state (behaviourally identical to a
+// partition: arrivals inside the window are lost and couriers retransmit
+// after it).
+type OutageSpec struct {
+	Start        float64 `json:"start"`
+	End          float64 `json:"end"`
+	CoordRestart bool    `json:"coord_restart,omitempty"`
+}
+
+// SiteScript is one site's portion of a scenario: its record stream
+// (derived from StreamSeed and the drift program) and its crash schedule.
+type SiteScript struct {
+	// StreamSeed drives this site's record sampling. It is stored
+	// explicitly — not derived from the site's position — so a shrink that
+	// removes sibling sites leaves this stream bit-identical.
+	StreamSeed int64 `json:"stream_seed"`
+	// Regimes is the drift program, in order.
+	Regimes []Regime `json:"regimes"`
+	// TailRecords is a partial chunk appended after the last regime so the
+	// chunker's pending buffer is exercised (0 = none).
+	TailRecords int `json:"tail_records,omitempty"`
+	// CrashAfter, when positive, crashes the site after it has fed that
+	// many records; the restarted incarnation replays the stream from the
+	// beginning with a higher epoch (0 = never crashes).
+	CrashAfter int `json:"crash_after,omitempty"`
+}
+
+// Scenario is a complete, self-describing simulation test case. Its JSON
+// form is embedded in failure artifacts; a scenario alone (no seed
+// re-derivation) reproduces a run exactly.
+type Scenario struct {
+	Seed      int64 `json:"seed"`
+	NumSites  int   `json:"num_sites"`
+	Dim       int   `json:"dim"`
+	K         int   `json:"k"`
+	ChunkSize int   `json:"chunk_size"`
+	// Sliding, when positive, runs the deployment in sliding-window mode
+	// with that horizon in chunks (deletion messages flow).
+	Sliding int `json:"sliding,omitempty"`
+
+	// Fault schedule.
+	DropProb float64      `json:"drop_prob,omitempty"`
+	DupProb  float64      `json:"dup_prob,omitempty"`
+	Outages  []OutageSpec `json:"outages,omitempty"`
+
+	// Link shape.
+	LinkLatency   float64 `json:"link_latency"`
+	LinkBandwidth float64 `json:"link_bandwidth,omitempty"`
+	ArrivalRate   float64 `json:"arrival_rate"`
+
+	Sites []SiteScript `json:"sites"`
+}
+
+// regimePalette spaces regime centres far enough apart that the J_fit
+// test separates them decisively and coordinator grouping is stable under
+// any delivery schedule (the same property the paper's well-separated
+// synthetic streams have).
+var regimePalette = []float64{0, 200, -200, 400, -400, 600}
+
+// Generate derives a scenario from a seed. short trims every dimension of
+// the scenario (sites, regimes, chunk size) so a hundred seeds run in
+// seconds; long mode explores larger deployments.
+func Generate(seed int64, short bool) Scenario {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 1))
+	sc := Scenario{
+		Seed:        seed,
+		Dim:         1 + rng.Intn(2),
+		K:           2,
+		LinkLatency: 0.02 + 0.06*rng.Float64(),
+		ArrivalRate: 1000,
+	}
+	if short {
+		sc.NumSites = 1 + rng.Intn(3)
+		sc.ChunkSize = 100 + 50*rng.Intn(3)
+	} else {
+		sc.NumSites = 1 + rng.Intn(5)
+		sc.ChunkSize = 150 + 50*rng.Intn(4)
+	}
+	// A minority of scenarios run a finite-bandwidth link (serialized
+	// transmissions) and a minority age chunks out of a sliding window.
+	if rng.Intn(4) == 0 {
+		sc.LinkBandwidth = 200e3 + 400e3*rng.Float64()
+	}
+	if rng.Intn(4) == 0 {
+		sc.Sliding = 3 + rng.Intn(4)
+	}
+	// Fault schedule: independent loss, duplicate delivery, outages.
+	if rng.Intn(3) != 0 {
+		sc.DropProb = 0.05 + 0.25*rng.Float64()
+	}
+	if rng.Intn(3) != 0 {
+		sc.DupProb = 0.05 + 0.25*rng.Float64()
+	}
+
+	maxChunks := 0
+	for i := 0; i < sc.NumSites; i++ {
+		script := SiteScript{StreamSeed: seed ^ (int64(i+1) * 7919)}
+		nRegimes := 2 + rng.Intn(3)
+		if !short {
+			nRegimes = 2 + rng.Intn(4)
+		}
+		prev := -1
+		for r := 0; r < nRegimes; r++ {
+			// Cycle a small per-site palette with no immediate repeats so
+			// old regimes return and exercise archive reactivation.
+			pi := rng.Intn(3)
+			if pi == prev {
+				pi = (pi + 1) % 3
+			}
+			prev = pi
+			script.Regimes = append(script.Regimes, Regime{
+				Mean:   regimePalette[pi] + float64(i)*1200,
+				Chunks: 2 + rng.Intn(3),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			script.TailRecords = rng.Intn(sc.ChunkSize)
+		}
+		total := script.totalRecords(sc.ChunkSize)
+		if rng.Intn(3) == 0 {
+			script.CrashAfter = sc.ChunkSize + rng.Intn(total-sc.ChunkSize)
+		}
+		if n := script.chunks(); n > maxChunks {
+			maxChunks = n
+		}
+		sc.Sites = append(sc.Sites, script)
+	}
+
+	// Outage windows, placed inside the stream's simulated duration; one
+	// in three is a coordinator restart. Crash replays double a site's
+	// feed, so the wall of the schedule is the replayed duration.
+	dur := float64(maxChunks*sc.ChunkSize) * 2 / sc.ArrivalRate
+	for n := rng.Intn(3); n > 0; n-- {
+		start := rng.Float64() * dur
+		sc.Outages = append(sc.Outages, OutageSpec{
+			Start:        start,
+			End:          start + 0.2 + rng.Float64()*1.5,
+			CoordRestart: rng.Intn(3) == 0,
+		})
+	}
+	return sc
+}
+
+// chunks returns how many full chunks the drift program spans.
+func (s SiteScript) chunks() int {
+	var n int
+	for _, r := range s.Regimes {
+		n += r.Chunks
+	}
+	return n
+}
+
+// totalRecords returns the site's stream length in records.
+func (s SiteScript) totalRecords(chunkSize int) int {
+	return s.chunks()*chunkSize + s.TailRecords
+}
+
+// Validate rejects scenarios that cannot run (hand-edited artifacts,
+// shrink intermediates).
+func (sc Scenario) Validate() error {
+	if sc.NumSites < 1 || sc.NumSites != len(sc.Sites) {
+		return fmt.Errorf("dst: NumSites %d != %d site scripts", sc.NumSites, len(sc.Sites))
+	}
+	if sc.Dim < 1 || sc.K < 1 || sc.ChunkSize < sc.K {
+		return fmt.Errorf("dst: bad dims: Dim=%d K=%d ChunkSize=%d", sc.Dim, sc.K, sc.ChunkSize)
+	}
+	if sc.ArrivalRate <= 0 {
+		return fmt.Errorf("dst: ArrivalRate %v", sc.ArrivalRate)
+	}
+	for i, s := range sc.Sites {
+		if len(s.Regimes) == 0 {
+			return fmt.Errorf("dst: site %d has no regimes", i)
+		}
+		if s.CrashAfter < 0 || s.CrashAfter >= s.totalRecords(sc.ChunkSize) {
+			if s.CrashAfter != 0 {
+				return fmt.Errorf("dst: site %d CrashAfter %d outside stream of %d", i, s.CrashAfter, s.totalRecords(sc.ChunkSize))
+			}
+		}
+	}
+	return (&netsim.FaultPlan{
+		DropProb: sc.DropProb,
+		DupProb:  sc.DupProb,
+		Rand:     rand.New(rand.NewSource(1)),
+		Outages:  sc.outages(),
+	}).Validate()
+}
+
+// outages converts the schedule to the netsim representation.
+func (sc Scenario) outages() []netsim.Outage {
+	out := make([]netsim.Outage, len(sc.Outages))
+	for i, o := range sc.Outages {
+		out[i] = netsim.Outage{Start: o.Start, End: o.End}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package dst
+
+// Shrink greedily minimizes a failing scenario while preserving the
+// violation: it repeatedly tries removing fault-schedule elements (outage
+// windows, site crashes, the drop and duplicate probabilities), dropping
+// whole sites, and truncating drift programs, keeping each simplification
+// that still fails. Because site streams are keyed by explicit per-site
+// StreamSeeds, removing one site leaves every other stream bit-identical,
+// so the shrink explores a lattice of strictly simpler scenarios.
+//
+// It returns the minimized scenario — still failing under opts — together
+// with the number of candidate runs it took. The input scenario must fail;
+// if it does not, it is returned unchanged with runs == 1.
+func Shrink(sc Scenario, opts Options) (Scenario, int) {
+	runs := 0
+	fails := func(s Scenario) bool {
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		runs++
+		r, err := Run(s, opts)
+		return err == nil && r.Violation != nil
+	}
+	if !fails(sc) {
+		return sc, runs
+	}
+	for improved := true; improved; {
+		improved = false
+		for _, cand := range candidates(sc) {
+			if fails(cand) {
+				sc = cand
+				improved = true
+				break
+			}
+		}
+	}
+	return sc, runs
+}
+
+// candidates enumerates one-step simplifications, cheapest-to-verify
+// first: fewer sites, shorter drift programs, then a smaller fault
+// schedule.
+func candidates(sc Scenario) []Scenario {
+	var out []Scenario
+
+	// Drop one site entirely.
+	if sc.NumSites > 1 {
+		for i := range sc.Sites {
+			c := clone(sc)
+			c.Sites = append(append([]SiteScript(nil), c.Sites[:i]...), c.Sites[i+1:]...)
+			c.NumSites--
+			out = append(out, c)
+		}
+	}
+	// Truncate a drift program to its first half (clamping the crash
+	// point back inside the shorter stream).
+	for i, s := range sc.Sites {
+		if len(s.Regimes) > 1 {
+			c := clone(sc)
+			c.Sites[i].Regimes = append([]Regime(nil), s.Regimes[:(len(s.Regimes)+1)/2]...)
+			c.Sites[i].TailRecords = 0
+			if max := c.Sites[i].totalRecords(c.ChunkSize) - 1; c.Sites[i].CrashAfter > max {
+				c.Sites[i].CrashAfter = max
+			}
+			out = append(out, c)
+		}
+	}
+	// Remove one crash.
+	for i, s := range sc.Sites {
+		if s.CrashAfter > 0 {
+			c := clone(sc)
+			c.Sites[i].CrashAfter = 0
+			out = append(out, c)
+		}
+	}
+	// Remove one outage window.
+	for i := range sc.Outages {
+		c := clone(sc)
+		c.Outages = append(append([]OutageSpec(nil), c.Outages[:i]...), c.Outages[i+1:]...)
+		out = append(out, c)
+	}
+	// Zero the probabilistic faults.
+	if sc.DropProb > 0 {
+		c := clone(sc)
+		c.DropProb = 0
+		out = append(out, c)
+	}
+	if sc.DupProb > 0 {
+		c := clone(sc)
+		c.DupProb = 0
+		out = append(out, c)
+	}
+	// Turn off the sliding window.
+	if sc.Sliding > 0 {
+		c := clone(sc)
+		c.Sliding = 0
+		out = append(out, c)
+	}
+	return out
+}
+
+// clone deep-copies the scenario's slices so candidates never alias.
+func clone(sc Scenario) Scenario {
+	c := sc
+	c.Outages = append([]OutageSpec(nil), sc.Outages...)
+	c.Sites = append([]SiteScript(nil), sc.Sites...)
+	for i := range c.Sites {
+		c.Sites[i].Regimes = append([]Regime(nil), sc.Sites[i].Regimes...)
+	}
+	return c
+}

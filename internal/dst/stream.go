@@ -1,0 +1,43 @@
+package dst
+
+import (
+	"math/rand"
+
+	"cludistream/internal/linalg"
+)
+
+// stream materializes one site's record stream from its script: for each
+// regime, Chunks×ChunkSize records drawn from a bimodal Gaussian centred
+// at Mean±bimodalGap per coordinate, then TailRecords more from the last
+// regime (a partial chunk that exercises the pending buffer). The stream
+// is a pure function of (script, chunkSize, dim): crash replays and
+// shrink intermediates regenerate it bit-identically.
+func (s SiteScript) stream(chunkSize, dim int) []linalg.Vector {
+	rng := rand.New(rand.NewSource(s.StreamSeed))
+	out := make([]linalg.Vector, 0, s.totalRecords(chunkSize))
+	sample := func(mean float64, n int) {
+		for i := 0; i < n; i++ {
+			offset := bimodalGap
+			if rng.Intn(2) == 0 {
+				offset = -bimodalGap
+			}
+			x := make(linalg.Vector, dim)
+			for d := range x {
+				x[d] = mean + offset + rng.NormFloat64()
+			}
+			out = append(out, x)
+		}
+	}
+	for _, r := range s.Regimes {
+		sample(r.Mean, r.Chunks*chunkSize)
+	}
+	if s.TailRecords > 0 {
+		sample(s.Regimes[len(s.Regimes)-1].Mean, s.TailRecords)
+	}
+	return out
+}
+
+// bimodalGap separates the two modes within a regime; with unit variance
+// the K=2 EM fit resolves them decisively while the regime palette's
+// 200-wide spacing keeps distinct regimes failing the J_fit test.
+const bimodalGap = 4.0

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -46,20 +47,27 @@ func (c *Courier) SetTelemetry(reg *telemetry.Registry) {
 		0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10)
 }
 
-// NewCourier wraps link with retransmission. baseBackoff defaults to
-// 0.05 simulated seconds; maxBackoff is raised to baseBackoff if smaller.
-// rng drives the jitter and must not be nil.
-func (s *Simulator) NewCourier(link *Link, baseBackoff, maxBackoff float64, rng *rand.Rand) *Courier {
-	if baseBackoff <= 0 {
-		baseBackoff = 0.05
+// NewCourier wraps link with retransmission. baseBackoff must be positive
+// — a zero or negative backoff would retry in a zero-delay loop, spinning
+// the simulator without advancing virtual time. maxBackoff is raised to
+// baseBackoff if smaller. rng drives the jitter and must not be nil.
+func (s *Simulator) NewCourier(link *Link, baseBackoff, maxBackoff float64, rng *rand.Rand) (*Courier, error) {
+	if math.IsNaN(baseBackoff) || baseBackoff <= 0 {
+		return nil, fmt.Errorf("netsim: courier backoff %v, want > 0 (zero would spin retries at the same instant)", baseBackoff)
+	}
+	if math.IsNaN(maxBackoff) || maxBackoff < 0 {
+		return nil, fmt.Errorf("netsim: courier max backoff %v, want >= 0", maxBackoff)
 	}
 	if maxBackoff < baseBackoff {
 		maxBackoff = baseBackoff
 	}
-	if rng == nil {
-		panic("netsim: Courier needs a rand source for jitter")
+	if link == nil {
+		return nil, fmt.Errorf("netsim: courier needs a link")
 	}
-	return &Courier{sim: s, link: link, base: baseBackoff, max: maxBackoff, rng: rng}
+	if rng == nil {
+		return nil, fmt.Errorf("netsim: courier needs a rand source for jitter")
+	}
+	return &Courier{sim: s, link: link, base: baseBackoff, max: maxBackoff, rng: rng}, nil
 }
 
 // Send queues a payload and pumps the queue unless a retry timer is

@@ -112,16 +112,53 @@ type Outage struct {
 }
 
 // FaultPlan injects delivery faults on a Link: independent probabilistic
-// message loss and burst outage windows. Randomness comes from an
-// injected source so fault sequences are reproducible.
+// message loss, duplicate delivery, and burst outage windows. Randomness
+// comes from an injected source so fault sequences are reproducible.
 type FaultPlan struct {
 	// DropProb is the independent per-message loss probability.
 	DropProb float64
-	// Rand drives the loss draws; required when DropProb > 0.
+	// DupProb is the independent probability that a delivered message is
+	// delivered a second time — the network analogue of an ack lost after
+	// the receiver already processed the original, forcing a blind
+	// retransmit. Duplicates exercise receiver-side dedupe; they cost no
+	// extra wire bytes and are accounted separately from goodput.
+	DupProb float64
+	// Rand drives the loss and duplication draws; required when DropProb
+	// or DupProb is positive.
 	Rand *rand.Rand
 	// Outages lists receiver-down windows; a message whose arrival time
 	// falls inside any window is lost.
 	Outages []Outage
+}
+
+// Validate reports configuration errors: probabilities outside [0, 1],
+// missing random sources, and inverted or negative outage windows. A nil
+// plan is valid (a perfect link).
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if math.IsNaN(p.DropProb) || p.DropProb < 0 || p.DropProb > 1 {
+		return fmt.Errorf("netsim: FaultPlan.DropProb = %v, want [0, 1]", p.DropProb)
+	}
+	if math.IsNaN(p.DupProb) || p.DupProb < 0 || p.DupProb > 1 {
+		return fmt.Errorf("netsim: FaultPlan.DupProb = %v, want [0, 1]", p.DupProb)
+	}
+	if (p.DropProb > 0 || p.DupProb > 0) && p.Rand == nil {
+		return fmt.Errorf("netsim: FaultPlan with DropProb=%v DupProb=%v needs a Rand source", p.DropProb, p.DupProb)
+	}
+	for i, o := range p.Outages {
+		if math.IsNaN(o.Start) || math.IsNaN(o.End) {
+			return fmt.Errorf("netsim: outage %d has NaN bounds [%v, %v)", i, o.Start, o.End)
+		}
+		if o.Start < 0 {
+			return fmt.Errorf("netsim: outage %d starts at negative time %v", i, o.Start)
+		}
+		if o.End <= o.Start {
+			return fmt.Errorf("netsim: outage %d window inverted or empty: [%v, %v)", i, o.Start, o.End)
+		}
+	}
+	return nil
 }
 
 // lost decides the fate of a message arriving at the given time. Outage
@@ -151,6 +188,7 @@ type Link struct {
 	retransmitBytes int
 	droppedMessages int
 	droppedBytes    int
+	dupDelivered    int
 	sendLog         []sendRecord
 	// busyUntil serializes transmissions on a finite-bandwidth link.
 	busyUntil float64
@@ -168,6 +206,7 @@ type linkTele struct {
 	retransmit *telemetry.Counter
 	dropped    *telemetry.Counter
 	dropBytes  *telemetry.Counter
+	dup        *telemetry.Counter
 }
 
 // SetTelemetry registers sim.* instruments for this link in reg (nil
@@ -185,6 +224,7 @@ func (l *Link) SetTelemetry(reg *telemetry.Registry) {
 		retransmit: reg.Counter("sim.retransmit_bytes"),
 		dropped:    reg.Counter("sim.dropped_messages"),
 		dropBytes:  reg.Counter("sim.dropped_bytes"),
+		dup:        reg.Counter("sim.dup_delivered"),
 	}
 }
 
@@ -195,24 +235,28 @@ type sendRecord struct {
 
 // NewLink creates a perfect link on sim. deliver is invoked (inside the
 // simulation) when a payload arrives; it may be nil for fire-and-forget
-// accounting.
-func (s *Simulator) NewLink(latency, bandwidth float64, deliver func([]byte)) *Link {
+// accounting. It returns an error for configurations that would schedule
+// events at negative times (negative latency) or divide by a nonsense
+// bandwidth, instead of misbehaving at send time.
+func (s *Simulator) NewLink(latency, bandwidth float64, deliver func([]byte)) (*Link, error) {
 	return s.NewFaultyLink(latency, bandwidth, nil, deliver)
 }
 
 // NewFaultyLink creates a link whose deliveries are subject to plan; a
-// nil plan is a perfect link.
-func (s *Simulator) NewFaultyLink(latency, bandwidth float64, plan *FaultPlan, deliver func([]byte)) *Link {
-	if latency < 0 {
-		panic("netsim: negative latency")
+// nil plan is a perfect link. The latency, bandwidth and fault plan are
+// validated here, at construction, so a misconfigured scenario fails with
+// a clear error rather than panicking mid-simulation.
+func (s *Simulator) NewFaultyLink(latency, bandwidth float64, plan *FaultPlan, deliver func([]byte)) (*Link, error) {
+	if math.IsNaN(latency) || latency < 0 {
+		return nil, fmt.Errorf("netsim: link latency %v, want >= 0", latency)
 	}
-	if bandwidth < 0 {
-		panic("netsim: negative bandwidth")
+	if math.IsNaN(bandwidth) || bandwidth < 0 {
+		return nil, fmt.Errorf("netsim: link bandwidth %v, want >= 0 (0 = infinite)", bandwidth)
 	}
-	if plan != nil && plan.DropProb > 0 && plan.Rand == nil {
-		panic("netsim: FaultPlan.DropProb without FaultPlan.Rand")
+	if err := plan.Validate(); err != nil {
+		return nil, err
 	}
-	return &Link{sim: s, latency: latency, bandwidth: bandwidth, fault: plan, deliver: deliver}
+	return &Link{sim: s, latency: latency, bandwidth: bandwidth, fault: plan, deliver: deliver}, nil
 }
 
 // Send transmits payload: bytes are accounted at send time; delivery is
@@ -254,9 +298,22 @@ func (l *Link) TrySend(payload []byte, retransmit bool) bool {
 	}
 	l.goodputBytes += n
 	l.tele.goodput.Add(int64(n))
+	// Duplicate-delivery draw: decided at send time (so the draw sequence
+	// is a pure function of the send sequence), delivered shortly after
+	// the original. Duplicates consume no extra wire bytes and never count
+	// as goodput — they model receiver-side duplication, the input the
+	// exactly-once dedupe layer exists to absorb.
+	dup := l.fault != nil && l.fault.DupProb > 0 && l.fault.Rand.Float64() < l.fault.DupProb
+	if dup {
+		l.dupDelivered++
+		l.tele.dup.Inc()
+	}
 	if l.deliver != nil {
 		p := payload
 		l.sim.ScheduleAt(arrive, func() { l.deliver(p) })
+		if dup {
+			l.sim.ScheduleAt(arrive+l.latency*0.5, func() { l.deliver(p) })
+		}
 	}
 	return true
 }
@@ -276,6 +333,10 @@ func (l *Link) RetransmitBytes() int { return l.retransmitBytes }
 
 // Dropped returns (messages, bytes) lost to the fault plan.
 func (l *Link) Dropped() (messages, bytes int) { return l.droppedMessages, l.droppedBytes }
+
+// DupDelivered returns how many messages were delivered twice by the
+// fault plan's DupProb. Duplicates consume no wire bytes and no goodput.
+func (l *Link) DupDelivered() int { return l.dupDelivered }
 
 // CostSeries buckets the link's sent bytes into intervals of the given
 // width, cumulatively: entry i is the total bytes sent in [0, (i+1)·width).

@@ -1,9 +1,40 @@
 package netsim
 
 import (
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
+
+// mustLink / mustFaultyLink / mustCourier unwrap the error-returning
+// constructors for tests whose configurations are valid by construction.
+func mustLink(t *testing.T, s *Simulator, latency, bandwidth float64, deliver func([]byte)) *Link {
+	t.Helper()
+	l, err := s.NewLink(latency, bandwidth, deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func mustFaultyLink(t *testing.T, s *Simulator, latency, bandwidth float64, plan *FaultPlan, deliver func([]byte)) *Link {
+	t.Helper()
+	l, err := s.NewFaultyLink(latency, bandwidth, plan, deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func mustCourier(t *testing.T, s *Simulator, link *Link, base, max float64, rng *rand.Rand) *Courier {
+	t.Helper()
+	c, err := s.NewCourier(link, base, max, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
 
 func TestEventOrdering(t *testing.T) {
 	s := NewSimulator()
@@ -93,7 +124,7 @@ func TestLinkDeliveryAndAccounting(t *testing.T) {
 	s := NewSimulator()
 	var got [][]byte
 	var at []float64
-	l := s.NewLink(0.5, 0, func(p []byte) {
+	l := mustLink(t, s, 0.5, 0, func(p []byte) {
 		got = append(got, p)
 		at = append(at, s.Now())
 	})
@@ -114,9 +145,9 @@ func TestLinkDeliveryAndAccounting(t *testing.T) {
 func TestLinkBandwidthSerialization(t *testing.T) {
 	s := NewSimulator()
 	var at []float64
-	l := s.NewLink(0, 10, func(p []byte) { at = append(at, s.Now()) }) // 10 B/s
-	l.Send(make([]byte, 20))                                           // finishes at t=2
-	l.Send(make([]byte, 10))                                           // queued, finishes at t=3
+	l := mustLink(t, s, 0, 10, func(p []byte) { at = append(at, s.Now()) }) // 10 B/s
+	l.Send(make([]byte, 20))                                                // finishes at t=2
+	l.Send(make([]byte, 10))                                                // queued, finishes at t=3
 	s.Run()
 	if len(at) != 2 || at[0] != 2 || at[1] != 3 {
 		t.Fatalf("deliveries at %v, want [2 3]", at)
@@ -125,7 +156,7 @@ func TestLinkBandwidthSerialization(t *testing.T) {
 
 func TestLinkNilDeliver(t *testing.T) {
 	s := NewSimulator()
-	l := s.NewLink(1, 0, nil)
+	l := mustLink(t, s, 1, 0, nil)
 	l.Send(make([]byte, 100))
 	s.Run()
 	if l.BytesSent() != 100 {
@@ -135,24 +166,111 @@ func TestLinkNilDeliver(t *testing.T) {
 
 func TestLinkValidation(t *testing.T) {
 	s := NewSimulator()
-	for _, fn := range []func(){
-		func() { s.NewLink(-1, 0, nil) },
-		func() { s.NewLink(0, -1, nil) },
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		err  string
+		do   func() error
+	}{
+		{"negative latency", "latency", func() error { _, err := s.NewLink(-1, 0, nil); return err }},
+		{"NaN latency", "latency", func() error { _, err := s.NewLink(math.NaN(), 0, nil); return err }},
+		{"negative bandwidth", "bandwidth", func() error { _, err := s.NewLink(0, -1, nil); return err }},
+		{"drop prob out of range", "DropProb", func() error {
+			_, err := s.NewFaultyLink(0, 0, &FaultPlan{DropProb: 1.5, Rand: rng}, nil)
+			return err
+		}},
+		{"dup prob negative", "DupProb", func() error {
+			_, err := s.NewFaultyLink(0, 0, &FaultPlan{DupProb: -0.1, Rand: rng}, nil)
+			return err
+		}},
+		{"drop prob without rand", "Rand", func() error {
+			_, err := s.NewFaultyLink(0, 0, &FaultPlan{DropProb: 0.5}, nil)
+			return err
+		}},
+		{"dup prob without rand", "Rand", func() error {
+			_, err := s.NewFaultyLink(0, 0, &FaultPlan{DupProb: 0.5}, nil)
+			return err
+		}},
+		{"inverted outage", "inverted", func() error {
+			_, err := s.NewFaultyLink(0, 0, &FaultPlan{Outages: []Outage{{Start: 6, End: 2}}}, nil)
+			return err
+		}},
+		{"empty outage", "inverted", func() error {
+			_, err := s.NewFaultyLink(0, 0, &FaultPlan{Outages: []Outage{{Start: 2, End: 2}}}, nil)
+			return err
+		}},
+		{"negative outage start", "negative", func() error {
+			_, err := s.NewFaultyLink(0, 0, &FaultPlan{Outages: []Outage{{Start: -1, End: 2}}}, nil)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.do()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.err) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.err)
+		}
+	}
+	// Valid configurations still construct.
+	if _, err := s.NewFaultyLink(0.1, 100, &FaultPlan{DropProb: 0.2, DupProb: 0.1, Rand: rng, Outages: []Outage{{Start: 1, End: 2}}}, nil); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestCourierValidation(t *testing.T) {
+	s := NewSimulator()
+	rng := rand.New(rand.NewSource(1))
+	l := mustLink(t, s, 0, 0, nil)
+	for _, tc := range []struct {
+		name string
+		do   func() error
+	}{
+		{"zero backoff", func() error { _, err := s.NewCourier(l, 0, 1, rng); return err }},
+		{"negative backoff", func() error { _, err := s.NewCourier(l, -0.5, 1, rng); return err }},
+		{"NaN backoff", func() error { _, err := s.NewCourier(l, math.NaN(), 1, rng); return err }},
+		{"negative max backoff", func() error { _, err := s.NewCourier(l, 0.1, -1, rng); return err }},
+		{"nil rng", func() error { _, err := s.NewCourier(l, 0.1, 1, nil); return err }},
+		{"nil link", func() error { _, err := s.NewCourier(nil, 0.1, 1, rng); return err }},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if err := tc.do(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// max < base is raised, not rejected.
+	c, err := s.NewCourier(l, 0.5, 0.1, rng)
+	if err != nil || c == nil {
+		t.Fatalf("max<base rejected: %v", err)
+	}
+}
+
+func TestFaultPlanDupDelivery(t *testing.T) {
+	s := NewSimulator()
+	var got []float64
+	plan := &FaultPlan{DupProb: 1, Rand: rand.New(rand.NewSource(5))}
+	l := mustFaultyLink(t, s, 0.4, 0, plan, func(p []byte) { got = append(got, s.Now()) })
+	l.Send(make([]byte, 10))
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d, want 2 (original + duplicate)", len(got))
+	}
+	if got[0] != 0.4 || got[1] <= got[0] {
+		t.Fatalf("delivery times %v: duplicate must trail the original", got)
+	}
+	// Duplicates consume no wire bytes and no goodput.
+	if l.BytesSent() != 10 || l.GoodputBytes() != 10 {
+		t.Fatalf("bytes=%d goodput=%d, want 10/10", l.BytesSent(), l.GoodputBytes())
+	}
+	if l.DupDelivered() != 1 {
+		t.Fatalf("DupDelivered = %d", l.DupDelivered())
 	}
 }
 
 func TestCostSeriesCumulative(t *testing.T) {
 	s := NewSimulator()
-	l := s.NewLink(0, 0, nil)
+	l := mustLink(t, s, 0, 0, nil)
 	send := func(at float64, n int) {
 		s.Schedule(at, func() { l.Send(make([]byte, n)) })
 	}
@@ -175,7 +293,7 @@ func TestCostSeriesCumulative(t *testing.T) {
 
 func TestCostSeriesClampsLateSends(t *testing.T) {
 	s := NewSimulator()
-	l := s.NewLink(0, 0, nil)
+	l := mustLink(t, s, 0, 0, nil)
 	s.Schedule(9.5, func() { l.Send(make([]byte, 7)) })
 	s.Run()
 	got := l.CostSeries(1, 5) // series shorter than the send time
@@ -230,10 +348,10 @@ func TestBandwidthBusyUntilOrdering(t *testing.T) {
 	// from the current time rather than the stale busyUntil.
 	s := NewSimulator()
 	var at []float64
-	l := s.NewLink(0, 10, func(p []byte) { at = append(at, s.Now()) }) // 10 B/s
-	l.Send(make([]byte, 20))                                           // busy until t=2
-	s.Schedule(1, func() { l.Send(make([]byte, 10)) })                 // queued: 2..3
-	s.Schedule(5, func() { l.Send(make([]byte, 10)) })                 // idle link: 5..6
+	l := mustLink(t, s, 0, 10, func(p []byte) { at = append(at, s.Now()) }) // 10 B/s
+	l.Send(make([]byte, 20))                                                // busy until t=2
+	s.Schedule(1, func() { l.Send(make([]byte, 10)) })                      // queued: 2..3
+	s.Schedule(5, func() { l.Send(make([]byte, 10)) })                      // idle link: 5..6
 	s.Run()
 	want := []float64{2, 3, 6}
 	if len(at) != 3 || at[0] != want[0] || at[1] != want[1] || at[2] != want[2] {
@@ -245,7 +363,7 @@ func TestFaultPlanDropProb(t *testing.T) {
 	s := NewSimulator()
 	var delivered int
 	plan := &FaultPlan{DropProb: 0.5, Rand: rand.New(rand.NewSource(11))}
-	l := s.NewFaultyLink(0, 0, plan, func(p []byte) { delivered++ })
+	l := mustFaultyLink(t, s, 0, 0, plan, func(p []byte) { delivered++ })
 	const n = 1000
 	for i := 0; i < n; i++ {
 		l.Send(make([]byte, 10))
@@ -270,7 +388,7 @@ func TestFaultPlanOutageWindow(t *testing.T) {
 	s := NewSimulator()
 	var at []float64
 	plan := &FaultPlan{Outages: []Outage{{Start: 1, End: 3}}}
-	l := s.NewFaultyLink(0.5, 0, plan, func(p []byte) { at = append(at, s.Now()) })
+	l := mustFaultyLink(t, s, 0.5, 0, plan, func(p []byte) { at = append(at, s.Now()) })
 	for _, sendAt := range []float64{0, 1, 2, 3} { // arrivals 0.5, 1.5, 2.5, 3.5
 		sendAt := sendAt
 		s.Schedule(sendAt, func() { l.Send([]byte{1}) })
@@ -289,8 +407,8 @@ func TestCourierRetransmitsInOrder(t *testing.T) {
 	var got []byte
 	// Outage by arrival time: everything arriving before t=2 is lost.
 	plan := &FaultPlan{Outages: []Outage{{Start: 0, End: 2}}}
-	l := s.NewFaultyLink(0.1, 0, plan, func(p []byte) { got = append(got, p[0]) })
-	c := s.NewCourier(l, 0.05, 0.4, rand.New(rand.NewSource(3)))
+	l := mustFaultyLink(t, s, 0.1, 0, plan, func(p []byte) { got = append(got, p[0]) })
+	c := mustCourier(t, s, l, 0.05, 0.4, rand.New(rand.NewSource(3)))
 	for i := byte(0); i < 5; i++ {
 		c.Send([]byte{i})
 	}
@@ -328,8 +446,8 @@ func TestCourierCrashDropsQueue(t *testing.T) {
 	s := NewSimulator()
 	var got int
 	plan := &FaultPlan{Outages: []Outage{{Start: 0, End: 10}}}
-	l := s.NewFaultyLink(0, 0, plan, func(p []byte) { got++ })
-	c := s.NewCourier(l, 0.1, 0.1, rand.New(rand.NewSource(4)))
+	l := mustFaultyLink(t, s, 0, 0, plan, func(p []byte) { got++ })
+	c := mustCourier(t, s, l, 0.1, 0.1, rand.New(rand.NewSource(4)))
 	c.Send([]byte{1})
 	c.Send([]byte{2})
 	if c.Pending() != 2 {
@@ -346,8 +464,8 @@ func TestCourierCrashDropsQueue(t *testing.T) {
 	}
 	// The restarted incarnation can send again.
 	s2 := NewSimulator()
-	l2 := s2.NewLink(0, 0, func(p []byte) { got++ })
-	c2 := s2.NewCourier(l2, 0.1, 0.1, rand.New(rand.NewSource(4)))
+	l2 := mustLink(t, s2, 0, 0, func(p []byte) { got++ })
+	c2 := mustCourier(t, s2, l2, 0.1, 0.1, rand.New(rand.NewSource(4)))
 	c2.Send([]byte{3})
 	s2.Run()
 	if got != 1 {

@@ -1,0 +1,53 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonEnvelope is the on-disk frame for the project's JSON documents
+// (deterministic-simulation scenarios and failure artifacts): a format
+// tag and version outside the payload, so readers can reject foreign or
+// future files before parsing a byte of the body.
+type jsonEnvelope struct {
+	Format  string          `json:"format"`
+	Version int             `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// SaveJSONEnvelope writes payload wrapped in a versioned envelope.
+func SaveJSONEnvelope(w io.Writer, format string, version int, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("persist: encoding %s payload: %w", format, err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonEnvelope{Format: format, Version: version, Payload: body})
+}
+
+// LoadJSONEnvelope reads an envelope, requiring the given format tag and
+// a version in [1, maxVersion], and returns the raw payload and its
+// version. Malformed JSON, a foreign format tag, or an out-of-range
+// version return ErrBadFormat-wrapped errors; I/O errors pass through.
+func LoadJSONEnvelope(r io.Reader, format string, maxVersion int) (json.RawMessage, int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	var env jsonEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if env.Format != format {
+		return nil, 0, fmt.Errorf("%w: format %q, want %q", ErrBadFormat, env.Format, format)
+	}
+	if env.Version < 1 || env.Version > maxVersion {
+		return nil, 0, fmt.Errorf("%w: version %d, want 1..%d", ErrBadFormat, env.Version, maxVersion)
+	}
+	if len(env.Payload) == 0 {
+		return nil, 0, fmt.Errorf("%w: missing payload", ErrBadFormat)
+	}
+	return env.Payload, env.Version, nil
+}

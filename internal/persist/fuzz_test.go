@@ -2,11 +2,14 @@ package persist
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
 // FuzzLoad feeds arbitrary bytes to the archive loader: it must never
-// panic or over-allocate, and accepted archives must round-trip.
+// panic or over-allocate, every rejection must wrap ErrBadFormat (the
+// input is in memory, so no genuine I/O error can occur), and accepted
+// archives must round-trip.
 func FuzzLoad(f *testing.F) {
 	// Seed with a small real archive and corruptions of it.
 	a := &SiteArchive{SiteID: 1, Dim: 2, ChunkSize: 10, ChunksSeen: 3}
@@ -26,6 +29,9 @@ func FuzzLoad(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Load(bytes.NewReader(data))
 		if err != nil {
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("corrupted input rejected with %v, want an ErrBadFormat-wrapped error", err)
+			}
 			return
 		}
 		var out bytes.Buffer

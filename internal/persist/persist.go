@@ -101,76 +101,80 @@ func Save(w io.Writer, a *SiteArchive) error {
 	return bw.Flush()
 }
 
-// Load reads an archive written by Save.
+// Load reads an archive written by Save. Any input that is not a complete,
+// well-formed archive — wrong magic, unknown version, truncation, or
+// decoded values that cannot form a valid model — yields an error wrapping
+// ErrBadFormat. Errors from the reader itself (a failing disk, a closed
+// pipe) pass through untouched so callers can tell corruption from I/O.
 func Load(r io.Reader) (*SiteArchive, error) {
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, err
+		return nil, readErr("magic", err)
 	}
 	if m != magic {
-		return nil, ErrBadFormat
+		return nil, badFormat("bad magic %q", m[:])
 	}
 	ver, err := readU32(br)
 	if err != nil {
-		return nil, err
+		return nil, readErr("version", err)
 	}
 	if ver != version {
-		return nil, fmt.Errorf("persist: unsupported version %d", ver)
+		return nil, badFormat("unsupported version %d", ver)
 	}
 	a := &SiteArchive{}
 	if a.SiteID, err = readInt(br); err != nil {
-		return nil, err
+		return nil, readErr("header", err)
 	}
 	if a.Dim, err = readInt(br); err != nil {
-		return nil, err
+		return nil, readErr("header", err)
 	}
 	if a.ChunkSize, err = readInt(br); err != nil {
-		return nil, err
+		return nil, readErr("header", err)
 	}
 	if a.ChunksSeen, err = readInt(br); err != nil {
-		return nil, err
+		return nil, readErr("header", err)
 	}
 	nModels, err := readInt(br)
 	if err != nil {
-		return nil, err
+		return nil, readErr("model count", err)
 	}
 	if nModels < 0 || nModels > 1<<24 {
-		return nil, fmt.Errorf("persist: implausible model count %d", nModels)
+		return nil, badFormat("implausible model count %d", nModels)
 	}
 	for i := 0; i < nModels; i++ {
 		var am ArchivedModel
 		if am.ID, err = readInt(br); err != nil {
-			return nil, err
+			return nil, readErr("model list", err)
 		}
 		if am.RefAvgLL, err = readF64(br); err != nil {
-			return nil, err
+			return nil, readErr("model list", err)
 		}
 		if am.Counter, err = readInt(br); err != nil {
-			return nil, err
+			return nil, readErr("model list", err)
 		}
 		if am.Mixture, err = readMixture(br); err != nil {
-			return nil, fmt.Errorf("persist: model %d: %w", am.ID, err)
+			return nil, fmt.Errorf("model %d: %w", am.ID, err)
 		}
 		a.Models = append(a.Models, am)
 	}
 	nEvents, err := readInt(br)
 	if err != nil {
-		return nil, err
+		return nil, readErr("event count", err)
 	}
 	if nEvents < 0 || nEvents > 1<<24 {
-		return nil, fmt.Errorf("persist: implausible event count %d", nEvents)
+		return nil, badFormat("implausible event count %d", nEvents)
 	}
 	for i := 0; i < nEvents; i++ {
 		var e events.Entry
 		if e.ModelID, err = readInt(br); err != nil {
-			return nil, err
+			return nil, readErr("event table", err)
 		}
 		if e.StartChunk, err = readInt(br); err != nil {
-			return nil, err
+			return nil, readErr("event table", err)
 		}
 		if e.EndChunk, err = readInt(br); err != nil {
-			return nil, err
+			return nil, readErr("event table", err)
 		}
 		a.Events = append(a.Events, e)
 	}
@@ -341,19 +345,19 @@ func writeMixture(w io.Writer, m *gaussian.Mixture) error {
 func readMixture(r io.Reader) (*gaussian.Mixture, error) {
 	k, err := readInt(r)
 	if err != nil {
-		return nil, err
+		return nil, readErr("mixture header", err)
 	}
 	d, err := readInt(r)
 	if err != nil {
-		return nil, err
+		return nil, readErr("mixture header", err)
 	}
 	if k < 1 || d < 1 || k > 1<<20 || d > 1<<20 {
-		return nil, fmt.Errorf("persist: implausible mixture K=%d d=%d", k, d)
+		return nil, badFormat("implausible mixture K=%d d=%d", k, d)
 	}
 	weights := make([]float64, k)
 	for j := range weights {
 		if weights[j], err = readF64(r); err != nil {
-			return nil, err
+			return nil, readErr("mixture weights", err)
 		}
 	}
 	means := make([]linalg.Vector, k)
@@ -361,7 +365,7 @@ func readMixture(r io.Reader) (*gaussian.Mixture, error) {
 		means[j] = linalg.NewVector(d)
 		for i := 0; i < d; i++ {
 			if means[j][i], err = readF64(r); err != nil {
-				return nil, err
+				return nil, readErr("mixture means", err)
 			}
 		}
 	}
@@ -370,16 +374,35 @@ func readMixture(r io.Reader) (*gaussian.Mixture, error) {
 		packed := make([]float64, linalg.PackedLen(d))
 		for i := range packed {
 			if packed[i], err = readF64(r); err != nil {
-				return nil, err
+				return nil, readErr("mixture covariances", err)
 			}
 		}
 		c, err := gaussian.NewComponent(means[j], linalg.SymFromPacked(d, packed), 0)
 		if err != nil {
-			return nil, err
+			return nil, badFormat("invalid component: %v", err)
 		}
 		comps[j] = c
 	}
-	return gaussian.NewMixture(weights, comps)
+	mix, err := gaussian.NewMixture(weights, comps)
+	if err != nil {
+		return nil, badFormat("invalid mixture: %v", err)
+	}
+	return mix, nil
+}
+
+// badFormat reports malformed input, wrapping ErrBadFormat with detail.
+func badFormat(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrBadFormat}, args...)...)
+}
+
+// readErr classifies a failed low-level read: running out of bytes means
+// the input is a truncated archive (ErrBadFormat); anything else is a
+// genuine I/O failure and passes through untouched.
+func readErr(what string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return badFormat("truncated reading %s", what)
+	}
+	return err
 }
 
 func maxInt(a, b int) int {

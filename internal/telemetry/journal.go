@@ -94,6 +94,11 @@ func (j *Journal) Since(after uint64, limit int) []Event {
 	return out
 }
 
+// Tail returns the newest n retained events, oldest first — the journal
+// slice a failure artifact embeds so a violation carries the decision
+// history that led to it. n <= 0 returns every retained event.
+func (j *Journal) Tail(n int) []Event { return j.Since(0, n) }
+
 // Len returns the number of retained events.
 func (j *Journal) Len() int {
 	if j == nil {
