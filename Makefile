@@ -2,7 +2,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X cludistream/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build vet lint test race race-em race-parallel alloc-gate check tier1 fuzz bench bench-compare obs-demo dst dst-long
+.PHONY: all build vet lint test race race-em race-parallel alloc-gate recover check tier1 fuzz bench bench-compare obs-demo dst dst-long
 
 all: check
 
@@ -44,8 +44,16 @@ race-parallel:
 alloc-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkSiteSteadyState' -benchtime 100x .
 
+# Crash-recovery gate: the coordinator is killed mid-merge under 20%
+# message loss and must recover bit-identical state from its checkpoint +
+# WAL store — in-process (chaos test) and across a real TCP server
+# restart with the reconnect handshake.
+recover:
+	$(GO) test -race -run 'TestChaosCoordinatorCrashRecovery' .
+	$(GO) test -race -run 'TestServerRestartRecoveryOverTCP|TestHandshakePrunesRecoveredSuffix' ./internal/netio/
+
 # Full pre-merge gate.
-check: build lint race-em race-parallel alloc-gate race dst
+check: build lint race-em race-parallel alloc-gate recover race dst
 
 # Deterministic simulation testing (internal/dst): sweep seeded
 # whole-system scenarios — random deployments, drift programs, and fault
@@ -65,12 +73,14 @@ tier1:
 	$(GO) build ./... && $(GO) test ./...
 
 # Short fuzz pass over the wire decoders, the frame/ack protocol, and the
-# archive loader.
+# durable formats (site archive, coordinator checkpoint, WAL).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/transport/
 	$(GO) test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/netio/
 	$(GO) test -run=^$$ -fuzz=FuzzReadAck -fuzztime=5s ./internal/netio/
-	$(GO) test -run=^$$ -fuzz=FuzzLoad -fuzztime=10s ./internal/persist/
+	$(GO) test -run=^$$ -fuzz=FuzzLoad$$ -fuzztime=10s ./internal/persist/
+	$(GO) test -run=^$$ -fuzz=FuzzLoadCoordinatorState -fuzztime=10s ./internal/persist/
+	$(GO) test -run=^$$ -fuzz=FuzzReadWAL -fuzztime=10s ./internal/persist/
 
 # Machine-readable benchmark snapshot: one pass over every figure
 # reproduction (-benchtime 1x — each figure is a full experiment) plus the

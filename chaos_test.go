@@ -127,6 +127,78 @@ func TestChaosBitIdenticalRecovery(t *testing.T) {
 	}
 }
 
+// TestChaosCoordinatorCrashRecovery kills the coordinator twice mid-merge
+// under 20% message loss and recovers it from its checkpoint + WAL store.
+// The final global mixture must be byte-for-byte identical to a crash-free,
+// fault-free run over the same records — recovery is bit-identical, not
+// merely close.
+func TestChaosCoordinatorCrashRecovery(t *testing.T) {
+	records := chaosStream()
+
+	clean, err := New(singleSiteConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range records {
+		if err := clean.Feed(0, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := clean.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := encodeGlobal(t, clean)
+
+	cfg := singleSiteConfig()
+	cfg.Fault = &netsim.FaultPlan{
+		DropProb: 0.2,
+		Rand:     rand.New(rand.NewSource(9)),
+	}
+	cfg.Durability = &DurabilityConfig{
+		Dir: t.TempDir(),
+		// No automatic checkpoint inside this run: every recovery must
+		// rebuild through a genuine WAL replay, not a fresh checkpoint.
+		CheckpointEvery: 1 << 20,
+		Fsync:           "always",
+		SelfCheck:       true,
+	}
+	faulty, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range records {
+		if i == len(records)/3 || i == 2*len(records)/3 {
+			if err := faulty.CrashCoordinator(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := faulty.Feed(0, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := faulty.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := faulty.DeliveryStats()
+	if d.Pending != 0 {
+		t.Fatalf("%d payloads still pending after Drain", d.Pending)
+	}
+	if d.DroppedMessages == 0 || d.RetransmitBytes == 0 || d.Retries == 0 {
+		t.Fatalf("fault plan never bit: %+v", d)
+	}
+	rec := faulty.Recovery()
+	if rec.Restarts != 2 {
+		t.Fatalf("coordinator restarts = %d, want 2", rec.Restarts)
+	}
+	if rec.RecordsReplayed == 0 {
+		t.Fatal("recovery never replayed a WAL record — the crash path was not exercised")
+	}
+	if got := encodeGlobal(t, faulty); !bytes.Equal(got, want) {
+		t.Fatalf("final mixture diverged across coordinator crashes:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+}
+
 // canonicalComponents returns (weight, mean, variance) triples sorted by
 // mean — the order-free fingerprint of a 1-d mixture.
 func canonicalComponents(t *testing.T, sys *System) [][3]float64 {

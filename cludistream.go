@@ -19,14 +19,18 @@
 package cludistream
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"cludistream/internal/coordinator"
+	"cludistream/internal/durable"
 	"cludistream/internal/em"
 	"cludistream/internal/gaussian"
 	"cludistream/internal/linalg"
 	"cludistream/internal/netsim"
+	"cludistream/internal/persist"
 	"cludistream/internal/site"
 	"cludistream/internal/telemetry"
 	"cludistream/internal/transport"
@@ -124,6 +128,50 @@ type Config struct {
 	// not mutate the system. Duplicates and stale-epoch messages that the
 	// dedupe drops never reach it.
 	OnApply func(transport.Message)
+
+	// Durability, when non-nil, makes the coordinator crash-durable: every
+	// delivered payload is logged to a write-ahead log before the
+	// dedupe-then-apply sequence runs, checkpoints rotate automatically,
+	// and CrashCoordinator models a coordinator process dying and
+	// recovering from disk.
+	Durability *DurabilityConfig
+}
+
+// DurabilityConfig tunes the coordinator's checkpoint + WAL store.
+type DurabilityConfig struct {
+	// Dir is the state directory (required). The caller owns its
+	// lifecycle; an existing directory is recovered, an empty one starts
+	// fresh.
+	Dir string
+	// CheckpointEvery is the WAL records per automatic checkpoint
+	// (default 256).
+	CheckpointEvery int
+	// Fsync is the WAL sync policy: "always" (default), "interval" or
+	// "never" (see persist.FsyncMode).
+	Fsync string
+	// FsyncInterval is the records-per-sync cadence for "interval"
+	// (default 32).
+	FsyncInterval int
+	// SelfCheck byte-compares the persisted pre-crash state against the
+	// recovered state on every CrashCoordinator, surfacing any divergence
+	// as ErrRecoveryMismatch. Requires Fsync "always" (weaker modes lose
+	// acknowledged records by design, so the states legitimately differ).
+	SelfCheck bool
+}
+
+// ErrRecoveryMismatch reports that a recovered coordinator's state is not
+// bit-identical to the state persisted before the crash — a durability
+// bug, surfaced by DurabilityConfig.SelfCheck.
+var ErrRecoveryMismatch = errors.New("cludistream: recovered coordinator state differs from pre-crash state")
+
+// RecoveryStats counts coordinator crash-recovery work.
+type RecoveryStats struct {
+	// Restarts is how many times CrashCoordinator ran.
+	Restarts int
+	// RecordsReplayed is the total WAL records re-applied across restarts.
+	RecordsReplayed int
+	// TornBytes is the total torn-tail bytes recovery tolerated.
+	TornBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -182,14 +230,19 @@ type System struct {
 	outstanding []map[int]int
 
 	// Fault-tolerant mode (cfg.Fault != nil): per-site couriers, sender
-	// epochs and sequence numbers, plus the coordinator-side dedupe
-	// watermarks mirroring netio.Server.
+	// epochs and sequence numbers, plus the coordinator-side dedupe table
+	// shared with netio.Server (durable.Dedupe). The table also exists in
+	// durable mode without faults so checkpoints always carry it.
 	couriers []*netsim.Courier
 	epochs   []uint32
 	seqs     []uint64
-	seen     map[int32]*deliveryWatermark
+	ded      *durable.Dedupe
 	dup      int
 	resets   int
+
+	// Coordinator durability (cfg.Durability != nil).
+	store *durable.Store
+	recov RecoveryStats
 
 	// Facade-level delivery instruments (nil ⇒ no-op).
 	teleDedupe *telemetry.Counter
@@ -198,40 +251,55 @@ type System struct {
 	// dedupeBroken disables the sequence-number half of the exactly-once
 	// dedupe — a deliberately injected bug used by the deterministic
 	// simulation tests to prove their invariant suite has teeth. Never set
-	// in production paths; see InjectDedupeFault.
+	// in production paths; see InjectDedupeFault. Mirrored into ded so it
+	// survives coordinator restarts.
 	dedupeBroken bool
 
 	deliveryErr error
 }
 
-// deliveryWatermark is the per-site exactly-once state.
-type deliveryWatermark struct {
-	epoch  uint32
-	maxSeq uint64
-}
-
-// New builds a System.
+// New builds a System. With Config.Durability set, the coordinator is
+// opened through its durable store: an existing state directory is
+// recovered (checkpoint + WAL replay) and the system resumes exactly-once
+// application where the persisted state left off.
 func New(cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 	if cfg.NumSites < 1 {
 		return nil, fmt.Errorf("cludistream: NumSites = %d", cfg.NumSites)
 	}
-	coord, err := coordinator.New(coordinator.Config{Dim: cfg.Dim, Merge: cfg.Merge, Telemetry: cfg.Telemetry})
-	if err != nil {
-		return nil, err
-	}
 	s := &System{
-		cfg:   cfg,
-		sim:   netsim.NewSimulator(),
-		coord: coord,
-		fed:   make([]int, cfg.NumSites),
+		cfg: cfg,
+		sim: netsim.NewSimulator(),
+		fed: make([]int, cfg.NumSites),
+	}
+	coordCfg := coordinator.Config{Dim: cfg.Dim, Merge: cfg.Merge, Telemetry: cfg.Telemetry}
+	if cfg.Durability != nil {
+		opts, err := cfg.Durability.storeOptions(cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+		store, rec, err := durable.Open(cfg.Durability.Dir, coordCfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.coord = rec.Coord
+		s.ded = rec.Dedupe
+	} else {
+		coord, err := coordinator.New(coordCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
+		if cfg.Fault != nil {
+			s.ded = durable.NewDedupe()
+		}
 	}
 	if cfg.Telemetry != nil {
 		s.teleDedupe = cfg.Telemetry.Counter("coord.dedupe_dropped")
 		s.teleResets = cfg.Telemetry.Counter("coord.epoch_resets")
 	}
 	if cfg.Fault != nil {
-		s.seen = make(map[int32]*deliveryWatermark)
 		s.epochs = make([]uint32, cfg.NumSites)
 		s.seqs = make([]uint64, cfg.NumSites)
 	}
@@ -293,8 +361,30 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
+// storeOptions maps the facade durability knobs onto durable.Options.
+func (d *DurabilityConfig) storeOptions(reg *telemetry.Registry) (durable.Options, error) {
+	if d.Dir == "" {
+		return durable.Options{}, fmt.Errorf("cludistream: Durability.Dir is required")
+	}
+	mode, err := persist.ParseFsyncMode(d.Fsync)
+	if err != nil {
+		return durable.Options{}, err
+	}
+	if d.SelfCheck && mode != persist.FsyncAlways {
+		return durable.Options{}, fmt.Errorf("cludistream: Durability.SelfCheck requires Fsync %q, got %q", persist.FsyncAlways, mode)
+	}
+	return durable.Options{
+		CheckpointEvery: d.CheckpointEvery,
+		Fsync:           mode,
+		FsyncInterval:   d.FsyncInterval,
+		Telemetry:       reg,
+	}, nil
+}
+
 // deliver runs inside the simulation when a message arrives at the
-// coordinator. In fault-tolerant mode it mirrors netio.Server's dedupe:
+// coordinator. In durable mode the payload is WAL-logged first — replay
+// re-runs the byte stream through the identical dedupe-then-apply path —
+// and in fault-tolerant mode the dedupe mirrors netio.Server:
 // sequence-numbered messages are applied at most once per (site, epoch),
 // and a higher epoch resets the dead incarnation's state first.
 func (s *System) deliver(payload []byte) {
@@ -303,32 +393,24 @@ func (s *System) deliver(payload []byte) {
 		s.deliveryErr = err
 		return
 	}
-	if msg.Seq != 0 && s.seen != nil {
-		w := s.seen[msg.SiteID]
-		if w == nil {
-			w = &deliveryWatermark{}
-			s.seen[msg.SiteID] = w
-		}
-		switch {
-		case msg.Epoch < w.epoch:
-			s.dup++
-			s.teleDedupe.Inc()
-			return
-		case msg.Epoch > w.epoch:
-			if w.epoch != 0 {
-				s.coord.ResetSite(int(msg.SiteID))
-				s.resets++
-				s.teleResets.Inc()
+	if s.store != nil {
+		if err := s.store.Append(payload); err != nil {
+			if s.deliveryErr == nil {
+				s.deliveryErr = err
 			}
-			w.epoch, w.maxSeq = msg.Epoch, 0
+			return
 		}
-		if msg.Seq <= w.maxSeq && !s.dedupeBroken {
+	}
+	if s.ded != nil {
+		switch s.ded.Admit(msg.SiteID, msg.Epoch, msg.Seq) {
+		case durable.DropStale, durable.DropDuplicate:
 			s.dup++
 			s.teleDedupe.Inc()
 			return
-		}
-		if msg.Seq > w.maxSeq {
-			w.maxSeq = msg.Seq
+		case durable.AdmitNewEpoch:
+			s.coord.ResetSite(int(msg.SiteID))
+			s.resets++
+			s.teleResets.Inc()
 		}
 	}
 	switch msg.Kind {
@@ -343,6 +425,11 @@ func (s *System) deliver(payload []byte) {
 	if s.cfg.OnApply != nil {
 		s.cfg.OnApply(msg)
 	}
+	if s.store != nil && s.store.NeedCheckpoint() {
+		if err := s.store.Checkpoint(s.coord, s.ded); err != nil && s.deliveryErr == nil {
+			s.deliveryErr = err
+		}
+	}
 }
 
 // InjectDedupeFault deliberately breaks the sequence-number dedupe so
@@ -350,7 +437,12 @@ func (s *System) deliver(payload []byte) {
 // deterministic simulation tests (internal/dst), which use it to prove
 // the exactly-once invariant catches a real dedupe regression; calling it
 // anywhere else forfeits the exactly-once guarantee.
-func (s *System) InjectDedupeFault() { s.dedupeBroken = true }
+func (s *System) InjectDedupeFault() {
+	s.dedupeBroken = true
+	if s.ded != nil {
+		s.ded.Broken = true
+	}
+}
 
 // Feed delivers one record to site siteIdx (0-based). The simulated clock
 // advances to the record's arrival time (records arrive at ArrivalRate per
@@ -454,6 +546,88 @@ func (s *System) CrashSite(siteIdx int) error {
 	// higher-epoch message; the outstanding mirror starts over with it.
 	s.outstanding[siteIdx] = make(map[int]int)
 	return nil
+}
+
+// CrashCoordinator models the coordinator process dying and recovering
+// from its durable store (requires Config.Durability): the in-memory
+// coordinator and dedupe table are dropped, the WAL is abandoned without
+// flushing (records an fsync policy weaker than "always" had not synced
+// are lost, exactly as a real crash would lose them), and the replacement
+// coordinator is rebuilt from the latest checkpoint plus the surviving
+// WAL tail. Queued courier retransmissions are unaffected — sites keep
+// retrying through the outage, and the recovered dedupe table drops what
+// was already applied.
+//
+// With DurabilityConfig.SelfCheck, the persisted pre-crash state is
+// byte-compared against the recovered state and any divergence returns
+// ErrRecoveryMismatch.
+func (s *System) CrashCoordinator() error {
+	if s.store == nil {
+		return fmt.Errorf("cludistream: CrashCoordinator requires Config.Durability")
+	}
+	var want []byte
+	if s.cfg.Durability.SelfCheck {
+		var err error
+		if want, err = encodeState(s.coord, s.ded, s.store.Applied()); err != nil {
+			return err
+		}
+	}
+	if err := s.store.Crash(); err != nil {
+		return err
+	}
+	opts, err := s.cfg.Durability.storeOptions(s.cfg.Telemetry)
+	if err != nil {
+		return err
+	}
+	coordCfg := coordinator.Config{Dim: s.cfg.Dim, Merge: s.cfg.Merge, Telemetry: s.cfg.Telemetry}
+	store, rec, err := durable.Open(s.cfg.Durability.Dir, coordCfg, opts)
+	if err != nil {
+		return err
+	}
+	s.store = store
+	s.coord = rec.Coord
+	s.ded = rec.Dedupe
+	s.ded.Broken = s.dedupeBroken
+	s.recov.Restarts++
+	s.recov.RecordsReplayed += rec.RecordsReplayed
+	s.recov.TornBytes += rec.TornBytes
+	if want != nil {
+		got, err := encodeState(s.coord, s.ded, s.store.Applied())
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(want, got) {
+			return fmt.Errorf("%w (pre-crash %d bytes, recovered %d bytes)", ErrRecoveryMismatch, len(want), len(got))
+		}
+	}
+	return nil
+}
+
+// RestartCoordinatorAt schedules a CrashCoordinator at simulated time t —
+// how the deterministic simulation tests model a coordinator-restart
+// outage window: the coordinator dies at the window's start (arrivals in
+// the window are already lost to the outage) and recovers from disk at
+// its end. A recovery failure surfaces from the next Feed or Drain.
+func (s *System) RestartCoordinatorAt(t float64) {
+	s.sim.ScheduleAt(t, func() {
+		if err := s.CrashCoordinator(); err != nil && s.deliveryErr == nil {
+			s.deliveryErr = err
+		}
+	})
+}
+
+// Recovery returns the accumulated coordinator crash-recovery counters.
+func (s *System) Recovery() RecoveryStats { return s.recov }
+
+// encodeState serializes the full durable state for self-check
+// comparison.
+func encodeState(coord *coordinator.Coordinator, ded *durable.Dedupe, applied uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	st := &persist.CoordinatorState{Applied: applied, Snapshot: coord.Snapshot(), Dedupe: ded.Entries()}
+	if err := persist.SaveCoordinatorState(&buf, st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // FeedRoundRobin distributes the records across all sites in round-robin

@@ -34,6 +34,7 @@ func main() {
 	dim := flag.Int("dim", 4, "data dimensionality d")
 	interval := flag.Duration("interval", 2*time.Second, "how often to check for model changes to upload")
 	maxRetry := flag.Int("max-retry", 12, "initial parent-dial attempts before giving up (-1 = retry forever)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown wait for children and the parent upload drain")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -68,14 +69,15 @@ func main() {
 		buildinfo.Version, *nodeID, srv.Addr(), *connect, *dim, *interval, *debugAddr)
 
 	var up *netio.Uploader
+	var parent *netio.Conn
 	if *connect != "" {
-		conn, err := dialConnRetry(*connect, *nodeID, *maxRetry, reg)
+		parent, err = dialConnRetry(*connect, *nodeID, *maxRetry, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer conn.Close()
-		up = netio.NewUploader(conn, *nodeID)
+		defer parent.Close()
+		up = netio.NewUploader(parent, *nodeID)
 		fmt.Printf("aggd %d: uploading to %s\n", *nodeID, *connect)
 	}
 
@@ -113,8 +115,17 @@ func main() {
 				fmt.Printf("aggd %d: uploaded refreshed model (K=%d)\n", *nodeID, mix.m.K())
 			}
 		case sig := <-sigCh:
-			fmt.Printf("aggd %d: %v — shutting down\n", *nodeID, sig)
-			_ = srv.Close()
+			fmt.Printf("aggd %d: %v — shutting down (waiting up to %v)\n", *nodeID, sig, *shutdownTimeout)
+			// Stop accepting children first, then drain any queued
+			// uploads so the parent sees our final mixture.
+			if err := srv.Shutdown(*shutdownTimeout); err != nil {
+				fmt.Fprintf(os.Stderr, "aggd %d: shutdown: %v\n", *nodeID, err)
+			}
+			if parent != nil {
+				if err := parent.Flush(*shutdownTimeout); err != nil {
+					fmt.Fprintf(os.Stderr, "aggd %d: final upload drain: %v\n", *nodeID, err)
+				}
+			}
 			srv.Snapshot(func(c *coordinator.Coordinator) {
 				fmt.Printf("aggd %d: final state — %d child models, %d groups\n",
 					*nodeID, c.NumModels(), len(c.Groups()))

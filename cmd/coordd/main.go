@@ -1,11 +1,17 @@
 // Command coordd is the coordinator daemon: it listens for remote-site
 // connections (cmd/sited) on TCP and maintains the merged global mixture.
-// On SIGINT/SIGTERM it prints a final model summary and exits; with
-// -status it also prints a periodic one-line status.
+// With -state-dir it is crash-durable: every applied frame is WAL-logged
+// before the ack, checkpoints rotate automatically, and a restart
+// recovers the exact pre-crash state from disk before accepting
+// reconnecting sites (whose restart handshake skips everything already
+// applied). On SIGINT/SIGTERM it shuts down gracefully — waiting up to
+// -shutdown-timeout for sites to hang up, writing a final checkpoint —
+// and prints a final model summary; with -status it also prints a
+// periodic one-line status.
 //
 // Usage:
 //
-//	coordd -listen :7070 -dim 4
+//	coordd -listen :7070 -dim 4 -state-dir /var/lib/coordd
 package main
 
 import (
@@ -18,7 +24,9 @@ import (
 
 	"cludistream/internal/buildinfo"
 	"cludistream/internal/coordinator"
+	"cludistream/internal/durable"
 	"cludistream/internal/netio"
+	"cludistream/internal/persist"
 	"cludistream/internal/telemetry"
 )
 
@@ -26,12 +34,21 @@ func main() {
 	listen := flag.String("listen", ":7070", "TCP address to listen on")
 	dim := flag.Int("dim", 4, "data dimensionality d")
 	status := flag.Duration("status", 10*time.Second, "status print interval (0 disables)")
+	stateDir := flag.String("state-dir", "", "checkpoint + WAL directory (empty = in-memory only, no crash durability)")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "WAL records between automatic checkpoints")
+	fsync := flag.String("fsync", "always", "WAL sync policy: always, interval or never")
+	fsyncInterval := flag.Int("fsync-interval", 32, "records per sync when -fsync=interval")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown wait for connected sites")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("coordd"))
 		return
+	}
+	if _, err := persist.ParseFsyncMode(*fsync); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	var reg *telemetry.Registry
@@ -46,18 +63,49 @@ func main() {
 		fmt.Printf("coordd: debug endpoints on http://%v/debug/vars\n", dbg.Addr())
 	}
 
-	coord, err := coordinator.New(coordinator.Config{Dim: *dim, Telemetry: reg})
+	coordCfg := coordinator.Config{Dim: *dim, Telemetry: reg}
+	var coord *coordinator.Coordinator
+	var srvOpts netio.ServerOptions
+	srvOpts.Telemetry = reg
+	if *stateDir != "" {
+		store, rec, err := durable.Open(*stateDir, coordCfg, durable.Options{
+			CheckpointEvery: *checkpointEvery,
+			Fsync:           persist.FsyncMode(*fsync),
+			FsyncInterval:   *fsyncInterval,
+			Telemetry:       reg,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "coordd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if rec.CheckpointLoaded {
+			fmt.Printf("coordd: recovered %s — %d models over %d sites, %d WAL records replayed (%d torn bytes) in %v, %d applied total\n",
+				*stateDir, rec.Coord.NumModels(), rec.Dedupe.Len(), rec.RecordsReplayed,
+				rec.TornBytes, rec.Duration.Round(time.Millisecond), rec.Applied)
+		} else {
+			fmt.Printf("coordd: fresh state directory %s\n", *stateDir)
+		}
+		coord = rec.Coord
+		srvOpts.Store = store
+		srvOpts.Dedupe = rec.Dedupe
+	} else {
+		var err error
+		coord, err = coordinator.New(coordCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	srv, err := netio.NewServerOpts(*listen, coord, srvOpts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	srv, err := netio.NewServerTelemetry(*listen, coord, reg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	fmt.Printf("coordd: version=%s listen=%v dim=%d status=%v debug_addr=%s\n",
-		buildinfo.Version, srv.Addr(), *dim, *status, *debugAddr)
+	fmt.Printf("coordd: version=%s listen=%v dim=%d status=%v state_dir=%s fsync=%s debug_addr=%s\n",
+		buildinfo.Version, srv.Addr(), *dim, *status, *stateDir, *fsync, *debugAddr)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -80,8 +128,14 @@ func main() {
 					ds.Duplicates, ds.SiteResets)
 			})
 		case sig := <-sigCh:
-			fmt.Printf("coordd: %v — shutting down\n", sig)
-			_ = srv.Close()
+			fmt.Printf("coordd: %v — shutting down (waiting up to %v for sites)\n", sig, *shutdownTimeout)
+			// Shutdown writes a final checkpoint when durable, so the
+			// next start replays an empty WAL.
+			if err := srv.Shutdown(*shutdownTimeout); err != nil {
+				fmt.Fprintf(os.Stderr, "coordd: shutdown: %v\n", err)
+			} else if *stateDir != "" {
+				fmt.Printf("coordd: final checkpoint written to %s\n", *stateDir)
+			}
 			ds := srv.DeliveryStats()
 			srv.Snapshot(func(c *coordinator.Coordinator) {
 				fmt.Printf("coordd: final state — %d site models, %d merged groups\n",

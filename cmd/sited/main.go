@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cludistream/internal/buildinfo"
@@ -41,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	archive := flag.String("archive", "", "write the site's model/event archive here on exit")
 	maxRetry := flag.Int("max-retry", 12, "initial-dial attempts before giving up (-1 = retry forever)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "outbox drain budget on exit or SIGTERM")
 	epoch := flag.Uint("epoch", 0, "incarnation number for exactly-once delivery (0 = derive from wall clock)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -136,8 +139,21 @@ func main() {
 		throttle = t.C
 	}
 
+	// Graceful shutdown: a signal stops the feed loop; the outbox is
+	// drained and the archive written exactly as on a natural exit.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
 	start := time.Now()
+	fed := 0
+feed:
 	for i := 0; i < *updates; i++ {
+		select {
+		case sig := <-sigCh:
+			fmt.Printf("sited %d: %v — stopping after %d records\n", *siteID, sig, fed)
+			break feed
+		default:
+		}
 		var x linalg.Vector
 		if csvData != nil {
 			x = csvData[i]
@@ -158,20 +174,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sited %d: %v\n", *siteID, err)
 			os.Exit(1)
 		}
+		fed++
 	}
 	elapsed := time.Since(start)
 
 	// Drain whatever the fault-tolerant outbox still holds before
 	// reporting; an unreachable coordinator bounds the wait.
-	if err := client.Flush(30 * time.Second); err != nil {
+	if err := client.Flush(*shutdownTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "sited %d: flush: %v\n", *siteID, err)
 	}
 
 	bytesOut, messages := client.Stats()
 	stats := st.Stats()
 	fmt.Printf("sited %d: %d records in %v (%.0f/s) | %d chunks, %d fits, %d EM runs | sent %d msgs / %d bytes\n",
-		*siteID, *updates, elapsed.Round(time.Millisecond),
-		float64(*updates)/elapsed.Seconds(),
+		*siteID, fed, elapsed.Round(time.Millisecond),
+		float64(fed)/elapsed.Seconds(),
 		stats.Chunks, stats.Fits, stats.EMRuns, messages, bytesOut)
 	if d := client.Delivery(); d.Retries > 0 || d.Reconnects > 0 || d.Queued > 0 {
 		fmt.Printf("sited %d: delivery — %d retries, %d reconnects, %d retransmitted bytes, %d dropped, %d still queued\n",

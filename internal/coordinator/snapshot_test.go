@@ -1,0 +1,174 @@
+package coordinator
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/site"
+)
+
+// populated builds a coordinator with a non-trivial model tree: three
+// sites, cross-site shared clusters, a weight shift, and enough mass
+// drift to exercise split/remerge before the snapshot is taken.
+func populated(t *testing.T) *Coordinator {
+	t.Helper()
+	c := mustNew(t)
+	if err := c.HandleUpdate(newModelUpdate(1, 1, mix1d(-5, 5), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HandleUpdate(newModelUpdate(2, 1, mix1d(-5.1, 5.1), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HandleUpdate(newModelUpdate(3, 1, mix1d(40, 60), 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HandleUpdate(site.Update{SiteID: 1, ModelID: 1, Kind: site.WeightUpdate, Count: 300}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSnapshotRoundTripIsBitIdentical: FromSnapshot(Snapshot()) rebuilds
+// a coordinator whose own snapshot — and every query — is deep-equal to
+// the original's, floats included. This is the property crash recovery
+// leans on: the recovered process must be indistinguishable from the one
+// that died.
+func TestSnapshotRoundTripIsBitIdentical(t *testing.T) {
+	c := populated(t)
+	snap := c.Snapshot()
+	r, err := FromSnapshot(Config{Dim: 1, Merge: gaussian.MergeOptions{MomentOnly: true}}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, r.Snapshot()) {
+		t.Fatal("restored coordinator snapshots differently")
+	}
+	if !reflect.DeepEqual(c.ModelWeights(), r.ModelWeights()) {
+		t.Fatal("ModelWeights diverged across a snapshot round trip")
+	}
+	if c.Stats() != r.Stats() {
+		t.Fatalf("Stats diverged: %+v vs %+v", c.Stats(), r.Stats())
+	}
+	// Component caches (Cholesky factors etc.) are computed lazily, so
+	// the mixtures are compared value-by-value, not with DeepEqual.
+	gc, gr := c.GlobalMixture(), r.GlobalMixture()
+	if gc.K() != gr.K() {
+		t.Fatalf("GlobalMixture K: %d vs %d", gc.K(), gr.K())
+	}
+	for j := 0; j < gc.K(); j++ {
+		if gc.Weight(j) != gr.Weight(j) {
+			t.Fatalf("component %d weight: %v vs %v", j, gc.Weight(j), gr.Weight(j))
+		}
+		cc, rc := gc.Component(j), gr.Component(j)
+		if !reflect.DeepEqual(cc.Mean(), rc.Mean()) {
+			t.Fatalf("component %d mean diverged", j)
+		}
+		if !reflect.DeepEqual(cc.Cov(), rc.Cov()) {
+			t.Fatalf("component %d covariance diverged", j)
+		}
+	}
+}
+
+// TestSnapshotRoundTripBehavesIdentically: the original and the restored
+// coordinator must apply the same future update stream to the same state
+// — placement tie-breaks, split thresholds and weight shifts all behave
+// as if the snapshot never happened.
+func TestSnapshotRoundTripBehavesIdentically(t *testing.T) {
+	c := populated(t)
+	r, err := FromSnapshot(Config{Dim: 1, Merge: gaussian.MergeOptions{MomentOnly: true}}, c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := []site.Update{
+		newModelUpdate(1, 2, mix1d(-5.05, 5.05), 150),
+		{SiteID: 3, ModelID: 1, Kind: site.WeightUpdate, Count: 5000},
+		newModelUpdate(4, 1, mix1d(200, 220), 50),
+		{SiteID: 2, ModelID: 1, Kind: site.WeightUpdate, Count: 1},
+	}
+	for i, u := range future {
+		errC, errR := c.HandleUpdate(u), r.HandleUpdate(u)
+		if (errC == nil) != (errR == nil) {
+			t.Fatalf("update %d: original err %v, restored err %v", i, errC, errR)
+		}
+	}
+	if err := c.HandleDeletion(1, 1, 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.HandleDeletion(1, 1, 400); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetSite(2)
+	r.ResetSite(2)
+	if !reflect.DeepEqual(c.Snapshot(), r.Snapshot()) {
+		t.Fatal("states diverged after identical post-snapshot updates")
+	}
+}
+
+// TestSnapshotEmptyCoordinator: a coordinator that has seen nothing
+// snapshots and restores cleanly.
+func TestSnapshotEmptyCoordinator(t *testing.T) {
+	c := mustNew(t)
+	r, err := FromSnapshot(Config{Dim: 1}, c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumLeaves() != 0 || r.NumModels() != 0 {
+		t.Fatalf("empty restore has %d leaves, %d models", r.NumLeaves(), r.NumModels())
+	}
+}
+
+// TestFromSnapshotAdoptsDim: a zero cfg.Dim takes the snapshot's, so
+// callers recovering from disk need not re-derive the deployment shape.
+func TestFromSnapshotAdoptsDim(t *testing.T) {
+	c := populated(t)
+	r, err := FromSnapshot(Config{Merge: gaussian.MergeOptions{MomentOnly: true}}, c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Snapshot(), r.Snapshot()) {
+		t.Fatal("dim adoption changed the restored state")
+	}
+}
+
+// TestFromSnapshotRejectsCorruption: structural damage — the kind a bug
+// in serialization or a hand-edited checkpoint would produce — is
+// reported, never silently repaired.
+func TestFromSnapshotRejectsCorruption(t *testing.T) {
+	cfg := Config{Dim: 1, Merge: gaussian.MergeOptions{MomentOnly: true}}
+	cases := []struct {
+		name   string
+		mutate func(s *Snapshot)
+	}{
+		{"dim mismatch", func(s *Snapshot) { s.Dim = 2 }},
+		{"nil mixture", func(s *Snapshot) { s.Models[0].Mixture = nil }},
+		{"drained counter", func(s *Snapshot) { s.Models[0].Counter = 0 }},
+		{"duplicate model", func(s *Snapshot) { s.Models = append(s.Models, s.Models[0]) }},
+		{"group id out of range", func(s *Snapshot) { s.Groups[0].ID = s.NextGroupID }},
+		{"duplicate group id", func(s *Snapshot) { s.Groups[1].ID = s.Groups[0].ID }},
+		{"empty group", func(s *Snapshot) { s.Groups[0].Members = nil }},
+		{"unknown member model", func(s *Snapshot) { s.Groups[0].Members[0].Key.ModelID = 99 }},
+		{"component out of range", func(s *Snapshot) { s.Groups[0].Members[0].Key.Comp = 7 }},
+		{"doubly placed leaf", func(s *Snapshot) {
+			s.Groups[1].Members = append(s.Groups[1].Members, s.Groups[0].Members[0])
+		}},
+		{"negative mremerge", func(s *Snapshot) { s.Groups[0].Members[0].MRemergeAtJoin = -1 }},
+		{"nan mremerge", func(s *Snapshot) { s.Groups[0].Members[0].MRemergeAtJoin = math.NaN() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := populated(t).Snapshot()
+			if len(snap.Groups) < 2 {
+				t.Fatalf("fixture needs ≥2 groups, has %d", len(snap.Groups))
+			}
+			tc.mutate(snap)
+			if _, err := FromSnapshot(cfg, snap); err == nil {
+				t.Fatal("corrupted snapshot accepted")
+			}
+		})
+	}
+	if _, err := FromSnapshot(cfg, nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+}

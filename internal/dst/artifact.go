@@ -9,10 +9,13 @@ import (
 )
 
 // Artifact serialization tags (persist's versioned JSON envelope).
+// Version 2 added the scenario's coordinator-durability knobs
+// (checkpoint_every, wal_fsync); version-1 files load fine — the knobs
+// default to zero, matching pre-durability behaviour.
 const (
 	artifactFormat = "cludistream-dst-artifact"
 	scenarioFormat = "cludistream-dst-scenario"
-	formatVersion  = 1
+	formatVersion  = 2
 )
 
 // Artifact is a self-contained failure report: everything needed to

@@ -1,8 +1,10 @@
 package dst
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"cludistream"
 	"cludistream/internal/coordinator"
@@ -29,7 +31,9 @@ type Options struct {
 type Violation struct {
 	// Invariant names the violated property: "exactly-once", "event-list",
 	// "fit-soundness", "comm-bound", "memory-bound", "conservation",
-	// "schedule-independence", or "delivery".
+	// "schedule-independence", "recovery" (a coordinator restart recovered
+	// to a state that differs from the persisted pre-crash state), or
+	// "delivery".
 	Invariant string `json:"invariant"`
 	Detail    string `json:"detail"`
 	// Update is how many applied coordinator updates had been observed
@@ -56,6 +60,9 @@ type Result struct {
 	CleanFingerprint uint64                    `json:"clean_fingerprint"`
 	SimTime          float64                   `json:"sim_time"`
 	Delivery         cludistream.DeliveryStats `json:"delivery"`
+	// Recovery counts the coordinator crash-recovery work of the run
+	// (all zeros unless the scenario restarts the coordinator).
+	Recovery cludistream.RecoveryStats `json:"recovery"`
 	// Journal is the tail of the telemetry decision journal (populated on
 	// violation; the artifact's debugging context).
 	Journal []telemetry.Event `json:"journal,omitempty"`
@@ -94,6 +101,23 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 		return nil, err
 	}
 	cfg := systemConfig(sc, reg)
+	if sc.hasCoordRestart() {
+		// Coordinator restarts go through the real checkpoint + WAL path:
+		// the durable store lives in a per-run scratch directory and the
+		// byte-level self-check turns any recovery divergence into a
+		// "recovery" violation.
+		dir, err := os.MkdirTemp("", "dst-coord-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Durability = &cludistream.DurabilityConfig{
+			Dir:             dir,
+			CheckpointEvery: sc.CheckpointEvery,
+			Fsync:           sc.WALFsync,
+			SelfCheck:       true,
+		}
+	}
 	cfg.OnApply = chk.onApply
 	sys, err := cludistream.New(cfg)
 	if err != nil {
@@ -102,6 +126,13 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	chk.sys = sys // OnApply cannot fire before the first Feed
 	if opts.InjectDedupeFault {
 		sys.InjectDedupeFault()
+	}
+	// Schedule the coordinator crashes: the process dies with the outage
+	// and recovers from disk when the window lifts.
+	for _, o := range sc.Outages {
+		if o.CoordRestart {
+			sys.RestartCoordinatorAt(o.End)
+		}
 	}
 
 	// Feed plans: the stream up to the crash point, the crash, then the
@@ -146,12 +177,12 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 			continue
 		}
 		if err := sys.Feed(i, op.x); err != nil {
-			chk.fail("delivery", err.Error())
+			chk.fail(violationLabel(err), err.Error())
 		}
 	}
 	if chk.violation == nil {
 		if err := sys.Drain(); err != nil {
-			chk.fail("delivery", err.Error())
+			chk.fail(violationLabel(err), err.Error())
 		}
 	}
 	if chk.violation == nil {
@@ -163,10 +194,21 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	res.Fingerprint = Fingerprint(sys.GlobalMixture())
 	res.SimTime = sys.Now()
 	res.Delivery = sys.DeliveryStats()
+	res.Recovery = sys.Recovery()
 	if res.Violation != nil {
 		res.Journal = reg.Journal().Tail(opts.JournalTail)
 	}
 	return res, nil
+}
+
+// violationLabel classifies a Feed/Drain error: recovery self-check
+// mismatches get their own invariant name, everything else is a delivery
+// failure.
+func violationLabel(err error) string {
+	if errors.Is(err, cludistream.ErrRecoveryMismatch) {
+		return "recovery"
+	}
+	return "delivery"
 }
 
 // systemConfig maps a scenario onto the facade configuration. The fault

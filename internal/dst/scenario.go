@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"cludistream/internal/netsim"
+	"cludistream/internal/persist"
 )
 
 // Regime is one phase of a site's drift program: the stream parks on a
@@ -33,10 +34,12 @@ type Regime struct {
 }
 
 // OutageSpec is a receiver-down window of the fault schedule.
-// CoordRestart marks windows that model the coordinator process dying and
-// restarting with its persisted state (behaviourally identical to a
-// partition: arrivals inside the window are lost and couriers retransmit
-// after it).
+// CoordRestart marks windows where the coordinator process dies at Start
+// and recovers at End through the real checkpoint + WAL path: the
+// in-memory coordinator and dedupe table are dropped and rebuilt from
+// disk (cludistream.System.CrashCoordinator), with a byte-level self-check
+// that the recovered state matches the pre-crash state. Arrivals inside
+// the window are lost to the outage and couriers retransmit after it.
 type OutageSpec struct {
 	Start        float64 `json:"start"`
 	End          float64 `json:"end"`
@@ -78,6 +81,12 @@ type Scenario struct {
 	DropProb float64      `json:"drop_prob,omitempty"`
 	DupProb  float64      `json:"dup_prob,omitempty"`
 	Outages  []OutageSpec `json:"outages,omitempty"`
+
+	// Coordinator durability knobs, set when the schedule contains a
+	// CoordRestart outage so an artifact pins the exact checkpoint cadence
+	// and WAL sync policy the failing run used.
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+	WALFsync        string `json:"wal_fsync,omitempty"`
 
 	// Link shape.
 	LinkLatency   float64 `json:"link_latency"`
@@ -174,7 +183,27 @@ func Generate(seed int64, short bool) Scenario {
 			CoordRestart: rng.Intn(3) == 0,
 		})
 	}
+	// Durability knobs, drawn last so scenarios without a coordinator
+	// restart are bit-identical to those of earlier harness versions. A
+	// tiny checkpoint cadence makes most restarts replay a WAL tail;
+	// "always" is the only policy under which recovery is lossless and the
+	// byte-level self-check can demand equality.
+	if sc.hasCoordRestart() {
+		sc.CheckpointEvery = 1 + rng.Intn(8)
+		sc.WALFsync = "always"
+	}
 	return sc
+}
+
+// hasCoordRestart reports whether the fault schedule restarts the
+// coordinator.
+func (sc Scenario) hasCoordRestart() bool {
+	for _, o := range sc.Outages {
+		if o.CoordRestart {
+			return true
+		}
+	}
+	return false
 }
 
 // chunks returns how many full chunks the drift program spans.
@@ -202,6 +231,12 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.ArrivalRate <= 0 {
 		return fmt.Errorf("dst: ArrivalRate %v", sc.ArrivalRate)
+	}
+	if sc.CheckpointEvery < 0 {
+		return fmt.Errorf("dst: CheckpointEvery %d", sc.CheckpointEvery)
+	}
+	if _, err := persist.ParseFsyncMode(sc.WALFsync); err != nil {
+		return err
 	}
 	for i, s := range sc.Sites {
 		if len(s.Regimes) == 0 {

@@ -40,6 +40,12 @@ type RetryPolicy struct {
 	// that restarts after a crash must use a strictly higher epoch so the
 	// coordinator discards the dead incarnation's state.
 	Epoch uint32
+	// SiteID, when non-zero, enables the restart handshake: each new
+	// connection opens with a hello frame, and the coordinator's watermark
+	// reply prunes every outbox entry it has already durably applied, so a
+	// reconnect after a coordinator restart retransmits only the suffix.
+	// Dial sets this automatically from the client's site id.
+	SiteID int32
 	// Rand supplies backoff jitter; nil uses a fixed-seed source (still
 	// deterministic, just shared shape across conns).
 	Rand *rand.Rand
@@ -100,13 +106,21 @@ type DeliveryStats struct {
 	Dropped int
 	// Rejected counts messages the coordinator refused (ErrRemote).
 	Rejected int
+	// HandshakePruned counts queued messages the restart handshake removed
+	// because the coordinator's durable watermark already covered them —
+	// retransmissions the handshake saved.
+	HandshakePruned int
 	// Queued is the current outbox depth.
 	Queued int
 }
 
-// pending is one queued outbox entry.
+// pending is one queued outbox entry. Epoch and seq mirror the encoded
+// payload's delivery metadata so the restart handshake can prune without
+// decoding.
 type pending struct {
 	payload  []byte
+	epoch    uint32
+	seq      uint64
 	attempts int
 }
 
@@ -125,6 +139,10 @@ type connTele struct {
 	rejected    *telemetry.Counter
 	backoffs    *telemetry.Counter
 	backoffSecs *telemetry.Histogram
+	depth       *telemetry.Gauge
+	highWater   *telemetry.Gauge
+	storms      *telemetry.Counter
+	pruned      *telemetry.Counter
 }
 
 func newConnTele(reg *telemetry.Registry) connTele {
@@ -144,6 +162,10 @@ func newConnTele(reg *telemetry.Registry) connTele {
 		backoffs:   reg.Counter("net.backoff_waits"),
 		backoffSecs: reg.Histogram("net.backoff_seconds",
 			0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10),
+		depth:     reg.Gauge("net.outbox_depth"),
+		highWater: reg.Gauge("net.outbox_high_water"),
+		storms:    reg.Counter("net.reconnect_storms"),
+		pruned:    reg.Counter("net.handshake_pruned"),
 	}
 }
 
@@ -169,9 +191,24 @@ type Conn struct {
 	fails     int       // consecutive connection failures (backoff exponent)
 	notBefore time.Time // earliest next reconnect attempt
 
-	stats DeliveryStats
-	tele  connTele
+	// helloDone records that the restart handshake ran on the current
+	// connection (only meaningful when pol.SiteID != 0).
+	helloDone bool
+	// progressed / noProgress detect reconnect storms: a reconnect with no
+	// ack since the previous one extends a no-progress streak, and a
+	// streak of stormStreak reconnects counts one storm.
+	progressed bool
+	noProgress int
+
+	highWater int // peak outbox depth
+	stats     DeliveryStats
+	tele      connTele
 }
+
+// stormStreak is how many consecutive no-progress reconnects count as a
+// reconnect storm (a flapping link or a coordinator that accepts and
+// immediately drops connections).
+const stormStreak = 3
 
 // DialConn opens a protocol connection to a Server with the default
 // retry policy.
@@ -209,9 +246,15 @@ func (c *Conn) Send(msg transport.Message) error {
 		c.stats.Dropped++
 		c.tele.dropped.Inc()
 	}
-	c.outbox = append(c.outbox, pending{payload: transport.Encode(msg)})
+	c.outbox = append(c.outbox, pending{payload: transport.Encode(msg), epoch: msg.Epoch, seq: msg.Seq})
 	c.tele.sends.Inc()
-	return c.flushLocked(false, time.Time{})
+	if n := len(c.outbox); n > c.highWater {
+		c.highWater = n
+		c.tele.highWater.Set(float64(n))
+	}
+	err := c.flushLocked(false, time.Time{})
+	c.tele.depth.Set(float64(len(c.outbox)))
+	return err
 }
 
 // Flush blocks until the outbox is empty, retrying with backoff. A
@@ -225,7 +268,9 @@ func (c *Conn) Flush(timeout time.Duration) error {
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
-	if err := c.flushLocked(true, deadline); err != nil {
+	err := c.flushLocked(true, deadline)
+	c.tele.depth.Set(float64(len(c.outbox)))
+	if err != nil {
 		return err
 	}
 	if n := len(c.outbox); n > 0 {
@@ -266,6 +311,7 @@ func (c *Conn) flushLocked(block bool, deadline time.Time) error {
 				continue
 			}
 			c.nc = nc
+			c.helloDone = false
 			c.stats.Reconnects++
 			c.tele.reconnects.Inc()
 			if c.tele.reg != nil {
@@ -273,6 +319,37 @@ func (c *Conn) flushLocked(block bool, deadline time.Time) error {
 					Kind: "net-reconnect", N: c.fails, Note: c.addr,
 				})
 			}
+			// Storm detection: reconnecting without a single ack since the
+			// previous reconnect means the link is churning, not working.
+			if c.progressed {
+				c.noProgress = 0
+			} else {
+				c.noProgress++
+				if c.noProgress == stormStreak {
+					c.tele.storms.Inc()
+					if c.tele.reg != nil {
+						c.tele.reg.Record(telemetry.Event{
+							Kind: "net-reconnect-storm", N: c.noProgress, Note: c.addr,
+						})
+					}
+				}
+			}
+			c.progressed = false
+		}
+		if c.pol.SiteID != 0 && !c.helloDone {
+			if err := c.handshake(); err != nil {
+				c.stats.Retries++
+				c.tele.retries.Inc()
+				c.nc.Close()
+				c.nc = nil
+				c.fails++
+				c.armBackoff()
+				if !block {
+					break
+				}
+				continue
+			}
+			continue // the prune may have emptied the outbox
 		}
 		head := &c.outbox[0]
 		head.attempts++
@@ -289,6 +366,7 @@ func (c *Conn) flushLocked(block bool, deadline time.Time) error {
 			c.tele.goodput.Add(int64(len(head.payload)))
 			c.popHead()
 			c.fails = 0
+			c.progressed = true
 		case errors.Is(err, ErrRemote):
 			// The coordinator decoded the frame and refused it; the
 			// connection is healthy and retrying cannot help.
@@ -302,6 +380,7 @@ func (c *Conn) flushLocked(block bool, deadline time.Time) error {
 			c.tele.retries.Inc()
 			c.nc.Close()
 			c.nc = nil
+			c.helloDone = false
 			c.fails++
 			c.armBackoff()
 			if c.pol.MaxAttempts > 0 && c.outbox[0].attempts >= c.pol.MaxAttempts {
@@ -319,6 +398,46 @@ out:
 		return ErrRemote
 	}
 	return nil
+}
+
+// handshake runs the restart handshake on a fresh connection: send a
+// hello, read the coordinator's durable (epoch, maxSeq) watermark for
+// this site, and prune every outbox entry the watermark already covers —
+// after a coordinator restart, only the unapplied suffix is retransmitted.
+// Callers hold c.mu.
+func (c *Conn) handshake() error {
+	payload := transport.Encode(transport.Message{Kind: transport.MsgHello, SiteID: c.pol.SiteID})
+	c.nc.SetDeadline(time.Now().Add(c.pol.AttemptTimeout))
+	if err := writeFrame(c.nc, payload); err != nil {
+		return err
+	}
+	epoch, maxSeq, err := readWatermarkAck(c.nc)
+	if err != nil {
+		return err
+	}
+	c.pruneOutbox(epoch, maxSeq)
+	c.helloDone = true
+	return nil
+}
+
+// pruneOutbox drops queued entries at or below the coordinator's durable
+// watermark: lower epochs are from incarnations the coordinator has
+// already superseded, and (epoch, seq <= maxSeq) entries were applied
+// before the restart.
+func (c *Conn) pruneOutbox(epoch uint32, maxSeq uint64) {
+	kept := c.outbox[:0]
+	for _, p := range c.outbox {
+		if p.epoch < epoch || (p.epoch == epoch && p.seq <= maxSeq) {
+			c.stats.HandshakePruned++
+			c.tele.pruned.Inc()
+			continue
+		}
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(c.outbox); i++ {
+		c.outbox[i] = pending{} // release pruned payloads
+	}
+	c.outbox = kept
 }
 
 // roundTrip performs one frame+ack exchange under the attempt deadline.
@@ -375,6 +494,7 @@ func (c *Conn) Close() error {
 	}
 	err := c.nc.Close()
 	c.nc = nil
+	c.helloDone = false
 	return err
 }
 
@@ -410,6 +530,9 @@ func Dial(addr string, st *site.Site, siteID int, opts DialOptions) (*Client, er
 	pol := opts.Retry
 	if pol.DialTimeout == 0 {
 		pol.DialTimeout = opts.Timeout
+	}
+	if pol.SiteID == 0 {
+		pol.SiteID = int32(siteID) // enable the restart handshake
 	}
 	conn, err := DialConnRetry(addr, pol)
 	if err != nil {

@@ -8,7 +8,24 @@
 // acknowledged with a single status byte before the next is sent. Model
 // updates are rare (that is the whole point of test-and-cluster), so the
 // round trip is irrelevant to throughput, and synchronous acks give the
-// client immediate, per-message error reporting.
+// client immediate, per-message error reporting. A hello frame
+// (transport.MsgHello), sent once per connection by sites that identify
+// themselves, is instead answered with a 13-byte watermark ack carrying
+// the coordinator's durable (epoch, maxSeq) high-water mark for that
+// site, so after a coordinator restart the site retransmits only the
+// suffix of its outbox the recovered state has not applied.
+//
+// # Outbox policy
+//
+// The client's outbox is bounded (RetryPolicy.OutboxLimit, default 4096
+// messages). Send never blocks: while the coordinator is unreachable,
+// messages queue, and once the outbox is full the *oldest* queued message
+// is dropped to admit the new one (drop-oldest, counted in
+// DeliveryStats.Dropped and net.outbox_dropped). The newest model
+// synopses are the ones the coordinator's global model still needs;
+// stale ones it would supersede anyway. Flush is the blocking
+// counterpart: it drains the outbox through the retry schedule and
+// reports what could not be delivered.
 package netio
 
 import (
@@ -27,6 +44,12 @@ const (
 
 	ackOK  byte = 0x00
 	ackErr byte = 0x01
+	// ackWatermark introduces the 13-byte hello reply:
+	// [0x02][epoch u32 LE][maxSeq u64 LE].
+	ackWatermark byte = 0x02
+
+	// watermarkAckSize is the hello reply length (status + epoch + seq).
+	watermarkAckSize = 1 + 4 + 8
 )
 
 // ErrFrameTooLarge is returned for frames exceeding maxFrameSize.
@@ -75,6 +98,29 @@ func writeAck(w io.Writer, ok bool) error {
 	}
 	_, err := w.Write([]byte{b})
 	return err
+}
+
+// writeWatermarkAck answers a hello with the site's durable high-water
+// mark.
+func writeWatermarkAck(w io.Writer, epoch uint32, maxSeq uint64) error {
+	var b [watermarkAckSize]byte
+	b[0] = ackWatermark
+	binary.LittleEndian.PutUint32(b[1:], epoch)
+	binary.LittleEndian.PutUint64(b[5:], maxSeq)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// readWatermarkAck reads a hello reply.
+func readWatermarkAck(r io.Reader) (epoch uint32, maxSeq uint64, err error) {
+	var b [watermarkAckSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, 0, err
+	}
+	if b[0] != ackWatermark {
+		return 0, 0, fmt.Errorf("netio: invalid watermark ack byte 0x%02x", b[0])
+	}
+	return binary.LittleEndian.Uint32(b[1:]), binary.LittleEndian.Uint64(b[5:]), nil
 }
 
 // readAck reads a one-byte status.

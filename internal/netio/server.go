@@ -6,15 +6,22 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"cludistream/internal/coordinator"
+	"cludistream/internal/durable"
 	"cludistream/internal/telemetry"
 	"cludistream/internal/transport"
 )
 
 // Server is the coordinator endpoint: it accepts site connections, decodes
 // frames, and applies them to the shared Coordinator under a mutex. It is
-// safe for any number of concurrent site connections.
+// safe for any number of concurrent site connections. With a durable.Store
+// attached, every decodable frame is logged to the WAL *before* the
+// dedupe-then-apply sequence runs, so a crash-recovered server replays the
+// byte stream through the identical path and lands on identical state; a
+// frame the WAL refuses is nacked with no state change and the site
+// retries it.
 type Server struct {
 	ln    net.Listener
 	coord *coordinator.Coordinator
@@ -22,24 +29,26 @@ type Server struct {
 	// Serve is running.
 	Logf func(format string, args ...any)
 
-	mu       sync.Mutex // guards coord, counters and dedupe state
+	mu       sync.Mutex // guards coord, store, counters and dedupe state
 	bytesIn  int
 	messages int
 	applyErr int
 	dup      int
 	dupBytes int
 	resets   int
-	// seen tracks the highest (epoch, seq) applied per site; retransmitted
+	// ded tracks the highest (epoch, seq) applied per site; retransmitted
 	// frames and frames from dead incarnations are acked without
 	// re-applying, making delivery exactly-once in effect.
-	seen map[int32]*siteSeq
-	tele serverTele
+	ded   *durable.Dedupe
+	store *durable.Store
+	tele  serverTele
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	wg      sync.WaitGroup
-	closing chan struct{}
+	wg        sync.WaitGroup
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // serverTele holds the coordinator endpoint's receive-side instruments
@@ -52,6 +61,8 @@ type serverTele struct {
 	dups       *telemetry.Counter
 	dupBytes   *telemetry.Counter
 	siteResets *telemetry.Counter
+	hellos     *telemetry.Counter
+	walErrs    *telemetry.Counter
 }
 
 func newServerTele(reg *telemetry.Registry) serverTele {
@@ -66,14 +77,29 @@ func newServerTele(reg *telemetry.Registry) serverTele {
 		dups:       reg.Counter("srv.duplicates"),
 		dupBytes:   reg.Counter("srv.duplicate_bytes"),
 		siteResets: reg.Counter("srv.site_resets"),
+		hellos:     reg.Counter("srv.hellos"),
+		walErrs:    reg.Counter("srv.wal_errors"),
 	}
+}
+
+// ServerOptions configures the optional server machinery.
+type ServerOptions struct {
+	// Telemetry registers srv.* instruments (nil ⇒ none).
+	Telemetry *telemetry.Registry
+	// Store, when non-nil, makes the server crash-durable: frames are
+	// WAL-logged before applying and checkpoints rotate automatically.
+	Store *durable.Store
+	// Dedupe seeds the exactly-once table — pass the recovered table from
+	// durable.Open so a restarted server drops already-applied
+	// retransmissions. Nil starts empty.
+	Dedupe *durable.Dedupe
 }
 
 // NewServer listens on addr ("host:port", ":0" for an ephemeral port) and
 // serves the given coordinator until Close. Serving starts immediately in
 // background goroutines.
 func NewServer(addr string, coord *coordinator.Coordinator) (*Server, error) {
-	return NewServerTelemetry(addr, coord, nil)
+	return NewServerOpts(addr, coord, ServerOptions{})
 }
 
 // NewServerTelemetry is NewServer with receive-side srv.* instruments
@@ -81,11 +107,29 @@ func NewServer(addr string, coord *coordinator.Coordinator) (*Server, error) {
 // constructor because NewServer starts accepting before it returns, so
 // instruments cannot be attached after the fact without racing apply.
 func NewServerTelemetry(addr string, coord *coordinator.Coordinator, reg *telemetry.Registry) (*Server, error) {
+	return NewServerOpts(addr, coord, ServerOptions{Telemetry: reg})
+}
+
+// NewServerOpts is the full constructor: telemetry plus optional
+// durability (a store and a recovered dedupe table from durable.Open).
+func NewServerOpts(addr string, coord *coordinator.Coordinator, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, coord: coord, conns: make(map[net.Conn]struct{}), closing: make(chan struct{}), seen: make(map[int32]*siteSeq), tele: newServerTele(reg)}
+	ded := opts.Dedupe
+	if ded == nil {
+		ded = durable.NewDedupe()
+	}
+	s := &Server{
+		ln:      ln,
+		coord:   coord,
+		conns:   make(map[net.Conn]struct{}),
+		closing: make(chan struct{}),
+		ded:     ded,
+		store:   opts.Store,
+		tele:    newServerTele(opts.Telemetry),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -125,7 +169,8 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn handles one site connection: frame → decode → apply → ack.
+// serveConn handles one site connection: frame → decode → apply → ack
+// (or hello → watermark reply).
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	s.connMu.Lock()
@@ -152,25 +197,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		ok := s.apply(payload)
-		if err := writeAck(conn, ok); err != nil {
+		if err := s.respond(conn, payload); err != nil {
 			s.logf("netio: ack to %v: %v", conn.RemoteAddr(), err)
 			return
 		}
 	}
 }
 
-// siteSeq is the per-site dedupe watermark.
-type siteSeq struct {
-	epoch  uint32
-	maxSeq uint64
-}
-
-// apply decodes and applies one message, returning whether it succeeded.
-// Versioned messages are deduped by (site, epoch, seq): duplicates are
-// acked without re-applying, and a higher epoch first resets the site's
-// coordinator state (the restarted site replays its model list).
-func (s *Server) apply(payload []byte) bool {
+// respond processes one frame and writes its reply: a watermark ack for a
+// hello, a one-byte status for everything else.
+func (s *Server) respond(conn net.Conn, payload []byte) error {
 	msg, err := transport.Decode(payload)
 	if err != nil {
 		s.logf("netio: decode: %v", err)
@@ -178,60 +214,75 @@ func (s *Server) apply(payload []byte) bool {
 		s.applyErr++
 		s.mu.Unlock()
 		s.tele.applyErrs.Inc()
-		return false
+		return writeAck(conn, false)
 	}
+	if msg.Kind == transport.MsgHello {
+		s.mu.Lock()
+		w := s.ded.Watermark(msg.SiteID)
+		s.mu.Unlock()
+		s.tele.hellos.Inc()
+		return writeWatermarkAck(conn, w.Epoch, w.MaxSeq)
+	}
+	return writeAck(conn, s.apply(payload, msg))
+}
+
+// apply logs and applies one decoded message, returning whether it
+// succeeded. Versioned messages are deduped by (site, epoch, seq):
+// duplicates are acked without re-applying, and a higher epoch first
+// resets the site's coordinator state (the restarted site replays its
+// model list).
+func (s *Server) apply(payload []byte, msg transport.Message) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.bytesIn += len(payload)
 	s.tele.bytesIn.Add(int64(len(payload)))
-	if msg.Seq != 0 {
-		tr := s.seen[msg.SiteID]
-		if tr == nil {
-			tr = &siteSeq{}
-			s.seen[msg.SiteID] = tr
+	if s.store != nil {
+		// Log before mutating anything: a frame the WAL cannot hold is
+		// refused with the dedupe watermark untouched, so the site's retry
+		// of the same (epoch, seq) is admitted, not dropped as a duplicate.
+		if err := s.store.Append(payload); err != nil {
+			s.logf("netio: wal append: %v", err)
+			s.tele.walErrs.Inc()
+			return false
 		}
-		switch {
-		case msg.Epoch < tr.epoch:
-			// Late frame from a dead incarnation: ack so the stale sender
-			// stops retrying, but never apply.
-			s.dup++
-			s.dupBytes += len(payload)
-			s.tele.dups.Inc()
-			s.tele.dupBytes.Add(int64(len(payload)))
-			return true
-		case msg.Epoch > tr.epoch:
-			if tr.epoch != 0 {
-				s.coord.ResetSite(int(msg.SiteID))
-				s.resets++
-				s.tele.siteResets.Inc()
-				s.logf("netio: site %d returned with epoch %d, state reset", msg.SiteID, msg.Epoch)
-			}
-			tr.epoch, tr.maxSeq = msg.Epoch, 0
-		}
-		if msg.Seq <= tr.maxSeq {
-			s.dup++
-			s.dupBytes += len(payload)
-			s.tele.dups.Inc()
-			s.tele.dupBytes.Add(int64(len(payload)))
-			return true
-		}
-		tr.maxSeq = msg.Seq
+	}
+	switch s.ded.Admit(msg.SiteID, msg.Epoch, msg.Seq) {
+	case durable.DropStale, durable.DropDuplicate:
+		// Ack so the sender stops retrying, but never (re-)apply.
+		s.dup++
+		s.dupBytes += len(payload)
+		s.tele.dups.Inc()
+		s.tele.dupBytes.Add(int64(len(payload)))
+		return true
+	case durable.AdmitNewEpoch:
+		s.coord.ResetSite(int(msg.SiteID))
+		s.resets++
+		s.tele.siteResets.Inc()
+		s.logf("netio: site %d returned with epoch %d, state reset", msg.SiteID, msg.Epoch)
 	}
 	s.messages++
 	s.tele.applied.Inc()
+	var err error
 	switch msg.Kind {
 	case transport.MsgDeletion:
 		err = s.coord.HandleDeletion(int(msg.SiteID), int(msg.ModelID), int(msg.Count))
 	default:
 		err = s.coord.HandleUpdate(msg.ToSiteUpdate())
 	}
-	if err != nil {
+	ok := err == nil
+	if !ok {
 		s.applyErr++
 		s.tele.applyErrs.Inc()
 		s.logf("netio: apply %v from site %d: %v", msg.Kind, msg.SiteID, err)
-		return false
 	}
-	return true
+	if s.store != nil && s.store.NeedCheckpoint() {
+		if cerr := s.store.Checkpoint(s.coord, s.ded); cerr != nil {
+			// The previous generation stays armed; replay just gets longer.
+			s.logf("netio: checkpoint: %v", cerr)
+			s.tele.walErrs.Inc()
+		}
+	}
+	return ok
 }
 
 // Snapshot runs fn with the coordinator locked — the only safe way to read
@@ -281,9 +332,60 @@ func (s *Server) DeliveryStats() ServerStats {
 }
 
 // Close stops accepting, severs every live site connection and waits for
-// the connection goroutines to drain.
+// the connection goroutines to drain. With a store attached the WAL is
+// flushed and closed but no checkpoint is written — restart replays the
+// tail; Shutdown is the graceful path.
 func (s *Server) Close() error {
-	close(s.closing)
+	err := s.sever()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		if cerr := s.store.Close(); err == nil {
+			err = cerr
+		}
+		s.store = nil
+	}
+	return err
+}
+
+// Shutdown is the graceful stop: it stops accepting, waits up to timeout
+// for connected sites to hang up on their own, severs stragglers, then
+// writes a final checkpoint so the next start replays an empty WAL.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.closeOnce.Do(func() { close(s.closing) })
+	err := s.ln.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.sever() //nolint:errcheck — listener error already captured
+		<-done
+	}
+	s.connMu.Lock()
+	s.conns = nil
+	s.connMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		if cerr := s.store.Checkpoint(s.coord, s.ded); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.store = nil
+	}
+	return err
+}
+
+// sever closes the listener and every live connection, then waits for the
+// connection goroutines.
+func (s *Server) sever() error {
+	s.closeOnce.Do(func() { close(s.closing) })
 	err := s.ln.Close()
 	s.connMu.Lock()
 	for conn := range s.conns {

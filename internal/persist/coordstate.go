@@ -1,0 +1,308 @@
+package persist
+
+import (
+	"bufio"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"cludistream/internal/coordinator"
+)
+
+// Coordinator checkpoint format: magic "CLUC", explicit little-endian
+// binary like the site archive, with a whole-file CRC32 trailer so a
+// flipped bit anywhere — not just in a field a validator happens to look
+// at — surfaces as ErrBadFormat. A checkpoint carries everything the
+// coordinator needs to resume exactly-once application after a crash: the
+// model tree snapshot (mixtures, counters, grouping, work stats) and the
+// full (site, epoch, seq) dedupe table.
+var coordMagic = [4]byte{'C', 'L', 'U', 'C'}
+
+const coordVersion = 1
+
+// plausibleCount caps list lengths before allocation, mirroring Load.
+const plausibleCount = 1 << 24
+
+// DedupeEntry is one site's exactly-once watermark: the highest (epoch,
+// seq) applied. Retransmitted frames at or below it are acked without
+// re-applying.
+type DedupeEntry struct {
+	SiteID int32
+	Epoch  uint32
+	MaxSeq uint64
+}
+
+// CoordinatorState is the complete durable coordinator state: what a
+// checkpoint stores and what recovery rebuilds before replaying the WAL
+// tail.
+type CoordinatorState struct {
+	// Applied is the number of messages applied since the state store was
+	// created (checkpoint continuity for logs and telemetry).
+	Applied uint64
+	// Snapshot is the coordinator's model tree.
+	Snapshot *coordinator.Snapshot
+	// Dedupe is the per-site watermark table, sorted by SiteID.
+	Dedupe []DedupeEntry
+}
+
+// crcWriter forwards writes and accumulates an IEEE CRC32.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+// crcReader forwards reads and accumulates an IEEE CRC32.
+type crcReader struct {
+	r   io.Reader
+	sum uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func writeU64(w io.Writer, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	w.Write(b[:]) //nolint:errcheck — bufio defers errors to Flush
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// SaveCoordinatorState writes the checkpoint format.
+func SaveCoordinatorState(w io.Writer, st *CoordinatorState) error {
+	if st == nil || st.Snapshot == nil {
+		return badFormat("nil coordinator state")
+	}
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write(coordMagic[:]); err != nil {
+		return err
+	}
+	writeU32(cw, coordVersion)
+	snap := st.Snapshot
+	writeU32(cw, uint32(snap.Dim))
+	writeU64(cw, st.Applied)
+	writeU32(cw, uint32(snap.NextGroupID))
+	for _, v := range statsFields(snap.Stats) {
+		writeU32(cw, uint32(v))
+	}
+	writeU32(cw, uint32(len(snap.Models)))
+	for _, m := range snap.Models {
+		writeU32(cw, uint32(m.SiteID))
+		writeU32(cw, uint32(m.ModelID))
+		writeU32(cw, uint32(m.Counter))
+		if err := writeMixture(cw, m.Mixture); err != nil {
+			return err
+		}
+	}
+	writeU32(cw, uint32(len(snap.Groups)))
+	for _, g := range snap.Groups {
+		writeU32(cw, uint32(g.ID))
+		writeU32(cw, uint32(len(g.Members)))
+		for _, mem := range g.Members {
+			writeU32(cw, uint32(mem.Key.SiteID))
+			writeU32(cw, uint32(mem.Key.ModelID))
+			writeU32(cw, uint32(mem.Key.Comp))
+			writeF64(cw, mem.MRemergeAtJoin)
+		}
+	}
+	writeU32(cw, uint32(len(st.Dedupe)))
+	for _, d := range st.Dedupe {
+		writeU32(cw, uint32(d.SiteID))
+		writeU32(cw, d.Epoch)
+		writeU64(cw, d.MaxSeq)
+	}
+	// Trailer: CRC of everything above, written outside the CRC stream.
+	writeU32(bw, cw.sum)
+	return bw.Flush()
+}
+
+// LoadCoordinatorState reads a checkpoint written by SaveCoordinatorState.
+// Wrong magic, an unknown version, truncation, implausible counts, invalid
+// mixtures, or a CRC mismatch all return errors wrapping ErrBadFormat; I/O
+// errors from the reader pass through untouched.
+func LoadCoordinatorState(r io.Reader) (*CoordinatorState, error) {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
+	var m [4]byte
+	if _, err := io.ReadFull(cr, m[:]); err != nil {
+		return nil, readErr("magic", err)
+	}
+	if m != coordMagic {
+		return nil, badFormat("bad coordinator-state magic %q", m[:])
+	}
+	ver, err := readU32(cr)
+	if err != nil {
+		return nil, readErr("version", err)
+	}
+	if ver != coordVersion {
+		return nil, badFormat("unsupported coordinator-state version %d", ver)
+	}
+	st := &CoordinatorState{Snapshot: &coordinator.Snapshot{}}
+	snap := st.Snapshot
+	if snap.Dim, err = readInt(cr); err != nil {
+		return nil, readErr("header", err)
+	}
+	if snap.Dim < 1 || snap.Dim > 1<<20 {
+		return nil, badFormat("implausible dim %d", snap.Dim)
+	}
+	if st.Applied, err = readU64(cr); err != nil {
+		return nil, readErr("header", err)
+	}
+	if snap.NextGroupID, err = readInt(cr); err != nil {
+		return nil, readErr("header", err)
+	}
+	if snap.NextGroupID < 1 {
+		return nil, badFormat("next group id %d", snap.NextGroupID)
+	}
+	var stats [statsFieldCount]int
+	for i := range stats {
+		if stats[i], err = readInt(cr); err != nil {
+			return nil, readErr("stats", err)
+		}
+		if stats[i] < 0 {
+			return nil, badFormat("negative stats counter %d", stats[i])
+		}
+	}
+	snap.Stats = statsFromFields(stats)
+	nModels, err := readInt(cr)
+	if err != nil {
+		return nil, readErr("model count", err)
+	}
+	if nModels < 0 || nModels > plausibleCount {
+		return nil, badFormat("implausible model count %d", nModels)
+	}
+	for i := 0; i < nModels; i++ {
+		var sm coordinator.SnapshotModel
+		if sm.SiteID, err = readInt(cr); err != nil {
+			return nil, readErr("model list", err)
+		}
+		if sm.ModelID, err = readInt(cr); err != nil {
+			return nil, readErr("model list", err)
+		}
+		if sm.Counter, err = readInt(cr); err != nil {
+			return nil, readErr("model list", err)
+		}
+		if sm.Counter <= 0 {
+			return nil, badFormat("model %d/%d counter %d", sm.SiteID, sm.ModelID, sm.Counter)
+		}
+		if sm.Mixture, err = readMixture(cr); err != nil {
+			return nil, err
+		}
+		snap.Models = append(snap.Models, sm)
+	}
+	nGroups, err := readInt(cr)
+	if err != nil {
+		return nil, readErr("group count", err)
+	}
+	if nGroups < 0 || nGroups > plausibleCount {
+		return nil, badFormat("implausible group count %d", nGroups)
+	}
+	for i := 0; i < nGroups; i++ {
+		var g coordinator.SnapshotGroup
+		if g.ID, err = readInt(cr); err != nil {
+			return nil, readErr("group list", err)
+		}
+		nMembers, err := readInt(cr)
+		if err != nil {
+			return nil, readErr("group list", err)
+		}
+		if nMembers < 1 || nMembers > plausibleCount {
+			return nil, badFormat("implausible member count %d in group %d", nMembers, g.ID)
+		}
+		for j := 0; j < nMembers; j++ {
+			var mem coordinator.SnapshotMember
+			if mem.Key.SiteID, err = readInt(cr); err != nil {
+				return nil, readErr("group members", err)
+			}
+			if mem.Key.ModelID, err = readInt(cr); err != nil {
+				return nil, readErr("group members", err)
+			}
+			if mem.Key.Comp, err = readInt(cr); err != nil {
+				return nil, readErr("group members", err)
+			}
+			if mem.MRemergeAtJoin, err = readF64(cr); err != nil {
+				return nil, readErr("group members", err)
+			}
+			if math.IsNaN(mem.MRemergeAtJoin) || mem.MRemergeAtJoin <= 0 {
+				return nil, badFormat("member %v MRemergeAtJoin %v", mem.Key, mem.MRemergeAtJoin)
+			}
+			g.Members = append(g.Members, mem)
+		}
+		snap.Groups = append(snap.Groups, g)
+	}
+	nDedupe, err := readInt(cr)
+	if err != nil {
+		return nil, readErr("dedupe count", err)
+	}
+	if nDedupe < 0 || nDedupe > plausibleCount {
+		return nil, badFormat("implausible dedupe count %d", nDedupe)
+	}
+	var prevSite int64 = math.MinInt64
+	for i := 0; i < nDedupe; i++ {
+		var d DedupeEntry
+		site, err := readInt(cr)
+		if err != nil {
+			return nil, readErr("dedupe table", err)
+		}
+		d.SiteID = int32(site)
+		if int64(d.SiteID) <= prevSite {
+			return nil, badFormat("dedupe table not strictly sorted at site %d", d.SiteID)
+		}
+		prevSite = int64(d.SiteID)
+		if d.Epoch, err = readU32(cr); err != nil {
+			return nil, readErr("dedupe table", err)
+		}
+		if d.MaxSeq, err = readU64(cr); err != nil {
+			return nil, readErr("dedupe table", err)
+		}
+		st.Dedupe = append(st.Dedupe, d)
+	}
+	sum := cr.sum
+	stored, err := readU32(br)
+	if err != nil {
+		return nil, readErr("checksum", err)
+	}
+	if stored != sum {
+		return nil, badFormat("checksum mismatch: stored %08x, computed %08x", stored, sum)
+	}
+	return st, nil
+}
+
+// statsFieldCount pins the serialized Stats layout; bump coordVersion when
+// the struct grows.
+const statsFieldCount = 9
+
+func statsFields(s coordinator.Stats) [statsFieldCount]int {
+	return [statsFieldCount]int{
+		s.UpdatesHandled, s.NewModels, s.WeightUpdates, s.Deletions,
+		s.Splits, s.Remerges, s.GroupsCreated, s.GroupsRemoved, s.SiteResets,
+	}
+}
+
+func statsFromFields(f [statsFieldCount]int) coordinator.Stats {
+	return coordinator.Stats{
+		UpdatesHandled: f[0], NewModels: f[1], WeightUpdates: f[2], Deletions: f[3],
+		Splits: f[4], Remerges: f[5], GroupsCreated: f[6], GroupsRemoved: f[7], SiteResets: f[8],
+	}
+}

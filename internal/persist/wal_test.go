@@ -1,0 +1,261 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// walFixture writes a WAL of n random records and returns the file's
+// bytes plus the records appended.
+func walFixture(t testing.TB, rng *rand.Rand, n int, mode FsyncMode) ([]byte, [][]byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path, 7, mode, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := make([][]byte, n)
+	for i := range records {
+		rec := make([]byte, 1+rng.Intn(64))
+		rng.Read(rec)
+		records[i] = rec
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, records
+}
+
+// isPrefix reports whether got is a record-for-record prefix of want.
+func isPrefix(got, want [][]byte) bool {
+	if len(got) > len(want) {
+		return false
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWALAppendReadRoundTrip(t *testing.T) {
+	data, want := walFixture(t, rand.New(rand.NewSource(1)), 25, FsyncAlways)
+	gen, got, torn, err := ReadWAL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 7 {
+		t.Fatalf("gen = %d, want 7", gen)
+	}
+	if torn != 0 {
+		t.Fatalf("torn = %d on a cleanly closed log", torn)
+	}
+	if len(got) != len(want) || !isPrefix(got, want) {
+		t.Fatalf("replayed %d records, want %d identical", len(got), len(want))
+	}
+}
+
+func TestWALRejectsEmptyAndOversizedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := CreateWAL(path, 1, FsyncNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// crc32("") == 0 makes an empty record indistinguishable from a
+	// zero-filled torn tail, so the format forbids it outright.
+	if err := w.Append(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if err := w.Append(make([]byte, walMaxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if w.Records() != 0 {
+		t.Fatalf("rejected appends counted: %d", w.Records())
+	}
+}
+
+// TestQuickWALTruncationIsPrefix is the torn-tail contract: cutting a
+// valid log at ANY byte offset must replay a record-for-record prefix of
+// what was appended, reporting the leftover bytes as torn — or reject the
+// cut as ErrBadFormat when it lands inside the header. No offset may
+// produce a record that was never appended.
+func TestQuickWALTruncationIsPrefix(t *testing.T) {
+	data, want := walFixture(t, rand.New(rand.NewSource(2)), 20, FsyncAlways)
+	property := func(seed int64) bool {
+		cut := int(uint64(seed) % uint64(len(data)+1))
+		gen, got, torn, err := ReadWAL(data[:cut])
+		if cut < walHeaderSize {
+			if err == nil || !errors.Is(err, ErrBadFormat) {
+				t.Logf("cut %d inside header: err = %v, want ErrBadFormat", cut, err)
+				return false
+			}
+			return true
+		}
+		if err != nil {
+			t.Logf("cut %d: unexpected error %v", cut, err)
+			return false
+		}
+		if gen != 7 {
+			t.Logf("cut %d: gen = %d", cut, gen)
+			return false
+		}
+		if !isPrefix(got, want) {
+			t.Logf("cut %d: replay is not a prefix (%d records)", cut, len(got))
+			return false
+		}
+		// Byte accounting: everything after the header is either a
+		// replayed frame or torn tail.
+		consumed := walHeaderSize
+		for _, r := range got {
+			consumed += 8 + len(r)
+		}
+		if consumed+torn != cut {
+			t.Logf("cut %d: consumed %d + torn %d != %d", cut, consumed, torn, cut)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWALBitFlipNeverMutatesARecord: flipping any single bit in the
+// record region ends replay at or before the damaged frame — the
+// per-record CRC means a record either replays intact or becomes tail,
+// never comes back altered.
+func TestQuickWALBitFlipNeverMutatesARecord(t *testing.T) {
+	data, want := walFixture(t, rand.New(rand.NewSource(3)), 20, FsyncAlways)
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mut := append([]byte(nil), data...)
+		pos := walHeaderSize + rng.Intn(len(mut)-walHeaderSize)
+		mut[pos] ^= 1 << rng.Intn(8)
+		_, got, _, err := ReadWAL(mut)
+		if err != nil {
+			t.Logf("seed %d: record-region flip at %d errored: %v", seed, pos, err)
+			return false
+		}
+		if !isPrefix(got, want) {
+			t.Logf("seed %d: flip at %d produced a non-prefix replay", seed, pos)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALHeaderCorruptionIsBadFormat(t *testing.T) {
+	data, _ := walFixture(t, rand.New(rand.NewSource(4)), 3, FsyncAlways)
+	for _, corrupt := range [][]byte{
+		{},
+		data[:walHeaderSize-1],
+		append([]byte("XLUW"), data[4:]...), // wrong magic
+		append(append([]byte{}, data[:4]...), 0xFF, 0xFF), // wrong version, truncated
+	} {
+		if _, _, _, err := ReadWAL(corrupt); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("header corruption (%d bytes) rejected with %v, want ErrBadFormat", len(corrupt), err)
+		}
+	}
+}
+
+// TestWALCrashDurabilityByMode pins the fsync-policy contract: after
+// Crash() — close without flushing, the test model of a process kill —
+// FsyncAlways has persisted every appended record, FsyncInterval every
+// record up to the last sync boundary, and FsyncNever only what bufio
+// happened to spill. In every mode the survivors are a strict prefix.
+func TestWALCrashDurabilityByMode(t *testing.T) {
+	appendAndCrash := func(t *testing.T, mode FsyncMode, interval, n int) ([][]byte, [][]byte) {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "wal.log")
+		w, err := CreateWAL(path, 1, mode, interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]byte, n)
+		for i := range want {
+			want[i] = []byte{byte(i), byte(i >> 8), 0xAB}
+			if err := w.Append(want[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		_, got, _, err := ReadWALFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, want
+	}
+
+	t.Run("always", func(t *testing.T) {
+		got, want := appendAndCrash(t, FsyncAlways, 0, 10)
+		if len(got) != len(want) || !isPrefix(got, want) {
+			t.Fatalf("FsyncAlways lost records through a crash: %d of %d", len(got), len(want))
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		got, want := appendAndCrash(t, FsyncInterval, 4, 10)
+		// Syncs fire after records 4 and 8; 9 and 10 die in the buffer.
+		if len(got) != 8 || !isPrefix(got, want) {
+			t.Fatalf("FsyncInterval(4) recovered %d of 10 records, want 8", len(got))
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		got, want := appendAndCrash(t, FsyncNever, 0, 10)
+		if !isPrefix(got, want) {
+			t.Fatalf("FsyncNever crash recovery is not a prefix: %d records", len(got))
+		}
+	})
+}
+
+// FuzzReadWAL feeds arbitrary bytes to the WAL parser: no panics, every
+// rejection wraps ErrBadFormat, and on acceptance the frame accounting
+// must be exact — every input byte is header, a replayed frame, or torn.
+func FuzzReadWAL(f *testing.F) {
+	data, _ := walFixture(f, rand.New(rand.NewSource(5)), 5, FsyncAlways)
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add(data[:walHeaderSize])
+	f.Add(data[:len(data)-3])
+	flipped := append([]byte(nil), data...)
+	flipped[walHeaderSize+2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		_, records, torn, err := ReadWAL(in)
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("rejected with %v, want an ErrBadFormat-wrapped error", err)
+			}
+			return
+		}
+		consumed := walHeaderSize
+		for _, r := range records {
+			if len(r) == 0 {
+				t.Fatal("empty record replayed — the format forbids them")
+			}
+			consumed += 8 + len(r)
+		}
+		if consumed+torn != len(in) {
+			t.Fatalf("accounting: %d consumed + %d torn != %d input", consumed, torn, len(in))
+		}
+	})
+}

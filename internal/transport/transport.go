@@ -39,6 +39,11 @@ const (
 	MsgWeightUpdate
 	// MsgDeletion removes weight (sliding windows, Section 7).
 	MsgDeletion
+	// MsgHello opens a connection: the site announces its identity so a
+	// recovered coordinator can reply with the site's durable (epoch, seq)
+	// high-water mark and the site retransmits only the unapplied suffix of
+	// its outbox. Carries SiteID only; Count, ModelID and Mixture are unused.
+	MsgHello
 )
 
 func (k MsgKind) String() string {
@@ -49,6 +54,8 @@ func (k MsgKind) String() string {
 		return "weight-update"
 	case MsgDeletion:
 		return "deletion"
+	case MsgHello:
+		return "hello"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
@@ -165,7 +172,7 @@ func Decode(b []byte) (Message, error) {
 		b = b[4+8:]
 	}
 	switch m.Kind {
-	case MsgWeightUpdate, MsgDeletion:
+	case MsgWeightUpdate, MsgDeletion, MsgHello:
 		return m, nil
 	case MsgNewModel:
 	default:
