@@ -2,7 +2,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X cludistream/internal/buildinfo.Version=$(VERSION)"
 
-.PHONY: all build vet lint test race race-em race-parallel alloc-gate recover check tier1 fuzz bench bench-compare obs-demo dst dst-long
+.PHONY: all build vet lint test race race-em race-parallel race-score alloc-gate recover check tier1 fuzz bench bench-compare obs-demo dst dst-long
 
 all: check
 
@@ -38,9 +38,21 @@ race-em:
 race-parallel:
 	$(GO) test -race -run 'TestShardedApplyMatchesMutex|TestFeedCloseConcurrencyHammer|TestQueueDepthGauges' -count 2 ./internal/parallel/
 
+# The sublinear scoring hot path under the race detector at several
+# GOMAXPROCS settings: the per-model score index builds lazily on first
+# use and the pruned/shared/incremental parity suites hammer it.
+race-score:
+	for procs in 1 2 4; do \
+		GOMAXPROCS=$$procs $(GO) test -race -count=1 \
+		  -run 'TestScoreIndexConcurrentBuild|TestPrunedPathBitIdenticalToExact|TestPrunedParityQuick|TestIncrementalRemergeMatchesExact' \
+		  ./internal/site/ ./internal/gaussian/ ./internal/coordinator/ || exit 1; \
+	done
+
 # Steady-state ingest must not allocate: the benchmark itself asserts
 # 0 allocs/record via testing.AllocsPerRun before timing, so a handful of
-# iterations is enough to enforce the gate.
+# iterations is enough to enforce the gate. The regex is a prefix match,
+# so it covers both the exact-path and the K=16 pruned-path benchmarks —
+# the latter gates the shared-stats workspace and bound accumulators.
 alloc-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkSiteSteadyState' -benchtime 100x .
 
@@ -53,7 +65,7 @@ recover:
 	$(GO) test -race -run 'TestServerRestartRecoveryOverTCP|TestHandshakePrunesRecoveredSuffix' ./internal/netio/
 
 # Full pre-merge gate.
-check: build lint race-em race-parallel alloc-gate recover race dst
+check: build lint race-em race-parallel race-score alloc-gate recover race dst
 
 # Deterministic simulation testing (internal/dst): sweep seeded
 # whole-system scenarios — random deployments, drift programs, and fault
@@ -88,7 +100,7 @@ fuzz:
 # when performance-relevant code changes.
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry' -benchmem . ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry|BenchmarkMultiTest|BenchmarkRemerge' -benchmem . ; } \
 	  | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_quick.json
 
 # Regression check against the committed snapshot: rerun the hot-path
@@ -98,7 +110,7 @@ bench:
 # in the snapshot show up as informational "(no baseline)" rows.
 bench-compare:
 	@tmp=$$(mktemp) && \
-	$(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry' -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry|BenchmarkMultiTest|BenchmarkRemerge' -benchmem . \
 	  | $(GO) run ./cmd/benchjson > $$tmp && \
 	$(GO) run ./cmd/benchjson -compare BENCH_quick.json $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"cludistream/internal/coordinator"
 	"cludistream/internal/em"
 	"cludistream/internal/experiments"
 	"cludistream/internal/gaussian"
@@ -668,4 +669,201 @@ func BenchmarkSiteRefit(b *testing.B) {
 	}
 	b.Run("cold", func(b *testing.B) { run(b, site.WarmStartCold) })
 	b.Run("warm", func(b *testing.B) { run(b, site.WarmStartOn) })
+}
+
+// BenchmarkScorePruned measures the steady-state J_fit test at growing K
+// with the k-d-pruned scorer off (exact per-record scan over all K
+// components) and on (top-m candidates from the mean index, exact-fallback
+// guarded). Decisions are bit-identical across arms — the pruned bound only
+// replaces scans it can prove decisive — so the records/s gap is pure
+// pruning win. At K=4 the prune gate (K ≥ 2m) keeps both arms exact.
+func BenchmarkScorePruned(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		for _, arm := range []struct {
+			name string
+			topM int
+		}{{"exact", -1}, {"pruned", 0}} {
+			b.Run(fmt.Sprintf("K=%d/%s", k, arm.name), func(b *testing.B) {
+				st, err := site.New(site.Config{
+					SiteID: 1, Dim: 4, K: k, Epsilon: 0.1, FitEps: 8, Delta: 0.01,
+					Seed: 1, ChunkSize: 64 * k, PruneTopM: arm.topM,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				data := benchData(benchMixture(k, 4), 50_000, 2)
+				defer func() {
+					if st.Stats().Refits > 1 {
+						b.Fatalf("stream refit %d times; the loop is no longer pure test-mode", st.Stats().Refits)
+					}
+				}()
+				for _, x := range data[:2*st.ChunkSize()] {
+					if _, err := st.Observe(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := st.Observe(data[i%len(data)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			})
+		}
+	}
+}
+
+// BenchmarkSiteSteadyStatePruned is BenchmarkSiteSteadyState at K=16 with
+// the pruned scorer active: the J_fit hot path must stay at 0 allocs/record
+// with the k-d candidate walk and bound accumulators running. The name
+// shares the BenchmarkSiteSteadyState prefix so the Makefile alloc-gate
+// exercises both.
+func BenchmarkSiteSteadyStatePruned(b *testing.B) {
+	st, err := site.New(site.Config{
+		SiteID: 1, Dim: 4, K: 16, Epsilon: 0.1, FitEps: 8, Delta: 0.01, Seed: 1,
+		ChunkSize: 256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchData(benchMixture(16, 4), 50_000, 2)
+	for _, x := range data[:2*st.ChunkSize()] {
+		if _, err := st.Observe(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	idx := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, err := st.Observe(data[idx%len(data)]); err != nil {
+			b.Fatal(err)
+		}
+		idx++
+	}); avg != 0 {
+		b.Fatalf("pruned steady-state Observe allocates %v per record, want 0", avg)
+	}
+	if st.Stats().PruneHits == 0 {
+		b.Fatal("pruned scorer never decided a verdict; benchmark is not exercising the pruned path")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Observe(data[i%len(data)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// benchPhaseMix builds a K-component mixture whose means sit on a circle
+// rotated by phase — the multi-test benchmark cycles phases so chunks keep
+// re-testing the CMax-deep archive.
+func benchPhaseMix(k int, phase float64) *gaussian.Mixture {
+	comps := make([]*gaussian.Component, k)
+	ws := make([]float64, k)
+	for j := range comps {
+		ang := phase + 2*math.Pi*float64(j)/float64(k)
+		comps[j] = gaussian.Spherical(linalg.Vector{6 * math.Cos(ang), 6 * math.Sin(ang)}, 0.4)
+		ws[j] = float64(1 + j%3)
+	}
+	return gaussian.MustMixture(ws, comps)
+}
+
+// BenchmarkMultiTestDepth drives a regime-cycling stream that keeps the
+// CMax archive full, so every chunk runs the multi-test deep before
+// refitting. The rescan arm re-traverses the chunk for every probe and
+// refit re-score; the shared arm (default) completes the chunk once and
+// serves refit re-scores from the multi-test memo. stat-hits/chunk reports
+// how many chunk traversals the memo absorbed.
+func BenchmarkMultiTestDepth(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var data []linalg.Vector
+	for c := 0; c < 24; c++ {
+		// A continuously rotating regime: every chunk is novel, so the site
+		// tests the full CMax archive and then refits — the deepest
+		// multi-test workload Algorithm 1 produces.
+		data = append(data, benchPhaseMix(8, 0.45*float64(c)).SampleN(rng, 200)...)
+	}
+	run := func(b *testing.B, shared string) {
+		var last site.Stats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := site.New(site.Config{
+				SiteID: 1, Dim: 2, K: 8, Epsilon: 0.5, Delta: 0.01, CMax: 4,
+				Seed: 7, ChunkSize: 200, SharedChunkStats: shared,
+				// Pruning off isolates the shared-workspace axis: probes
+				// score exactly, so refit re-scores can hit the memo.
+				PruneTopM: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, x := range data {
+				if _, err := st.Observe(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			last = st.Stats()
+		}
+		b.ReportMetric(float64(b.N)*float64(len(data))/b.Elapsed().Seconds(), "records/s")
+		if last.Chunks > 0 {
+			b.ReportMetric(float64(last.Tests)/float64(last.Chunks), "tests/chunk")
+		}
+		if last.Refits > 0 {
+			b.ReportMetric(float64(last.StatCacheHits)/float64(last.Refits), "stat-hits/refit")
+		}
+	}
+	b.Run("rescan", func(b *testing.B) { run(b, site.SharedStatsOff) })
+	b.Run("shared", func(b *testing.B) { run(b, site.SharedStatsOn) })
+}
+
+// BenchmarkRemergeIncremental replays one deterministic model-update stream
+// through the coordinator under the exhaustive per-update stability sweep
+// ("exact") and the default dirty-group schedule ("on"). Both reach
+// bit-identical trees (pinned by TestIncrementalRemergeMatchesExact); the
+// updates/s gap is the work the dirty tracking avoids.
+func BenchmarkRemergeIncremental(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	type upd struct {
+		siteID, modelID, count int
+		mix                    *gaussian.Mixture
+	}
+	var updates []upd
+	for i := 0; i < 400; i++ {
+		siteID := i%40 + 1
+		k := rng.Intn(3) + 1
+		comps := make([]*gaussian.Component, k)
+		ws := make([]float64, k)
+		for j := range comps {
+			comps[j] = gaussian.Spherical(linalg.Vector{rng.NormFloat64() * 40}, 0.5+rng.Float64())
+			ws[j] = rng.Float64() + 0.2
+		}
+		updates = append(updates, upd{siteID, i/40 + 1, rng.Intn(500) + 50, gaussian.MustMixture(ws, comps)})
+	}
+	run := func(b *testing.B, mode string) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c, err := coordinator.New(coordinator.Config{
+				Dim:                1,
+				Merge:              gaussian.MergeOptions{MomentOnly: true},
+				IndexMinGroups:     4,
+				IncrementalRemerge: mode,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, u := range updates {
+				if err := c.HandleUpdate(site.Update{
+					SiteID: u.siteID, ModelID: u.modelID, Kind: site.NewModel,
+					Mixture: u.mix, Count: u.count,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(len(updates))/b.Elapsed().Seconds(), "updates/s")
+	}
+	b.Run("exact", func(b *testing.B) { run(b, coordinator.RemergeExact) })
+	b.Run("on", func(b *testing.B) { run(b, coordinator.RemergeOn) })
 }

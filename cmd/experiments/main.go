@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"cludistream/internal/coordinator"
 	"cludistream/internal/experiments"
 	"cludistream/internal/site"
 	"cludistream/internal/telemetry"
@@ -36,6 +37,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	workers := flag.Int("workers", 0, "EM worker goroutines per fit (0 = GOMAXPROCS; results are identical at any value)")
 	cold := flag.Bool("cold", false, "disable warm-start refit seeding (A/B baseline: every EM refit uses cold k-means++ init)")
+	exact := flag.Bool("exact", false, "disable the sublinear hot paths (A/B baseline: exact J_fit scans, per-probe re-scans, exhaustive remerge sweeps; results are bit-identical either way)")
+	pruneTopM := flag.Int("prune-top-m", 0, "top-m candidates for k-d-pruned J_fit scoring (0 = default 4, negative = exact scan)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	telemetryOut := flag.String("telemetry", "", `end-of-run telemetry dump: "text", "json", or a file path (.json gets JSON)`)
@@ -62,6 +65,12 @@ func main() {
 	p.EMWorkers = *workers
 	if *cold {
 		p.WarmStart = site.WarmStartCold
+	}
+	p.PruneTopM = *pruneTopM
+	if *exact {
+		p.PruneTopM = -1
+		p.SharedChunkStats = site.SharedStatsOff
+		p.IncrementalRemerge = coordinator.RemergeExact
 	}
 	var reg *telemetry.Registry
 	if *telemetryOut != "" {

@@ -1,0 +1,64 @@
+package chunk
+
+import (
+	"math"
+	"testing"
+
+	"cludistream/internal/linalg"
+)
+
+func TestScanCompleteNoCopyWhenClean(t *testing.T) {
+	data := []linalg.Vector{{1, 2}, {3, 4}, {5, 6}}
+	var s Scan
+	s.Reset(data)
+	got := s.Complete()
+	if len(got) != 3 || &got[0][0] != &data[0][0] {
+		t.Fatal("complete chunk must be returned without copying")
+	}
+	// Cached: second call returns the identical view.
+	if again := s.Complete(); &again[0] != &got[0] {
+		t.Fatal("second Complete call did not serve the cache")
+	}
+}
+
+func TestScanCompleteFiltersNaN(t *testing.T) {
+	nan := math.NaN()
+	data := []linalg.Vector{{1, 2}, {nan, 4}, {5, 6}, {7, nan}}
+	var s Scan
+	s.Reset(data)
+	got := s.Complete()
+	if len(got) != 2 || got[0][0] != 1 || got[1][0] != 5 {
+		t.Fatalf("filtered view = %v", got)
+	}
+	// Rebinding to a clean chunk drops the cache.
+	clean := []linalg.Vector{{9, 9}}
+	s.Reset(clean)
+	if got := s.Complete(); len(got) != 1 || got[0][0] != 9 {
+		t.Fatalf("after Reset: %v", got)
+	}
+}
+
+func TestScanReusesFilterBuffer(t *testing.T) {
+	nan := math.NaN()
+	data := []linalg.Vector{{1}, {nan}, {3}, {4}}
+	var s Scan
+	s.Reset(data)
+	s.Complete() // allocate the filter buffer once
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Reset(data)
+		s.Complete()
+	})
+	if allocs != 0 {
+		t.Fatalf("re-filtering allocated %.1f times, want 0", allocs)
+	}
+}
+
+func TestCompleteIntoIndependentOfBufferContents(t *testing.T) {
+	nan := math.NaN()
+	data := []linalg.Vector{{nan}, {2}}
+	buf := make([]linalg.Vector, 7, 16) // stale junk in the buffer
+	got := CompleteInto(data, &buf)
+	if len(got) != 1 || got[0][0] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}

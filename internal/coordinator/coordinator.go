@@ -42,12 +42,49 @@ type Config struct {
 	IndexMinGroups int
 	// DisableIndex forces exhaustive scans (the ablation baseline).
 	DisableIndex bool
+	// IncrementalRemerge selects how Algorithm 2's M_split/M_remerge
+	// stability check is scheduled after an update:
+	//
+	//   "on" (the default) — dirty-group sweep: every group whose membership
+	//   or representative changed since its last check is re-evaluated, in
+	//   ascending group-id order, and untouched groups are skipped. Skipping
+	//   is sound because a member's split criterion depends only on its own
+	//   component, its frozen M_remerge reference and the group
+	//   representative — none of which can change without the group being
+	//   marked dirty — so a clean group re-check is provably a no-op.
+	//
+	//   "exact" — re-evaluate every group on every update. The reference
+	//   the sweep is provably equivalent to (clean-group checks are no-ops),
+	//   kept as the parity baseline the tests compare against.
+	//
+	//   "off" — the legacy schedule: only the updated site model's own
+	//   components are re-checked, so drift introduced into a group by a
+	//   sibling's arrival is not noticed until that sibling's model updates
+	//   again.
+	IncrementalRemerge string
+	// RemergeAuditEvery, when positive, runs a full stability audit every
+	// Nth handled update under IncrementalRemerge "on": every clean
+	// (not-dirty) group is verified to contain no splittable member, and
+	// violations — which would mean the dirty tracking missed a mutation —
+	// are counted in Stats.RemergeAuditViolations and journaled. Purely
+	// observational; the audit never mutates the tree.
+	RemergeAuditEvery int
 	// Telemetry, when non-nil, receives merge/split/re-merge counters and
 	// journal events alongside the Stats the experiments already read.
 	// Observational only — the tree it describes is bit-identical with or
 	// without it.
 	Telemetry *telemetry.Registry
 }
+
+// Accepted Config.IncrementalRemerge values.
+const (
+	// RemergeOn re-checks dirty groups only (the default).
+	RemergeOn = "on"
+	// RemergeExact re-checks every group on every update (parity reference).
+	RemergeExact = "exact"
+	// RemergeOff re-checks only the updated model's components (legacy).
+	RemergeOff = "off"
+)
 
 func (c Config) withDefaults() Config {
 	if c.MaxMergeDistance <= 0 {
@@ -58,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IndexMinGroups <= 0 {
 		c.IndexMinGroups = 32
+	}
+	if c.IncrementalRemerge == "" {
+		c.IncrementalRemerge = RemergeOn
 	}
 	return c
 }
@@ -77,6 +117,16 @@ type Stats struct {
 	GroupsCreated  int
 	GroupsRemoved  int
 	SiteResets     int
+
+	// RemergeAuditViolations counts unstable members the periodic audit
+	// found inside clean groups — always zero unless dirty tracking is
+	// broken (pinned by tests and the DST invariant suite). The sweep's
+	// dirty-vs-clean scheduling counts live in telemetry only
+	// (coord.remerge_dirty_groups / coord.remerge_clean_groups): they
+	// describe how work was scheduled, not what state was reached, and a
+	// recovered coordinator legitimately re-schedules more than the
+	// original did while reaching the identical tree.
+	RemergeAuditViolations int
 }
 
 // coordTele holds the coordinator's telemetry instruments, resolved once
@@ -92,6 +142,9 @@ type coordTele struct {
 	groupsCreated *telemetry.Counter
 	groupsRemoved *telemetry.Counter
 	siteResets    *telemetry.Counter
+	remergeDirty  *telemetry.Counter
+	remergeClean  *telemetry.Counter
+	auditViol     *telemetry.Counter
 	groups        *telemetry.Gauge
 	leaves        *telemetry.Gauge
 }
@@ -118,6 +171,9 @@ func newCoordTele(reg *telemetry.Registry) coordTele {
 		groupsCreated: reg.Counter("coord.groups_created"),
 		groupsRemoved: reg.Counter("coord.groups_removed"),
 		siteResets:    reg.Counter("coord.site_resets"),
+		remergeDirty:  reg.Counter("coord.remerge_dirty_groups"),
+		remergeClean:  reg.Counter("coord.remerge_clean_groups"),
+		auditViol:     reg.Counter("coord.remerge_audit_violations"),
 		groups:        reg.Gauge("coord.groups"),
 		leaves:        reg.Gauge("coord.leaves"),
 	}
@@ -145,6 +201,19 @@ type Coordinator struct {
 	// location maps each leaf to the id of the group holding it.
 	location map[MemberKey]int
 
+	// dirty holds ids of groups whose membership or representative changed
+	// since their last stability sweep (IncrementalRemerge on/exact).
+	dirty map[int]struct{}
+	// sweepGen numbers stability sweeps; member.checked carries the last
+	// sweep that evaluated the member.
+	sweepGen uint64
+	// hasEmpty records that some group may have been emptied, so compact's
+	// O(groups) scan runs only when it can find something to drop.
+	hasEmpty bool
+	// workScratch/keysScratch are sweep workspaces, reused across updates.
+	workScratch []int
+	keysScratch []MemberKey
+
 	stats Stats
 	tele  coordTele
 }
@@ -155,12 +224,19 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("coordinator: Dim = %d", cfg.Dim)
 	}
 	cfg = cfg.withDefaults()
+	switch cfg.IncrementalRemerge {
+	case RemergeOn, RemergeExact, RemergeOff:
+	default:
+		return nil, fmt.Errorf("coordinator: IncrementalRemerge = %q (want %q, %q or %q)",
+			cfg.IncrementalRemerge, RemergeOn, RemergeExact, RemergeOff)
+	}
 	c := &Coordinator{
 		cfg:      cfg,
 		byID:     make(map[int]*Group),
 		nextID:   1,
 		models:   make(map[int]map[int]*siteModel),
 		location: make(map[MemberKey]int),
+		dirty:    make(map[int]struct{}),
 		tele:     newCoordTele(cfg.Telemetry),
 	}
 	if !cfg.DisableIndex {
@@ -175,14 +251,20 @@ func (c *Coordinator) HandleUpdate(u site.Update) error {
 	c.stats.UpdatesHandled++
 	c.tele.updates.Inc()
 	defer c.tele.setSizes(len(c.groups), len(c.location))
+	var err error
 	switch u.Kind {
 	case site.NewModel:
-		return c.handleNewModel(u)
+		err = c.handleNewModel(u)
 	case site.WeightUpdate:
-		return c.handleWeightUpdate(u)
+		err = c.handleWeightUpdate(u)
 	default:
 		return fmt.Errorf("coordinator: unknown update kind %v", u.Kind)
 	}
+	if err == nil && c.cfg.RemergeAuditEvery > 0 && c.cfg.IncrementalRemerge == RemergeOn &&
+		c.stats.UpdatesHandled%c.cfg.RemergeAuditEvery == 0 {
+		c.auditStability()
+	}
+	return err
 }
 
 func (c *Coordinator) handleNewModel(u site.Update) error {
@@ -217,8 +299,19 @@ func (c *Coordinator) handleNewModel(u site.Update) error {
 		}
 		c.place(m)
 	}
-	c.checkSiteModel(sm)
+	c.restabilize(sm)
 	return nil
+}
+
+// restabilize runs the configured Algorithm-2 stability pass after an
+// update touched sm: the dirty-group sweep (or full sweep under "exact"),
+// or the legacy updated-model-only check under "off".
+func (c *Coordinator) restabilize(sm *siteModel) {
+	if c.cfg.IncrementalRemerge == RemergeOff {
+		c.checkSiteModel(sm)
+		return
+	}
+	c.stabilize()
 }
 
 func (c *Coordinator) handleWeightUpdate(u site.Update) error {
@@ -261,6 +354,9 @@ func (c *Coordinator) ResetSite(siteID int) {
 		}
 	}
 	delete(c.models, siteID)
+	if c.cfg.IncrementalRemerge != RemergeOff {
+		c.stabilize()
+	}
 	c.stats.SiteResets++
 	c.tele.siteResets.Inc()
 	c.tele.reg.Record(telemetry.Event{Kind: "site-reset", Site: siteID})
@@ -278,6 +374,12 @@ func (c *Coordinator) shiftWeight(sm *siteModel, delta int) error {
 			c.removeLeaf(key)
 		}
 		delete(c.models[sm.siteID], sm.modelID)
+		if c.cfg.IncrementalRemerge != RemergeOff {
+			// The departures changed representatives of the surviving
+			// groups; re-check them (the legacy path leaves them until
+			// their own models update).
+			c.stabilize()
+		}
 		return nil
 	}
 	for j := 0; j < sm.mix.K(); j++ {
@@ -295,7 +397,7 @@ func (c *Coordinator) shiftWeight(sm *siteModel, delta int) error {
 	// Weights changed every father containing a leaf of this model;
 	// refresh their representatives and re-check stability.
 	c.refreshModelGroups(sm)
-	c.checkSiteModel(sm)
+	c.restabilize(sm)
 	return nil
 }
 
@@ -365,9 +467,15 @@ func (c *Coordinator) candidates(m *member) []*Group {
 }
 
 // refreshGroup recomputes a group's representative and keeps the index in
-// sync with the new mean.
+// sync with the new mean. Every membership or weight mutation funnels
+// through here, so it is also the single point where groups are marked
+// dirty for the incremental stability sweep.
 func (c *Coordinator) refreshGroup(g *Group) {
 	g.recomputeRep(c.cfg.Merge)
+	c.dirty[g.id] = struct{}{}
+	if g.Size() == 0 {
+		c.hasEmpty = true
+	}
 	if c.index == nil {
 		return
 	}
@@ -410,6 +518,117 @@ func (c *Coordinator) checkSiteModel(sm *siteModel) {
 	c.compact()
 }
 
+// stabilize is the incremental Algorithm-2 pass: sweep every dirty group
+// (every group under RemergeExact), in ascending id order, re-checking its
+// members' M_split/M_remerge stability. The worklist is fixed at sweep
+// start; groups dirtied during the sweep — by splits landing elsewhere, or
+// by this sweep's own mutations — are deferred to the next update's sweep,
+// which keeps each sweep bounded and makes the "on" and "exact" schedules
+// provably equivalent: a group that is not dirty had every member verified
+// stable against a representative that has not changed since, so checking
+// it again cannot do anything.
+func (c *Coordinator) stabilize() {
+	c.sweepGen++
+	work := c.workScratch[:0]
+	if c.cfg.IncrementalRemerge == RemergeExact {
+		for _, g := range c.groups {
+			work = append(work, g.id)
+		}
+	} else {
+		for id := range c.dirty {
+			work = append(work, id)
+		}
+	}
+	sort.Ints(work)
+	for id := range c.dirty {
+		delete(c.dirty, id)
+	}
+	total := len(c.groups)
+	swept := 0
+	for _, id := range work {
+		g := c.byID[id]
+		if g == nil {
+			continue // compacted away before its turn
+		}
+		swept++
+		c.checkGroup(g)
+	}
+	c.workScratch = work[:0]
+	c.tele.remergeDirty.Add(int64(swept))
+	c.tele.remergeClean.Add(int64(total - swept))
+	c.compact()
+}
+
+// checkGroup re-evaluates one group's members against its representative,
+// splitting and re-placing any that drifted (Algorithm 2's body). Members
+// already evaluated by this sweep — they split out of an earlier group and
+// landed here — are skipped and the group stays dirty, so the next sweep
+// finishes the job; this caps every sweep at one check per member.
+func (c *Coordinator) checkGroup(g *Group) {
+	keys := c.keysScratch[:0]
+	for _, m := range g.members {
+		keys = append(keys, m.key)
+	}
+	c.keysScratch = keys[:0]
+	skipped := false
+	for _, key := range keys {
+		if g.Size() <= 1 {
+			break
+		}
+		i := g.find(key)
+		if i < 0 {
+			continue
+		}
+		m := g.members[i]
+		if m.checked == c.sweepGen {
+			skipped = true
+			continue
+		}
+		m.checked = c.sweepGen
+		msplit := gaussian.MSplitComp(m.comp, g.rep)
+		if msplit <= 1/m.mremergeAtJoin {
+			continue // stable
+		}
+		c.stats.Splits++
+		c.tele.splits.Inc()
+		c.tele.reg.Record(telemetry.Event{
+			Kind: "split", Site: key.SiteID, Model: key.ModelID, Value: msplit, N: key.Comp,
+		})
+		g.remove(i)
+		c.refreshGroup(g)
+		delete(c.location, key)
+		c.place(m)
+	}
+	if skipped {
+		c.dirty[g.id] = struct{}{}
+	}
+}
+
+// auditStability is the RemergeAuditEvery knob: verify that no clean group
+// holds a splittable member. A violation means a mutation escaped the
+// dirty tracking — it is counted and journaled, never repaired, so tests
+// and the simulation harness can assert the count stays zero.
+func (c *Coordinator) auditStability() {
+	for _, g := range c.groups {
+		if g.Size() <= 1 {
+			continue
+		}
+		if _, pending := c.dirty[g.id]; pending {
+			continue // legitimately awaiting the next sweep
+		}
+		for _, m := range g.members {
+			if gaussian.MSplitComp(m.comp, g.rep) > 1/m.mremergeAtJoin {
+				c.stats.RemergeAuditViolations++
+				c.tele.auditViol.Inc()
+				c.tele.reg.Record(telemetry.Event{
+					Kind: "remerge-audit-violation",
+					Site: m.key.SiteID, Model: m.key.ModelID, N: m.key.Comp,
+				})
+			}
+		}
+	}
+}
+
 // removeLeaf deletes a leaf from its group entirely.
 func (c *Coordinator) removeLeaf(key MemberKey) {
 	g := c.groupOf(key)
@@ -424,8 +643,16 @@ func (c *Coordinator) removeLeaf(key MemberKey) {
 	c.compact()
 }
 
-// compact drops empty groups.
+// compact drops empty groups. The scan is skipped entirely unless some
+// group was actually emptied since the last compaction (refreshGroup
+// tracks that), which turns the historical O(groups)-per-update cost into
+// a no-op on the common path — removals are the only way to empty a group,
+// so skipping the scan when none happened is identical by construction.
 func (c *Coordinator) compact() {
+	if !c.hasEmpty {
+		return
+	}
+	c.hasEmpty = false
 	out := c.groups[:0]
 	for _, g := range c.groups {
 		if g.Size() > 0 {
@@ -435,6 +662,7 @@ func (c *Coordinator) compact() {
 		c.stats.GroupsRemoved++
 		c.tele.groupsRemoved.Inc()
 		delete(c.byID, g.id)
+		delete(c.dirty, g.id)
 		if c.index != nil {
 			c.index.Remove(g.id)
 		}

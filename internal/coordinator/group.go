@@ -41,6 +41,10 @@ type member struct {
 	// mremergeAtJoin is M_remerge(member, father) at join time. Algorithm 2
 	// splits the member when M_split grows past 1/mremergeAtJoin.
 	mremergeAtJoin float64
+	// checked is the id of the last stability sweep that evaluated this
+	// member (see Coordinator.stabilize); it bounds every sweep to one
+	// check per member.
+	checked uint64
 }
 
 // Group is a father node: a set of member components merged into one
@@ -83,8 +87,13 @@ func (g *Group) find(key MemberKey) int {
 }
 
 func (g *Group) insert(m *member) {
-	g.members = append(g.members, m)
-	sort.Slice(g.members, func(a, b int) bool { return g.members[a].key.less(g.members[b].key) })
+	// Binary-search insertion keeps the key order a full sort would produce
+	// (keys are unique, so the two are identical) without sort.Slice's
+	// reflection machinery on the coordinator's hottest mutation.
+	i := sort.Search(len(g.members), func(i int) bool { return m.key.less(g.members[i].key) })
+	g.members = append(g.members, nil)
+	copy(g.members[i+1:], g.members[i:])
+	g.members[i] = m
 	g.weight += m.weight
 }
 

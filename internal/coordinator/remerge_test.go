@@ -1,0 +1,207 @@
+package coordinator
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+	"cludistream/internal/telemetry"
+)
+
+// applyRandomOps drives every coordinator in cs through one identical,
+// seed-deterministic stream of NewModel / WeightUpdate / Deletion /
+// ResetSite operations and returns how many operations were applied.
+// idBase offsets the model ids so consecutive calls against the same
+// coordinator never collide.
+func applyRandomOps(t *testing.T, seed int64, idBase, n int, cs ...*Coordinator) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nextModel := map[int]int{}
+	var models []liveModel
+	for op := 0; op < n; op++ {
+		roll := rng.Intn(10)
+		switch {
+		case roll <= 4 || len(models) == 0: // new model (50%)
+			siteID := rng.Intn(4) + 1
+			nextModel[siteID]++
+			k := rng.Intn(3) + 1
+			comps := make([]*gaussian.Component, k)
+			ws := make([]float64, k)
+			for j := range comps {
+				comps[j] = gaussian.Spherical(linalg.Vector{rng.NormFloat64() * 30}, 0.5+rng.Float64())
+				ws[j] = rng.Float64() + 0.2
+			}
+			count := rng.Intn(500) + 50
+			u := site.Update{
+				SiteID:  siteID,
+				ModelID: idBase + nextModel[siteID],
+				Kind:    site.NewModel,
+				Mixture: gaussian.MustMixture(ws, comps),
+				Count:   count,
+			}
+			for _, c := range cs {
+				if err := c.HandleUpdate(u); err != nil {
+					t.Fatalf("new model: %v", err)
+				}
+			}
+			models = append(models, liveModel{siteID, idBase + nextModel[siteID], count})
+		case roll <= 6: // weight update
+			i := rng.Intn(len(models))
+			add := rng.Intn(400) + 1
+			u := site.Update{SiteID: models[i].siteID, ModelID: models[i].modelID, Kind: site.WeightUpdate, Count: add}
+			for _, c := range cs {
+				if err := c.HandleUpdate(u); err != nil {
+					t.Fatalf("weight update: %v", err)
+				}
+			}
+			models[i].counter += add
+		case roll <= 8: // deletion (may drain the model)
+			i := rng.Intn(len(models))
+			del := rng.Intn(models[i].counter+100) + 1
+			for _, c := range cs {
+				if err := c.HandleDeletion(models[i].siteID, models[i].modelID, del); err != nil {
+					t.Fatalf("deletion: %v", err)
+				}
+			}
+			models[i].counter -= del
+			if models[i].counter <= 0 {
+				models = append(models[:i], models[i+1:]...)
+			}
+		default: // site reset
+			siteID := rng.Intn(4) + 1
+			for _, c := range cs {
+				c.ResetSite(siteID)
+			}
+			// nextModel keeps counting up per site so ids never repeat.
+			kept := models[:0]
+			for _, m := range models {
+				if m.siteID != siteID {
+					kept = append(kept, m)
+				}
+			}
+			models = kept
+		}
+	}
+	return n
+}
+
+func remergeConfig(mode string) Config {
+	return Config{
+		Dim:                1,
+		Merge:              gaussian.MergeOptions{MomentOnly: true},
+		IndexMinGroups:     4,
+		IncrementalRemerge: mode,
+	}
+}
+
+// TestIncrementalRemergeMatchesExact is the dirty-tracking soundness proof
+// in test form: the default dirty-group sweep ("on") must reach exactly the
+// state the exhaustive per-update sweep ("exact") reaches — same tree, same
+// split/remerge counts, same global mixture — over random op sequences,
+// while provably skipping work (the clean-group telemetry counter is
+// nonzero).
+func TestIncrementalRemergeMatchesExact(t *testing.T) {
+	var cleanSkipped int64
+	for seed := int64(1); seed <= 6; seed++ {
+		regOn := telemetry.NewRegistry()
+		cfgOn := remergeConfig(RemergeOn)
+		cfgOn.Telemetry = regOn
+		on, err := New(cfgOn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := New(remergeConfig(RemergeExact))
+		if err != nil {
+			t.Fatal(err)
+		}
+		applyRandomOps(t, seed, 0, 60, on, exact)
+		if got, want := on.Snapshot(), exact.Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: incremental snapshot diverged from exact\n on:    %+v\n exact: %+v", seed, got, want)
+		}
+		if got, want := on.ModelWeights(), exact.ModelWeights(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: model weights diverged: %v vs %v", seed, got, want)
+		}
+		cleanSkipped += regOn.Snapshot().Counters["coord.remerge_clean_groups"]
+	}
+	if cleanSkipped == 0 {
+		t.Fatal("incremental sweep never skipped a clean group — parity test is not exercising the fast path")
+	}
+}
+
+// TestRemergeExactSweepsEveryGroup pins the telemetry meaning of the two
+// sweep counters: the exhaustive mode never skips, so its clean-group
+// counter stays zero while the dirty counter advances.
+func TestRemergeExactSweepsEveryGroup(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := remergeConfig(RemergeExact)
+	cfg.Telemetry = reg
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyRandomOps(t, 11, 0, 40, c)
+	counters := reg.Snapshot().Counters
+	if counters["coord.remerge_dirty_groups"] == 0 {
+		t.Fatal("exact mode swept no groups")
+	}
+	if got := counters["coord.remerge_clean_groups"]; got != 0 {
+		t.Fatalf("exact mode skipped %d groups as clean; want 0", got)
+	}
+}
+
+// TestRemergeAuditFindsNoDrift turns the full-sweep audit to its most
+// aggressive setting (every update) and asserts it never catches the dirty
+// tracking leaving an unstable member behind in a clean group.
+func TestRemergeAuditFindsNoDrift(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := remergeConfig(RemergeOn)
+	cfg.RemergeAuditEvery = 1
+	cfg.Telemetry = reg
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(20); seed < 24; seed++ {
+		applyRandomOps(t, seed, int(seed)*1000, 50, c)
+	}
+	if got := c.Stats().RemergeAuditViolations; got != 0 {
+		t.Fatalf("audit found %d unstable members in clean groups; dirty tracking is unsound", got)
+	}
+	if got := reg.Snapshot().Counters["coord.remerge_audit_violations"]; got != 0 {
+		t.Fatalf("audit telemetry counted %d violations; want 0", got)
+	}
+}
+
+// TestRemergeModeValidation rejects unknown scheduling modes up front.
+func TestRemergeModeValidation(t *testing.T) {
+	if _, err := New(remergeConfig("eventually")); err == nil {
+		t.Fatal("unknown IncrementalRemerge mode accepted")
+	}
+	for _, mode := range []string{"", RemergeOn, RemergeExact, RemergeOff} {
+		if _, err := New(remergeConfig(mode)); err != nil {
+			t.Fatalf("mode %q rejected: %v", mode, err)
+		}
+	}
+}
+
+// TestRemergeRestoreStaysInParity replays updates past a snapshot boundary:
+// the restored coordinator (which conservatively marks every group dirty)
+// must apply a future op stream to exactly the state the original reaches.
+func TestRemergeRestoreStaysInParity(t *testing.T) {
+	orig, err := New(remergeConfig(RemergeOn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyRandomOps(t, 31, 0, 40, orig)
+	restored, err := FromSnapshot(remergeConfig(RemergeOn), orig.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyRandomOps(t, 32, 1000, 30, orig, restored)
+	if got, want := restored.Snapshot(), orig.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored coordinator diverged after snapshot\n restored: %+v\n original: %+v", got, want)
+	}
+}

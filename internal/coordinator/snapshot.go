@@ -195,6 +195,14 @@ func FromSnapshot(cfg Config, snap *Snapshot) (*Coordinator, error) {
 	if snap.NextGroupID >= 1 {
 		c.nextID = snap.NextGroupID
 	}
+	// Snapshots do not persist the dirty-group set, so recovery marks every
+	// group dirty: a provably-safe superset — re-checking a group that was
+	// clean in the original is a no-op (its members were verified stable
+	// against a representative the snapshot reproduced bit-identically),
+	// while any group the original still had pending gets its sweep.
+	for _, g := range c.groups {
+		c.dirty[g.id] = struct{}{}
+	}
 	c.stats = snap.Stats
 	c.tele.setSizes(len(c.groups), len(c.location))
 	return c, nil

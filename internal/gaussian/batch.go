@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"cludistream/internal/kdtree"
 	"cludistream/internal/linalg"
 )
 
@@ -22,6 +23,9 @@ type BatchScratch struct {
 	logp  []float64 // batchBlock × K per-record component log-probs
 	maha  []float64 // batchBlock squared Mahalanobis distances
 	vals  []float64 // batchBlock per-record reductions (logpdf, max, min)
+	// nbrs backs the pruned scorer's per-record nearest-mean query
+	// (see prune.go); sized to the query's topM on first use.
+	nbrs []kdtree.Neighbor
 }
 
 // NewBatchScratch returns an empty scratch; buffers are sized lazily.
@@ -176,6 +180,45 @@ func (m *Mixture) AvgLogLikelihoodScratch(data []linalg.Vector, s *BatchScratch)
 		}
 	}
 	return sum / float64(len(data))
+}
+
+// AvgLogLikelihoodMulti writes, for each mixture of ms, the average
+// log-likelihood of data into dst (len(ms) long), reading the data exactly
+// once: every block of records is scored against all mixtures while it is
+// cache-resident, instead of re-traversing the chunk per model. Each entry
+// is bit-identical to AvgLogLikelihoodScratch on that mixture — the
+// per-mixture arithmetic and accumulation order are unchanged; only the
+// data traversal is shared. The site's refit re-scan scores every model it
+// tested through here in one pass.
+func AvgLogLikelihoodMulti(ms []*Mixture, data []linalg.Vector, dst []float64, s *BatchScratch) {
+	if len(dst) != len(ms) {
+		panic("gaussian: AvgLogLikelihoodMulti dst length mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(data) == 0 || len(ms) == 0 {
+		return
+	}
+	if s == nil {
+		s = scratchPool.Get().(*BatchScratch)
+		defer scratchPool.Put(s)
+	}
+	for base := 0; base < len(data); base += batchBlock {
+		xs := data[base:min(base+batchBlock, len(data))]
+		for i, m := range ms {
+			k := len(m.comps)
+			s.ensure(m.Dim(), k)
+			m.scoreBlock(xs, s)
+			lseRows(s.logp, len(xs), k, s.vals)
+			for p := 0; p < len(xs); p++ {
+				dst[i] += s.vals[p]
+			}
+		}
+	}
+	for i := range dst {
+		dst[i] /= float64(len(data))
+	}
 }
 
 // AvgMaxComponentLLScratch is AvgMaxComponentLL with caller-owned scratch.

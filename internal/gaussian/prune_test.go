@@ -1,0 +1,212 @@
+package gaussian
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cludistream/internal/linalg"
+)
+
+// randSepMixture builds a K-component mixture of spherical-ish Gaussians
+// with means spread by sep, plus random weights.
+func randSepMixture(rng *rand.Rand, k, d int, sep float64) *Mixture {
+	comps := make([]*Component, k)
+	weights := make([]float64, k)
+	for j := 0; j < k; j++ {
+		mean := linalg.NewVector(d)
+		for i := range mean {
+			mean[i] = rng.NormFloat64() * sep
+		}
+		cov := linalg.NewSym(d)
+		for i := 0; i < d; i++ {
+			cov.Set(i, i, 0.5+rng.Float64())
+			for l := 0; l < i; l++ {
+				cov.Set(i, l, 0.1*rng.NormFloat64())
+			}
+		}
+		c, err := NewComponent(mean, cov, 0)
+		if err != nil {
+			c = Spherical(mean, 1)
+		}
+		comps[j] = c
+		weights[j] = 0.2 + rng.Float64()
+	}
+	return MustMixture(weights, comps)
+}
+
+// TestAvgLogLikelihoodBoundsSound pins the pruned kernel's contract: the
+// interval [lo, hi] brackets the exact batched average log-likelihood (up
+// to a roundoff-sized slack) across random mixtures, separations and topM.
+func TestAvgLogLikelihoodBoundsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewBatchScratch()
+	for trial := 0; trial < 60; trial++ {
+		d := 1 + rng.Intn(6)
+		k := 3 + rng.Intn(30)
+		sep := []float64{0.5, 2, 8, 30}[rng.Intn(4)]
+		m := randSepMixture(rng, k, d, sep)
+		data := m.SampleN(rng, 50+rng.Intn(200))
+		topM := 1 + rng.Intn(6)
+		lo, hi, ok := m.AvgLogLikelihoodBounds(data, topM, s)
+		if !ok {
+			if k > topM {
+				t.Fatalf("trial %d: bounds unavailable for K=%d topM=%d", trial, k, topM)
+			}
+			continue
+		}
+		exact := m.AvgLogLikelihoodScratch(data, s)
+		slack := 1e-9 * (1 + math.Abs(exact))
+		if lo > exact+slack || hi < exact-slack {
+			t.Fatalf("trial %d (K=%d d=%d sep=%v topM=%d): exact %v outside [%v, %v]",
+				trial, k, d, sep, topM, exact, lo, hi)
+		}
+		if hi < lo {
+			t.Fatalf("trial %d: hi %v < lo %v", trial, hi, lo)
+		}
+	}
+}
+
+// TestAvgLogLikelihoodBoundsTight: on well-separated clusters the skipped
+// mass is negligible, so the interval must collapse to (near) the exact
+// value — the regime where the site's pruned verdicts are decisive.
+func TestAvgLogLikelihoodBoundsTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := randSepMixture(rng, 16, 4, 50)
+	data := m.SampleN(rng, 256)
+	s := NewBatchScratch()
+	lo, hi, ok := m.AvgLogLikelihoodBounds(data, 4, s)
+	if !ok {
+		t.Fatal("bounds unavailable")
+	}
+	if width := hi - lo; width > 1e-6 {
+		t.Fatalf("interval width %v on well-separated clusters, want ~0", width)
+	}
+	exact := m.AvgLogLikelihoodScratch(data, s)
+	if math.Abs(lo-exact) > 1e-6 {
+		t.Fatalf("lo %v vs exact %v", lo, exact)
+	}
+}
+
+// TestBoundsRefusals: configurations where the pruned path must decline.
+func TestBoundsRefusals(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randSepMixture(rng, 4, 2, 5)
+	data := m.SampleN(rng, 32)
+	s := NewBatchScratch()
+	if _, _, ok := m.AvgLogLikelihoodBounds(data, 0, s); ok {
+		t.Error("topM=0 accepted")
+	}
+	if _, _, ok := m.AvgLogLikelihoodBounds(data, 4, s); ok {
+		t.Error("topM=K accepted (nothing to skip)")
+	}
+	if _, _, ok := m.AvgLogLikelihoodBounds(nil, 2, s); ok {
+		t.Error("empty data accepted")
+	}
+	single := MustMixture([]float64{1}, []*Component{Spherical(linalg.Vector{0, 0}, 1)})
+	if _, _, ok := single.AvgLogLikelihoodBounds(data, 1, s); ok {
+		t.Error("K=1 accepted")
+	}
+}
+
+// TestZeroWeightComponentsSkipped: zero-weight components carry no mass in
+// the exact path and must not enter the index either.
+func TestZeroWeightComponentsSkipped(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	base := randSepMixture(rng, 8, 3, 20)
+	weights := base.Weights()
+	weights[2], weights[5] = 0, 0
+	m := MustMixture(weights, base.Components())
+	data := m.SampleN(rng, 128)
+	s := NewBatchScratch()
+	lo, hi, ok := m.AvgLogLikelihoodBounds(data, 3, s)
+	if !ok {
+		t.Fatal("bounds unavailable")
+	}
+	exact := m.AvgLogLikelihoodScratch(data, s)
+	slack := 1e-9 * (1 + math.Abs(exact))
+	if lo > exact+slack || hi < exact-slack {
+		t.Fatalf("exact %v outside [%v, %v] with zero-weight comps", exact, lo, hi)
+	}
+}
+
+// TestAvgLogLikelihoodMultiMatchesPerModel pins the fused multi-model scan
+// bit-identical to scoring each mixture separately.
+func TestAvgLogLikelihoodMultiMatchesPerModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var ms []*Mixture
+	for i := 0; i < 5; i++ {
+		ms = append(ms, randSepMixture(rng, 2+rng.Intn(12), 3, 6))
+	}
+	data := ms[0].SampleN(rng, 300)
+	s := NewBatchScratch()
+	got := make([]float64, len(ms))
+	AvgLogLikelihoodMulti(ms, data, got, s)
+	for i, m := range ms {
+		want := m.AvgLogLikelihoodScratch(data, NewBatchScratch())
+		if got[i] != want {
+			t.Fatalf("model %d: fused %v != separate %v", i, got[i], want)
+		}
+	}
+	// Empty data zeroes the destinations.
+	AvgLogLikelihoodMulti(ms, nil, got, s)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("empty data: dst[%d] = %v", i, v)
+		}
+	}
+}
+
+// TestScoreIndexConcurrentBuild hammers the lazy index construction from
+// many goroutines, each scoring with its own scratch: the sync.Once build
+// must be race-free (run under -race by make race-score) and every
+// goroutine must observe the same sound interval.
+func TestScoreIndexConcurrentBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m := randSepMixture(rng, 24, 4, 10)
+	data := m.SampleN(rng, 200)
+	exact := m.AvgLogLikelihood(data)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewBatchScratch()
+			for iter := 0; iter < 20; iter++ {
+				lo, hi, ok := m.AvgLogLikelihoodBounds(data, 4, s)
+				if !ok {
+					errs <- "bounds unavailable"
+					return
+				}
+				slack := 1e-9 * (1 + math.Abs(exact))
+				if lo > exact+slack || hi < exact-slack {
+					errs <- "exact outside bounds"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestBoundsAllocFree: steady-state pruned scoring with a warmed scratch
+// must not allocate (the site's zero-alloc ingest gate rides on this).
+func TestBoundsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	m := randSepMixture(rng, 16, 4, 10)
+	data := m.SampleN(rng, 64)
+	s := NewBatchScratch()
+	m.AvgLogLikelihoodBounds(data, 4, s) // warm the index and buffers
+	allocs := testing.AllocsPerRun(50, func() {
+		m.AvgLogLikelihoodBounds(data, 4, s)
+	})
+	if allocs != 0 {
+		t.Fatalf("pruned scoring allocated %.1f times per chunk, want 0", allocs)
+	}
+}

@@ -128,23 +128,37 @@ type Neighbor struct {
 }
 
 // NearestK returns up to k live points nearest to q in Euclidean distance,
-// closest first.
+// closest first. It allocates the result slice; hot loops should use
+// NearestKInto with a reused buffer instead.
 func (t *Tree) NearestK(q linalg.Vector, k int) []Neighbor {
+	return t.NearestKInto(q, k, nil)
+}
+
+// NearestKInto is NearestK writing into dst, which is grown as needed and
+// returned re-sliced. A dst with capacity >= min(k, Len()) makes the query
+// allocation-free: the heap uses dst as its backing storage and the final
+// ascending sort happens in place.
+func (t *Tree) NearestKInto(q linalg.Vector, k int, dst []Neighbor) []Neighbor {
 	if len(q) != t.dim {
 		panic(fmt.Sprintf("kdtree: query dim %d, want %d", len(q), t.dim))
 	}
 	if k <= 0 || t.root == nil {
-		return nil
+		return dst[:0]
 	}
 	if k > len(t.byID) {
 		k = len(t.byID)
 	}
-	best := &resultHeap{}
-	t.search(t.root, q, k, best)
-	// Heap holds the k best with the worst on top; sort ascending.
-	out := make([]Neighbor, len(best.items))
-	copy(out, best.items)
-	sort.Slice(out, func(a, b int) bool { return out[a].DistSq < out[b].DistSq })
+	best := resultHeap{items: dst[:0]}
+	t.search(t.root, q, k, &best)
+	// Heap holds the k best with the worst on top; sort ascending with an
+	// insertion sort — k is small and sort.Slice would allocate its
+	// reflect.Swapper, breaking the allocation-free contract.
+	out := best.items
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].DistSq < out[j-1].DistSq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out
 }
 

@@ -214,6 +214,92 @@ func TestQuickInterleavedOps(t *testing.T) {
 	}
 }
 
+func TestNearestKIntoMatchesNearestK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree := New(3)
+	pts := map[int]linalg.Vector{}
+	for id := 0; id < 300; id++ {
+		p := randPt(rng, 3)
+		tree.Insert(id, p)
+		pts[id] = p
+	}
+	buf := make([]Neighbor, 0, 8)
+	for query := 0; query < 50; query++ {
+		q := randPt(rng, 3)
+		k := rng.Intn(8) + 1
+		want := tree.NearestK(q, k)
+		got := tree.NearestKInto(q, k, buf)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", query, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: result[%d] = %+v, want %+v", query, i, got[i], want[i])
+			}
+		}
+		buf = got // reuse across queries, like the scoring loop does
+	}
+}
+
+func TestNearestKIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tree := New(4)
+	for id := 0; id < 256; id++ {
+		tree.Insert(id, randPt(rng, 4))
+	}
+	q := randPt(rng, 4)
+	buf := make([]Neighbor, 0, 8)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = tree.NearestKInto(q, 8, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("NearestKInto allocated %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestRemoveRebuildAmortized pins the tombstone amortization contract:
+// after every Remove, tombstones never outnumber live points (the rebuild
+// trigger fired whenever they would), and queries through a heavily
+// churned tree stay exact. The churn removes and re-inserts every point
+// several times, so the test fails if rebuilds stop firing or a rebuild
+// loses points.
+func TestRemoveRebuildAmortized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree := New(2)
+	pts := map[int]linalg.Vector{}
+	const n = 64
+	for id := 0; id < n; id++ {
+		p := randPt(rng, 2)
+		tree.Insert(id, p)
+		pts[id] = p
+	}
+	for round := 0; round < 5; round++ {
+		for id := 0; id < n; id++ {
+			tree.Remove(id)
+			delete(pts, id)
+			if tree.dead > len(tree.byID) {
+				t.Fatalf("round %d: %d tombstones for %d live points — rebuild did not fire", round, tree.dead, len(tree.byID))
+			}
+		}
+		if tree.Len() != 0 {
+			t.Fatalf("round %d: Len = %d after removing all", round, tree.Len())
+		}
+		for id := 0; id < n; id++ {
+			p := randPt(rng, 2)
+			tree.Insert(id, p)
+			pts[id] = p
+		}
+		q := randPt(rng, 2)
+		got := tree.NearestK(q, 5)
+		want := bruteNearestK(pts, q, 5)
+		for i := range want {
+			if got[i].DistSq != want[i].DistSq {
+				t.Fatalf("round %d: dist[%d] = %v, want %v", round, i, got[i].DistSq, want[i].DistSq)
+			}
+		}
+	}
+}
+
 func BenchmarkNearestKVsBrute(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	const n = 1000

@@ -138,6 +138,31 @@ type Config struct {
 	// Default 4×FitEps (a few Theorem-2 noise widths past the test
 	// boundary); negative means no bound.
 	WarmMargin float64
+	// PruneTopM bounds the per-record J_fit evaluation to the top-m
+	// nearest-mean components via the mixture's k-d score index
+	// (gaussian.AvgLogLikelihoodBounds). The pruned pass yields a sound
+	// interval around the exact average log-likelihood; the verdict is
+	// taken from the interval only when it decides the ε test with slack
+	// beyond floating-point roundoff, and falls back to the exact batched
+	// scan otherwise — so every fit/refit decision, every update emitted
+	// and every warm-start seed is bit-identical to the exact path (the
+	// golden-fingerprint and property tests pin this). Pruning engages
+	// only for models with K ≥ 2·PruneTopM components and never under
+	// SharpTest (the sharpened statistic keeps the exact scan). On chunks
+	// where a pruned verdict was used, the telemetry margin histogram and
+	// journal Values carry the proven bound instead of the exact margin —
+	// diagnostics only; decisions and outputs are unaffected. 0 means the
+	// default (4); negative disables pruning (the exact reference path).
+	PruneTopM int
+	// SharedChunkStats controls the shared per-chunk scoring workspace:
+	// "on" (the default) computes the chunk's complete-records view once
+	// per chunk and reuses it across the whole multi-test, memoizes exact
+	// scores computed during the test loop, and re-scores the tested
+	// models of a refit in one fused pass over the chunk
+	// (gaussian.AvgLogLikelihoodMulti); "off" re-derives everything per
+	// probe — the reference re-scan path, bit-identical by construction
+	// since all cached values are pure functions of the chunk.
+	SharedChunkStats string
 	// EmitFitWeightUpdates makes a fitting chunk emit a WeightUpdate for
 	// the current model instead of staying silent. Landmark-window
 	// deployments leave this off (Section 5.3's stability property);
@@ -174,6 +199,26 @@ const (
 	WarmStartCold = "cold"
 )
 
+// Accepted Config.SharedChunkStats values.
+const (
+	// SharedStatsOn caches per-chunk views and scores across the multi-test.
+	SharedStatsOn = "on"
+	// SharedStatsOff re-derives everything per probe (reference path).
+	SharedStatsOff = "off"
+)
+
+// defaultPruneTopM is the candidate-set size the pruned scorer evaluates
+// per record when Config.PruneTopM is zero.
+const defaultPruneTopM = 4
+
+// pruneGuardRel scales the decision slack of the pruned J_fit verdict:
+// the bound interval must clear the ε threshold by
+// pruneGuardRel·(1 + |Avg_Pr0| + |bound|) before the pruned verdict is
+// trusted. The slack is orders of magnitude above the roundoff of the
+// batched log-sum-exp (~K·2⁻⁵²·|avg|) and orders of magnitude below any
+// meaningful ε, so pruned verdicts provably agree with the exact path.
+const pruneGuardRel = 1e-9
+
 // warmRelTol is the relative log-likelihood stop applied to warm-started
 // refits when Config.EM.RelTol is unset. Audited refits compare against a
 // full-precision cold fit, so a systematically premature stop surfaces as
@@ -183,6 +228,14 @@ const warmRelTol = 1e-4
 func (c Config) withDefaults() Config {
 	if c.CMax <= 0 {
 		c.CMax = 4
+	}
+	if c.PruneTopM == 0 {
+		c.PruneTopM = defaultPruneTopM
+	} else if c.PruneTopM < 0 {
+		c.PruneTopM = 0 // disabled: exact scans only
+	}
+	if c.SharedChunkStats == "" {
+		c.SharedChunkStats = SharedStatsOn
 	}
 	if c.FitEps == 0 {
 		c.FitEps = c.Epsilon
@@ -225,6 +278,13 @@ type Stats struct {
 	WarmFallbacks   int // warm fits discarded for a cold result (audit loss or non-finite)
 	WarmAudits      int // warm refits that also ran the cold comparison fit
 	IterationsSaved int // Σ (cold iters − warm iters) over audited refits; can go negative
+
+	// Pruned-scoring accounting (zero with PruneTopM disabled).
+	PruneHits      int // J_fit verdicts decided by the pruned bound interval
+	PruneFallbacks int // pruned intervals too wide to decide: exact re-scan ran
+	// Shared-stats memo accounting (zero with SharedChunkStats off).
+	StatCacheHits   int // refit re-scores served from the multi-test memo
+	StatCacheMisses int // refit re-scores that had to scan the chunk
 }
 
 // siteTele holds the site's telemetry instruments, resolved once at
@@ -245,6 +305,10 @@ type siteTele struct {
 	coldRefits  *telemetry.Counter
 	warmFalls   *telemetry.Counter
 	iterSaved   *telemetry.Counter
+	pruneHits   *telemetry.Counter
+	pruneFalls  *telemetry.Counter
+	statHits    *telemetry.Counter
+	statMisses  *telemetry.Counter
 	jfitMargin  *telemetry.Histogram
 	hitDepth    *telemetry.Histogram
 }
@@ -267,6 +331,10 @@ func newSiteTele(reg *telemetry.Registry) siteTele {
 		coldRefits:  reg.Counter("site.cold_refits"),
 		warmFalls:   reg.Counter("site.warm_fallbacks"),
 		iterSaved:   reg.Counter("site.warm_iterations_saved"),
+		pruneHits:   reg.Counter("site.prune_hits"),
+		pruneFalls:  reg.Counter("site.prune_fallbacks"),
+		statHits:    reg.Counter("site.stat_cache_hits"),
+		statMisses:  reg.Counter("site.stat_cache_misses"),
 		// J_fit margins live on the ε scale; the c_max recommendation is
 		// 3–4, so depth buckets 1..4 plus overflow cover every finding.
 		jfitMargin: reg.Histogram("site.jfit_margin", 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 5),
@@ -295,10 +363,32 @@ type Site struct {
 	// every model it ever tests.
 	scratch *gaussian.BatchScratch
 
+	// scan is the shared per-chunk workspace (SharedChunkStats on): the
+	// complete-records view is filtered once per chunk and reused by every
+	// probe of the multi-test.
+	scan chunk.Scan
+	// tested records the models probed on the current chunk, in test
+	// order, with any exactly computed score — the refit path replays the
+	// exact warm-seed selection from it (and the memo saves re-scans).
+	tested []testedModel
+	// rescanMix/rescanAvg/rescanIdx back the fused refit re-scan.
+	rescanMix []*gaussian.Mixture
+	rescanAvg []float64
+	rescanIdx []int
+
 	// warmSeq counts warm-start refit attempts, driving the audit cadence.
 	warmSeq int
 
 	stats Stats
+}
+
+// testedModel is one multi-test probe: the model, the chunk's average
+// log-likelihood under it when computed exactly, and whether it was (a
+// pruned verdict leaves avg as a bound, to be replaced before use).
+type testedModel struct {
+	m     *Model
+	avg   float64
+	exact bool
 }
 
 // New constructs a Site. Dim, K, Epsilon and Delta are required.
@@ -312,6 +402,9 @@ func New(cfg Config) (*Site, error) {
 	}
 	if cfg.WarmStart != WarmStartOn && cfg.WarmStart != WarmStartCold {
 		return nil, fmt.Errorf("site: WarmStart = %q (want %q or %q)", cfg.WarmStart, WarmStartOn, WarmStartCold)
+	}
+	if cfg.SharedChunkStats != SharedStatsOn && cfg.SharedChunkStats != SharedStatsOff {
+		return nil, fmt.Errorf("site: SharedChunkStats = %q (want %q or %q)", cfg.SharedChunkStats, SharedStatsOn, SharedStatsOff)
 	}
 	m := cfg.ChunkSize
 	if m <= 0 {
@@ -328,6 +421,10 @@ func New(cfg Config) (*Site, error) {
 		events:      events.NewList(),
 		nextModelID: 1,
 		scratch:     gaussian.NewBatchScratch(),
+		tested:      make([]testedModel, 0, cfg.CMax),
+		rescanMix:   make([]*gaussian.Mixture, 0, cfg.CMax),
+		rescanAvg:   make([]float64, cfg.CMax),
+		rescanIdx:   make([]int, 0, cfg.CMax),
 	}, nil
 }
 
@@ -383,25 +480,26 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 	s.chunkNum++
 	s.stats.Chunks++
 	s.tele.chunks.Inc()
+	// Bind the shared per-chunk workspace and clear the probe memo; every
+	// test below scores the same complete-records view.
+	s.scan.Reset(data)
+	s.tested = s.tested[:0]
 
 	// Line 2: the very first chunk is always clustered.
 	if s.current == nil {
 		return s.clusterNewModel(data, nil)
 	}
 
-	// Every J_fit test below scores the chunk's average log-likelihood
-	// under a candidate model; the best-scoring candidate doubles as the
-	// warm-start seed if all tests fail and a refit is needed.
-	bestAvg := math.Inf(-1)
-	bestMargin := math.Inf(1)
-	var bestSeed *gaussian.Mixture
-
-	// Test 1: current model (line 5, FitDistribution).
+	// Test 1: current model (line 5, FitDistribution). Each probe's score
+	// is memoized in s.tested; if every test fails, refitSeed replays the
+	// exact best-scoring-model selection from the memo (re-scoring any
+	// probe whose verdict came from the pruned bound), so the warm-start
+	// seed is bit-identical to the exact path's.
 	s.stats.Tests++
 	s.tele.tests.Inc()
 	s.tele.tested.Inc()
-	avg, margin, ok := s.fitScore(s.current, data)
-	bestAvg, bestMargin, bestSeed = avg, margin, s.current.Mixture
+	avg, margin, ok, exact := s.fitScore(s.current, data)
+	s.tested = append(s.tested, testedModel{m: s.current, avg: avg, exact: exact})
 	s.tele.jfitMargin.Observe(margin)
 	if ok {
 		s.current.Counter += s.m
@@ -433,10 +531,8 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 		s.tele.tests.Inc()
 		budget--
 		depth++
-		avg, margin, ok := s.fitScore(cand, data)
-		if avg > bestAvg {
-			bestAvg, bestMargin, bestSeed = avg, margin, cand.Mixture
-		}
+		avg, margin, ok, exact := s.fitScore(cand, data)
+		s.tested = append(s.tested, testedModel{m: cand, avg: avg, exact: exact})
 		s.tele.jfitMargin.Observe(margin)
 		if ok {
 			s.reactivate(i)
@@ -463,29 +559,139 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 	// but only if that model nearly fit (drift); a seed far past the
 	// WarmMargin bound describes a different regime and would steer EM
 	// into a worse basin than a cold start.
+	bestSeed := s.refitSeed(data)
 	s.retireCurrent()
-	if bestMargin > s.cfg.WarmMargin {
-		bestSeed = nil
-	}
 	return s.clusterNewModel(data, bestSeed)
+}
+
+// refitSeed selects the warm-start seed for a refit: the best-scoring
+// model of the failed multi-test pass, or nil when even the best margin
+// exceeds WarmMargin. The selection replays the exact path's bookkeeping
+// — first tested model initializes, later ones replace it on strictly
+// higher average log-likelihood — over exact scores: probes decided by
+// the pruned bound are re-scored exactly here (one fused pass over the
+// chunk with SharedChunkStats on), probes that already ran the exact scan
+// reuse the memoized value. Refits are the rare path and the re-scan is
+// amortized against the EM run that follows, so pruning keeps its win on
+// fitting chunks without perturbing a single refit decision.
+func (s *Site) refitSeed(data []linalg.Vector) *gaussian.Mixture {
+	if len(s.tested) == 0 {
+		return nil
+	}
+	shared := s.cfg.SharedChunkStats == SharedStatsOn
+	s.rescanMix = s.rescanMix[:0]
+	s.rescanIdx = s.rescanIdx[:0]
+	for i := range s.tested {
+		if s.tested[i].exact {
+			// The score was computed during the test loop — the legacy path
+			// also reused it (bestAvg tracking), so this is not shared-stats
+			// specific; only the accounting is.
+			if shared {
+				s.stats.StatCacheHits++
+				s.tele.statHits.Inc()
+			}
+			continue
+		}
+		if shared {
+			s.stats.StatCacheMisses++
+			s.tele.statMisses.Inc()
+			s.rescanMix = append(s.rescanMix, s.tested[i].m.Mixture)
+			s.rescanIdx = append(s.rescanIdx, i)
+			continue
+		}
+		// Reference path: one exact scan per probe, like the pre-shared
+		// code would have run.
+		s.tested[i].avg = s.tested[i].m.Mixture.AvgLogLikelihoodScratch(s.evalRecords(data), s.scratch)
+		s.tested[i].exact = true
+	}
+	if len(s.rescanMix) > 0 {
+		gaussian.AvgLogLikelihoodMulti(s.rescanMix, s.scan.Complete(), s.rescanAvg[:len(s.rescanMix)], s.scratch)
+		for j, i := range s.rescanIdx {
+			s.tested[i].avg = s.rescanAvg[j]
+			s.tested[i].exact = true
+		}
+	}
+	best := s.tested[0]
+	for _, tm := range s.tested[1:] {
+		if tm.avg > best.avg {
+			best = tm
+		}
+	}
+	if math.Abs(best.avg-best.m.RefAvgLL) > s.cfg.WarmMargin {
+		return nil
+	}
+	return best.m.Mixture
 }
 
 // fitScore evaluates the test criterion J_fit = |Avg_Prn − Avg_Pr0| ≤ ε
 // (Eq. 4, justified by Theorem 2), returning the chunk's average
 // log-likelihood under the model (the warm-start ranking key), the margin
-// |Avg_Prn − Avg_Pr0| (the Theorem-2 observable telemetry journals), and
-// the verdict. The statistic is computed over the chunk's complete records
-// only — incomplete ones have no well-defined joint likelihood — matching
-// the reference Avg_Pr0.
-func (s *Site) fitScore(m *Model, data []linalg.Vector) (avg, margin float64, ok bool) {
-	eval := completeOnly(data)
+// |Avg_Prn − Avg_Pr0| (the Theorem-2 observable telemetry journals), the
+// verdict, and whether avg/margin are the exact statistics. The statistic
+// is computed over the chunk's complete records only — incomplete ones
+// have no well-defined joint likelihood — matching the reference Avg_Pr0.
+//
+// With pruning enabled, the model's k-d score index restricts each record
+// to the PruneTopM nearest-mean components, yielding a sound interval
+// around the exact average; when the interval decides the ε test with
+// slack beyond the pruneGuardRel roundoff guard, the verdict is provably
+// the exact path's and the scan is skipped (avg and margin then carry the
+// proven bound, exact=false). An indecisive interval journals a
+// "prune-fallback" event and runs the exact scan.
+func (s *Site) fitScore(m *Model, data []linalg.Vector) (avg, margin float64, ok, exact bool) {
+	eval := s.evalRecords(data)
+	if topM := s.cfg.PruneTopM; topM > 0 && !s.cfg.SharpTest && m.Mixture.K() >= 2*topM {
+		if lo, hi, bok := m.Mixture.AvgLogLikelihoodBounds(eval, topM, s.scratch); bok {
+			loM, hiM := marginInterval(lo, hi, m.RefAvgLL)
+			guard := pruneGuardRel * (1 + math.Abs(m.RefAvgLL) + math.Max(math.Abs(lo), math.Abs(hi)))
+			switch {
+			case hiM+guard <= s.cfg.FitEps:
+				s.stats.PruneHits++
+				s.tele.pruneHits.Inc()
+				return lo, hiM, true, false
+			case loM-guard > s.cfg.FitEps:
+				s.stats.PruneHits++
+				s.tele.pruneHits.Inc()
+				return lo, loM, false, false
+			}
+			s.stats.PruneFallbacks++
+			s.tele.pruneFalls.Inc()
+			s.tele.reg.Record(telemetry.Event{
+				Kind: "prune-fallback", Site: s.cfg.SiteID, Model: m.ID,
+				Value: hiM - loM, N: s.chunkNum,
+			})
+		}
+	}
 	if s.cfg.SharpTest {
 		avg = m.Mixture.AvgMaxComponentLLScratch(eval, s.scratch)
 	} else {
 		avg = m.Mixture.AvgLogLikelihoodScratch(eval, s.scratch)
 	}
 	margin = math.Abs(avg - m.RefAvgLL)
-	return avg, margin, margin <= s.cfg.FitEps
+	return avg, margin, margin <= s.cfg.FitEps, true
+}
+
+// marginInterval maps an interval [lo, hi] around the chunk average onto
+// the induced interval of the J_fit margin |avg − ref|.
+func marginInterval(lo, hi, ref float64) (loM, hiM float64) {
+	switch {
+	case hi < ref:
+		return ref - hi, ref - lo
+	case lo > ref:
+		return lo - ref, hi - ref
+	default:
+		return 0, math.Max(ref-lo, hi-ref)
+	}
+}
+
+// evalRecords returns the chunk's complete-records view: served from the
+// shared per-chunk scan when SharedChunkStats is on, recomputed per probe
+// (the reference path) otherwise.
+func (s *Site) evalRecords(data []linalg.Vector) []linalg.Vector {
+	if s.cfg.SharedChunkStats == SharedStatsOn {
+		return s.scan.Complete()
+	}
+	return completeOnly(data)
 }
 
 // completeOnly filters out records with missing attributes; it returns the
@@ -564,9 +770,9 @@ func (s *Site) clusterNewModel(data []linalg.Vector, seed *gaussian.Mixture) ([]
 
 	var refLL float64
 	if s.cfg.SharpTest {
-		refLL = mixture.AvgMaxComponentLLScratch(completeOnly(data), s.scratch)
+		refLL = mixture.AvgMaxComponentLLScratch(s.evalRecords(data), s.scratch)
 	} else {
-		refLL = mixture.AvgLogLikelihoodScratch(completeOnly(data), s.scratch)
+		refLL = mixture.AvgLogLikelihoodScratch(s.evalRecords(data), s.scratch)
 	}
 	m := &Model{
 		ID:         s.nextModelID,

@@ -5,8 +5,11 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
+	"testing/quick"
 
+	"cludistream/internal/events"
 	"cludistream/internal/gaussian"
 	"cludistream/internal/linalg"
 	"cludistream/internal/telemetry"
@@ -731,5 +734,259 @@ func TestSiteSteadyStateZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state Observe allocates %v per record, want 0", avg)
+	}
+}
+
+// kRegime builds a k-component 2-d mixture with deterministic means on a
+// circle of the given radius — enough components to engage the pruned
+// scorer (which needs K ≥ 2·PruneTopM).
+func kRegime(k int, radius, phase float64) *gaussian.Mixture {
+	comps := make([]*gaussian.Component, k)
+	weights := make([]float64, k)
+	for j := 0; j < k; j++ {
+		a := phase + 2*math.Pi*float64(j)/float64(k)
+		comps[j] = gaussian.Spherical(linalg.Vector{radius * math.Cos(a), radius * math.Sin(a)}, 0.4)
+		weights[j] = 1 + float64(j%3)
+	}
+	return gaussian.MustMixture(weights, comps)
+}
+
+// replayStream feeds a pre-generated record stream through a fresh site and
+// returns the FNV fingerprint of its update stream, the event table, and
+// the final stats — the full observable behaviour of Algorithm 1.
+func replayStream(t *testing.T, cfg Config, stream []linalg.Vector) (uint64, []events.Entry, Stats) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	wf := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	wi := func(v int) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	for _, x := range stream {
+		ups, err := s.Observe(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range ups {
+			wi(int(u.Kind))
+			wi(u.ModelID)
+			wi(u.Count)
+			if u.Mixture == nil {
+				continue
+			}
+			for j := 0; j < u.Mixture.K(); j++ {
+				wf(u.Mixture.Weight(j))
+				c := u.Mixture.Component(j)
+				for _, v := range c.Mean() {
+					wf(v)
+				}
+				cov := c.Cov()
+				for r := 0; r < len(c.Mean()); r++ {
+					for q := 0; q < len(c.Mean()); q++ {
+						wf(cov.At(r, q))
+					}
+				}
+			}
+		}
+	}
+	return h.Sum64(), s.Events().All(), s.Stats()
+}
+
+// prunedParityStream builds a drifting K=8 stream that exercises fits,
+// refits, reactivations and near-threshold chunks.
+func prunedParityStream(seed int64, chunks int) []linalg.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	var stream []linalg.Vector
+	phases := []float64{0, 0.03, 0.8, 0, 1.7, 0.8}
+	for c := 0; c < chunks; c++ {
+		mix := kRegime(8, 8, phases[c%len(phases)])
+		stream = append(stream, mix.SampleN(rng, 160)...)
+	}
+	return stream
+}
+
+// prunedCfg is the fast path: pruning and shared stats at their defaults.
+func prunedCfg() Config {
+	return Config{
+		SiteID: 1, Dim: 2, K: 8, Epsilon: 0.5, Delta: 0.01,
+		CMax: 4, Seed: 7, ChunkSize: 160,
+	}
+}
+
+// exactCfg is the reference path: pruning disabled, per-probe re-scans.
+func exactCfg() Config {
+	c := prunedCfg()
+	c.PruneTopM = -1
+	c.SharedChunkStats = SharedStatsOff
+	return c
+}
+
+// TestPrunedPathBitIdenticalToExact pins the tentpole contract: with
+// pruning and shared chunk stats on (the defaults), the site's update
+// stream, event table and decision counters are bit-identical to the exact
+// reference path — and the fast path actually took pruned shortcuts.
+func TestPrunedPathBitIdenticalToExact(t *testing.T) {
+	stream := prunedParityStream(99, 24)
+	fastFP, fastEv, fastSt := replayStream(t, prunedCfg(), stream)
+	refFP, refEv, refSt := replayStream(t, exactCfg(), stream)
+	if fastFP != refFP {
+		t.Fatalf("pruned update stream fingerprint %#x != exact %#x", fastFP, refFP)
+	}
+	if len(fastEv) != len(refEv) {
+		t.Fatalf("event tables differ: %d vs %d entries", len(fastEv), len(refEv))
+	}
+	for i := range fastEv {
+		if fastEv[i] != refEv[i] {
+			t.Fatalf("event %d: pruned %+v != exact %+v", i, fastEv[i], refEv[i])
+		}
+	}
+	for name, pair := range map[string][2]int{
+		"Fits":        {fastSt.Fits, refSt.Fits},
+		"Refits":      {fastSt.Refits, refSt.Refits},
+		"Reactivated": {fastSt.Reactivated, refSt.Reactivated},
+		"Tests":       {fastSt.Tests, refSt.Tests},
+		"EMRuns":      {fastSt.EMRuns, refSt.EMRuns},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s: pruned %d != exact %d", name, pair[0], pair[1])
+		}
+	}
+	if fastSt.PruneHits == 0 {
+		t.Error("pruned path never used a bound verdict — parity test is vacuous")
+	}
+	if refSt.PruneHits != 0 || refSt.StatCacheHits != 0 {
+		t.Errorf("exact path recorded fast-path work: %+v", refSt)
+	}
+}
+
+// TestPrunedParityQuick is the testing/quick property: across random
+// regimes (random seeds, drift schedules and component counts) the pruned
+// + shared-stats site produces identical fit/refit event tables and update
+// streams to the exact reference path.
+func TestPrunedParityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick property test")
+	}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 8 + 2*rng.Intn(3) // 8, 10, 12 — all engage pruning at topM=4
+		chunks := 8 + rng.Intn(6)
+		var stream []linalg.Vector
+		for c := 0; c < chunks; c++ {
+			phase := math.Abs(rng.NormFloat64()) * 0.6
+			stream = append(stream, kRegime(k, 6+2*rng.Float64(), phase).SampleN(rng, 160)...)
+		}
+		fast := prunedCfg()
+		fast.K = k
+		fast.Seed = seed
+		ref := exactCfg()
+		ref.K = k
+		ref.Seed = seed
+		fastFP, fastEv, _ := replayStream(t, fast, stream)
+		refFP, refEv, _ := replayStream(t, ref, stream)
+		if fastFP != refFP || len(fastEv) != len(refEv) {
+			return false
+		}
+		for i := range fastEv {
+			if fastEv[i] != refEv[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 8,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(rng.Int63n(1 << 30))
+		},
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryDoesNotPerturbPrunedPath asserts bit-identical output with
+// telemetry on and off while the pruned fast path is active.
+func TestTelemetryDoesNotPerturbPrunedPath(t *testing.T) {
+	stream := prunedParityStream(123, 12)
+	plainFP, _, plainSt := replayStream(t, prunedCfg(), stream)
+	teleCfg := prunedCfg()
+	reg := telemetry.NewRegistry()
+	teleCfg.Telemetry = reg
+	teleFP, _, teleSt := replayStream(t, teleCfg, stream)
+	if plainFP != teleFP {
+		t.Fatalf("telemetry changed the update stream: %#x != %#x", teleFP, plainFP)
+	}
+	if plainSt != teleSt {
+		t.Fatalf("telemetry changed stats: %+v != %+v", teleSt, plainSt)
+	}
+	if teleSt.PruneHits == 0 {
+		t.Error("stream never hit the pruned path")
+	}
+	// Counters mirror the stats the site already kept.
+	counters := reg.Snapshot().Counters
+	if got := counters["site.prune_hits"]; got != int64(teleSt.PruneHits) {
+		t.Errorf("site.prune_hits = %d, stats say %d", got, teleSt.PruneHits)
+	}
+	if got := counters["site.prune_fallbacks"]; got != int64(teleSt.PruneFallbacks) {
+		t.Errorf("site.prune_fallbacks = %d, stats say %d", got, teleSt.PruneFallbacks)
+	}
+	if got := counters["site.stat_cache_hits"]; got != int64(teleSt.StatCacheHits) {
+		t.Errorf("site.stat_cache_hits = %d, stats say %d", got, teleSt.StatCacheHits)
+	}
+	if got := counters["site.stat_cache_misses"]; got != int64(teleSt.StatCacheMisses) {
+		t.Errorf("site.stat_cache_misses = %d, stats say %d", got, teleSt.StatCacheMisses)
+	}
+}
+
+// TestSiteSteadyStatePrunedZeroAlloc: the zero-alloc ingest contract must
+// survive with the pruned scorer engaged (K=16 current model, bound
+// verdicts on every chunk).
+func TestSiteSteadyStatePrunedZeroAlloc(t *testing.T) {
+	cfg := prunedCfg()
+	cfg.K = 16
+	// A K=16 EM fit on 160-record chunks fluctuates chunk to chunk; a
+	// generous ε keeps the stream in pure test mode so the measurement
+	// isolates the pruned scoring path.
+	cfg.FitEps = 3
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	pool := kRegime(16, 10, 0).SampleN(rng, 1600)
+	for _, x := range pool {
+		if _, err := s.Observe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Refits != 1 {
+		t.Fatalf("warmup refit count = %d, want 1 (stationary)", s.Stats().Refits)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		ups, err := s.Observe(pool[i%len(pool)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ups != nil {
+			t.Fatalf("unexpected refit in steady state: %+v", ups)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("pruned steady-state Observe allocates %v per record, want 0", avg)
+	}
+	if s.Stats().PruneHits == 0 {
+		t.Error("steady state never used the pruned verdict")
 	}
 }
