@@ -1,8 +1,9 @@
 GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
-LDFLAGS := -ldflags "-X cludistream/internal/buildinfo.Version=$(VERSION)"
+COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS := -ldflags "-X cludistream/internal/buildinfo.Version=$(VERSION) -X cludistream/internal/buildinfo.Commit=$(COMMIT)"
 
-.PHONY: all build vet lint test race race-em race-parallel race-score alloc-gate recover check tier1 fuzz bench bench-compare obs-demo dst dst-long
+.PHONY: all build vet lint test race race-em race-parallel race-score alloc-gate recover check tier1 fuzz bench bench-compare obs-demo trace-demo dst dst-long
 
 all: check
 
@@ -101,7 +102,7 @@ fuzz:
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry|BenchmarkMultiTest|BenchmarkRemerge' -benchmem . ; } \
-	  | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_quick.json
+	  | tee /dev/stderr | $(GO) run $(LDFLAGS) ./cmd/benchjson > BENCH_quick.json
 
 # Regression check against the committed snapshot: rerun the hot-path
 # micro-benchmarks (skipping the slow figure reproductions), convert to
@@ -111,7 +112,7 @@ bench:
 bench-compare:
 	@tmp=$$(mktemp) && \
 	$(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry|BenchmarkMultiTest|BenchmarkRemerge' -benchmem . \
-	  | $(GO) run ./cmd/benchjson > $$tmp && \
+	  | $(GO) run $(LDFLAGS) ./cmd/benchjson > $$tmp && \
 	$(GO) run ./cmd/benchjson -compare BENCH_quick.json $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
@@ -124,4 +125,13 @@ obs-demo:
 	$(GO) run ./cmd/obsdump -addr 127.0.0.1:7171; \
 	echo; echo "--- event journal ---"; \
 	$(GO) run ./cmd/obsdump -addr 127.0.0.1:7171 -events -limit 20; \
+	wait
+
+# Tracing demo: same distributed example, but the mid-flight snapshot is
+# the causal-trace view — cumulative span counts plus the slowest
+# ingest→visible chunk traces rendered as span waterfalls.
+trace-demo:
+	$(GO) run ./examples/distributed -debug-addr 127.0.0.1:7171 -linger 4s & \
+	sleep 2.5; \
+	$(GO) run ./cmd/obsdump -addr 127.0.0.1:7171 trace; \
 	wait

@@ -266,6 +266,11 @@ type System struct {
 	// Facade-level delivery instruments (nil ⇒ no-op).
 	teleDedupe *telemetry.Counter
 	teleResets *telemetry.Counter
+	// tracer is the registry's tracer when Config.Telemetry has tracing
+	// enabled (nil otherwise). The facade rebinds its clock to the
+	// simulator so every span timestamp is virtual time — deterministic
+	// under DST, and the freshness SLOs measure simulated lag.
+	tracer *telemetry.Tracer
 
 	// dedupeBroken disables the sequence-number half of the exactly-once
 	// dedupe — a deliberately injected bug used by the deterministic
@@ -321,6 +326,10 @@ func New(cfg Config) (*System, error) {
 	if cfg.Telemetry != nil {
 		s.teleDedupe = cfg.Telemetry.Counter("coord.dedupe_dropped")
 		s.teleResets = cfg.Telemetry.Counter("coord.epoch_resets")
+		if tr := cfg.Telemetry.Tracer(); tr != nil {
+			tr.SetClock(s.sim.Now)
+			s.tracer = tr
+		}
 	}
 	if cfg.Fault != nil {
 		s.epochs = make([]uint32, cfg.NumSites)
@@ -419,7 +428,10 @@ func (s *System) deliver(payload []byte) {
 		return
 	}
 	if s.store != nil {
-		if err := s.store.Append(payload); err != nil {
+		walSpan := s.tracer.Begin(msg.TraceID, msg.SpanID, "wal-append", int(msg.SiteID), int(msg.ModelID))
+		err := s.store.Append(payload)
+		walSpan.End(len(payload), "")
+		if err != nil {
 			if s.deliveryErr == nil {
 				s.deliveryErr = err
 			}
@@ -427,7 +439,13 @@ func (s *System) deliver(payload []byte) {
 		}
 	}
 	if s.ded != nil {
-		switch s.ded.Admit(msg.SiteID, msg.Epoch, msg.Seq) {
+		verdict := s.ded.Admit(msg.SiteID, msg.Epoch, msg.Seq)
+		if s.tracer != nil && msg.TraceID != 0 {
+			now := s.tracer.Now()
+			s.tracer.Record(msg.TraceID, msg.SpanID, "dedupe",
+				int(msg.SiteID), int(msg.ModelID), now, now, 0, verdictNote(verdict))
+		}
+		switch verdict {
 		case durable.DropStale, durable.DropDuplicate:
 			s.dup++
 			s.teleDedupe.Inc()
@@ -440,6 +458,9 @@ func (s *System) deliver(payload []byte) {
 	}
 	switch msg.Kind {
 	case transport.MsgDeletion:
+		// Deletions carry no site.Update, so the trace context rides in
+		// side-band; HandleUpdate reads it off the update itself.
+		s.coord.SetTraceContext(msg.TraceID, msg.SpanID)
 		err = s.coord.HandleDeletion(int(msg.SiteID), int(msg.ModelID), int(msg.Count))
 	default:
 		err = s.coord.HandleUpdate(msg.ToSiteUpdate())
@@ -454,6 +475,21 @@ func (s *System) deliver(payload []byte) {
 		if err := s.store.Checkpoint(s.coord, s.ded); err != nil && s.deliveryErr == nil {
 			s.deliveryErr = err
 		}
+	}
+}
+
+// verdictNote maps a dedupe verdict to the span note recorded on the
+// trace's "dedupe" span.
+func verdictNote(v durable.Verdict) string {
+	switch v {
+	case durable.DropDuplicate:
+		return "dup"
+	case durable.DropStale:
+		return "stale"
+	case durable.AdmitNewEpoch:
+		return "new-epoch"
+	default:
+		return "admit"
 	}
 }
 
@@ -489,6 +525,10 @@ func (s *System) Feed(siteIdx int, x linalg.Vector) error {
 		s.sendUpdate(siteIdx, u)
 	}
 	if s.trackers != nil {
+		// Deletions ride the trace of the chunk whose completion expired
+		// them: the site has no Update in hand, so the trace context comes
+		// from the last minted chunk trace.
+		delTrace, delSpan := s.sites[siteIdx].LastTrace()
 		for _, d := range s.trackers[siteIdx].Expire(siteIdx + 1) {
 			s.outstanding[siteIdx][d.ModelID] -= d.Count
 			s.send(siteIdx, transport.Message{
@@ -496,6 +536,8 @@ func (s *System) Feed(siteIdx int, x linalg.Vector) error {
 				SiteID:  int32(d.SiteID),
 				ModelID: int32(d.ModelID),
 				Count:   int64(d.Count),
+				TraceID: delTrace,
+				SpanID:  delSpan,
 			})
 		}
 	}
@@ -528,14 +570,21 @@ func (s *System) sendUpdate(siteIdx int, u site.Update) {
 // and handed to the retransmitting courier; otherwise it goes straight on
 // the perfect link in the legacy v1 encoding.
 func (s *System) send(siteIdx int, msg transport.Message) {
+	if s.tracer != nil && msg.TraceID != 0 {
+		// Enqueue is a point span: in the simulation the outbox hands the
+		// payload to the link/courier at the same virtual instant.
+		now := s.tracer.Now()
+		s.tracer.Record(msg.TraceID, msg.SpanID, "enqueue",
+			int(msg.SiteID), int(msg.ModelID), now, now, msg.WireSize(), "")
+	}
 	if s.couriers == nil {
-		s.links[siteIdx].Send(transport.Encode(msg))
+		s.links[siteIdx].TrySendTraced(transport.Encode(msg), false, msg.TraceID, msg.SpanID)
 		return
 	}
 	s.seqs[siteIdx]++
 	msg.Seq = s.seqs[siteIdx]
 	msg.Epoch = s.epochs[siteIdx]
-	s.couriers[siteIdx].Send(transport.Encode(msg))
+	s.couriers[siteIdx].SendTraced(transport.Encode(msg), msg.TraceID, msg.SpanID)
 }
 
 // CrashSite models a site process dying and restarting (fault-tolerant

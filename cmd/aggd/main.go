@@ -36,6 +36,7 @@ func main() {
 	maxRetry := flag.Int("max-retry", 12, "initial parent-dial attempts before giving up (-1 = retry forever)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown wait for children and the parent upload drain")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
+	trace := flag.Bool("trace", false, "with -debug-addr: trace child applies and parent uploads (/debug/traces; negotiates the wire trace suffix both ways)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -46,6 +47,9 @@ func main() {
 	var reg *telemetry.Registry
 	if *debugAddr != "" {
 		reg = telemetry.NewRegistry()
+		if *trace {
+			reg.EnableTracing(telemetry.TraceOptions{})
+		}
 		dbg, err := telemetry.Serve(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

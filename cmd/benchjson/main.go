@@ -21,6 +21,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"cludistream/internal/buildinfo"
 )
 
 // Benchmark is one parsed result line.
@@ -44,8 +46,13 @@ type Report struct {
 	// GoVersion and Gomaxprocs stamp the converting toolchain and core
 	// count, so archived reports say what produced them even when the
 	// bench output lacks a cpu: header.
-	GoVersion  string      `json:"go_version"`
-	Gomaxprocs int         `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	// Commit is the git commit the Makefile stamped into this binary
+	// ("unknown" under plain `go run`), so an archived baseline records
+	// exactly which tree produced it. -compare ignores it: reports with
+	// and without the field diff fine.
+	Commit     string      `json:"commit,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -200,6 +207,15 @@ func runCompare(oldPath, newPath string, threshold float64, w io.Writer) (bool, 
 	return writeComparison(w, compareReports(oldRep, newRep), threshold), nil
 }
 
+// commitStamp returns the ldflags-injected commit, or "" (omitting the
+// field) when the binary was built without the Makefile's stamp.
+func commitStamp() string {
+	if buildinfo.Commit == "unknown" {
+		return ""
+	}
+	return buildinfo.Commit
+}
+
 func main() {
 	compare := flag.Bool("compare", false, "diff two benchjson reports: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 10, "ns/op regression threshold in percent for -compare")
@@ -220,7 +236,7 @@ func main() {
 		}
 		return
 	}
-	rep := Report{GoVersion: runtime.Version(), Gomaxprocs: runtime.GOMAXPROCS(0)}
+	rep := Report{GoVersion: runtime.Version(), Gomaxprocs: runtime.GOMAXPROCS(0), Commit: commitStamp()}
 	var lines int
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)

@@ -40,6 +40,7 @@ func main() {
 	fsyncInterval := flag.Int("fsync-interval", 32, "records per sync when -fsync=interval")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown wait for connected sites")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
+	trace := flag.Bool("trace", false, "with -debug-addr: record apply/remerge traces and grant sites the wire trace suffix (/debug/traces)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -54,6 +55,9 @@ func main() {
 	var reg *telemetry.Registry
 	if *debugAddr != "" {
 		reg = telemetry.NewRegistry()
+		if *trace {
+			reg.EnableTracing(telemetry.TraceOptions{})
+		}
 		dbg, err := telemetry.Serve(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

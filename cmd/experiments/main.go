@@ -42,6 +42,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	telemetryOut := flag.String("telemetry", "", `end-of-run telemetry dump: "text", "json", or a file path (.json gets JSON)`)
+	trace := flag.Bool("trace", false, "with -telemetry: trace every chunk ingest→global-visibility (freshness-SLO histograms ride the simulated clock)")
 	flag.Parse()
 
 	if *list {
@@ -75,6 +76,9 @@ func main() {
 	var reg *telemetry.Registry
 	if *telemetryOut != "" {
 		reg = telemetry.NewRegistry()
+		if *trace {
+			reg.EnableTracing(telemetry.TraceOptions{})
+		}
 		p.Telemetry = reg
 	}
 

@@ -8,6 +8,8 @@
 //	obsdump -addr localhost:7171 -json        # raw JSON snapshot
 //	obsdump -addr localhost:7171 -events      # dump the event journal
 //	obsdump -addr localhost:7171 -events -follow 1s   # tail it forever
+//	obsdump -addr localhost:7171 trace        # slowest-trace span waterfalls
+//	obsdump -addr localhost:7171 trace 42     # waterfall of one trace by ID
 //	obsdump out.json                          # pretty-print a saved snapshot
 package main
 
@@ -44,6 +46,12 @@ func main() {
 
 	var err error
 	switch {
+	case *addr != "" && flag.NArg() >= 1 && flag.Arg(0) == "trace":
+		var id string
+		if flag.NArg() >= 2 {
+			id = flag.Arg(1)
+		}
+		err = dumpTrace(*addr, id, *raw)
 	case *addr == "" && flag.NArg() == 1:
 		err = dumpFile(flag.Arg(0), *raw)
 	case *addr != "" && *events:
@@ -51,7 +59,7 @@ func main() {
 	case *addr != "":
 		err = dumpSnapshot(*addr, *raw)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: obsdump -addr host:port [-events] [-json] | obsdump snapshot.json")
+		fmt.Fprintln(os.Stderr, "usage: obsdump -addr host:port [-events] [-json] [trace [ID]] | obsdump snapshot.json")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -166,6 +174,115 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// dumpTrace renders /debug/traces: with an ID, one trace's span
+// waterfall; without, the tracer overview (span counts plus the
+// slowest-trace exemplars, each as a waterfall).
+func dumpTrace(addr, id string, raw bool) error {
+	u := "http://" + addr + "/debug/traces"
+	if id != "" {
+		u += "?id=" + url.QueryEscape(id)
+	}
+	body, err := fetch(u)
+	if err != nil {
+		return err
+	}
+	if raw {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	if id != "" {
+		var tr telemetry.Trace
+		if err := json.Unmarshal(body, &tr); err != nil {
+			return fmt.Errorf("decode trace: %w", err)
+		}
+		printTrace(&tr)
+		return nil
+	}
+	var snap telemetry.TracerSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("decode traces: %w", err)
+	}
+	fmt.Printf("tracer: %d active traces, %d evicted\n", snap.Active, snap.Evicted)
+	if len(snap.SpanCounts) > 0 {
+		fmt.Println("\nspan counts:")
+		for _, name := range sortedKeys(snap.SpanCounts) {
+			fmt.Printf("  %-28s %d\n", name, snap.SpanCounts[name])
+		}
+	}
+	if len(snap.Slowest) == 0 {
+		fmt.Println("\nno completed traces yet")
+		return nil
+	}
+	fmt.Printf("\nslowest %d ingest→visible traces:\n", len(snap.Slowest))
+	for i := range snap.Slowest {
+		printTrace(&snap.Slowest[i])
+	}
+	return nil
+}
+
+// waterfallWidth is the character width of the waterfall column.
+const waterfallWidth = 32
+
+// printTrace renders one trace as a span waterfall: spans sorted by start
+// time, each with its offset from the trace's first instant, duration,
+// and a proportional position bar.
+func printTrace(tr *telemetry.Trace) {
+	spans := make([]telemetry.Span, len(tr.Spans))
+	copy(spans, tr.Spans)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	t0, t1 := tr.IngestT, tr.VisibleT
+	if len(spans) > 0 {
+		if !tr.Origin || t0 > spans[0].Start {
+			t0 = spans[0].Start
+		}
+		for _, sp := range spans {
+			if sp.End > t1 {
+				t1 = sp.End
+			}
+		}
+	}
+	total := t1 - t0
+	fmt.Printf("\ntrace %d  site %d chunk %d", tr.ID, tr.Site, tr.Chunk)
+	if tr.Completed {
+		fmt.Printf("  ingest→visible %.6gs", tr.VisibleT-t0)
+	} else {
+		fmt.Printf("  (in flight, %.6gs so far)", total)
+	}
+	fmt.Println()
+	for _, sp := range spans {
+		off, dur := sp.Start-t0, sp.End-sp.Start
+		var pos, width int
+		if total > 0 {
+			pos = int(off / total * waterfallWidth)
+			width = int(dur / total * waterfallWidth)
+		}
+		if pos > waterfallWidth-1 {
+			pos = waterfallWidth - 1
+		}
+		if width < 1 {
+			width = 1
+		}
+		if pos+width > waterfallWidth {
+			width = waterfallWidth - pos
+		}
+		lane := strings.Repeat(" ", pos) + strings.Repeat("#", width) + strings.Repeat(" ", waterfallWidth-pos-width)
+		line := fmt.Sprintf("  +%-9.6g %-9.6g |%s| %s", off, dur, lane, sp.Name)
+		if sp.Site != 0 {
+			line += fmt.Sprintf(" site=%d", sp.Site)
+		}
+		if sp.Model != 0 {
+			line += fmt.Sprintf(" model=%d", sp.Model)
+		}
+		if sp.N != 0 {
+			line += fmt.Sprintf(" n=%d", sp.N)
+		}
+		if sp.Note != "" {
+			line += fmt.Sprintf(" (%s)", sp.Note)
+		}
+		fmt.Println(line)
+	}
 }
 
 // eventsPage mirrors the /debug/events response shape.

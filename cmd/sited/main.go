@@ -46,6 +46,7 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "outbox drain budget on exit or SIGTERM")
 	epoch := flag.Uint("epoch", 0, "incarnation number for exactly-once delivery (0 = derive from wall clock)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
+	trace := flag.Bool("trace", false, "with -debug-addr: trace every chunk ingest→coordinator (/debug/traces; negotiates the wire trace suffix with the coordinator)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -56,6 +57,9 @@ func main() {
 	var reg *telemetry.Registry
 	if *debugAddr != "" {
 		reg = telemetry.NewRegistry()
+		if *trace {
+			reg.EnableTracing(telemetry.TraceOptions{})
+		}
 		dbg, err := telemetry.Serve(*debugAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

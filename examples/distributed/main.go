@@ -41,6 +41,10 @@ func main() {
 	var reg *telemetry.Registry
 	if *debugAddr != "" {
 		reg = telemetry.NewRegistry()
+		// Tracing is always on in the demo: `make trace-demo` renders the
+		// span waterfalls from /debug/traces, and the clustering output is
+		// bit-identical with or without it.
+		reg.EnableTracing(telemetry.TraceOptions{})
 		dbg, err := telemetry.Serve(*debugAddr, reg)
 		if err != nil {
 			log.Fatal(err)

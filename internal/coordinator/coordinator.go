@@ -133,6 +133,7 @@ type Stats struct {
 // at construction; all pointers nil (no-op) when no registry is set.
 type coordTele struct {
 	reg           *telemetry.Registry
+	tracer        *telemetry.Tracer // causal traces; nil unless enabled
 	updates       *telemetry.Counter
 	newModels     *telemetry.Counter
 	weightUpdates *telemetry.Counter
@@ -147,6 +148,7 @@ type coordTele struct {
 	auditViol     *telemetry.Counter
 	groups        *telemetry.Gauge
 	leaves        *telemetry.Gauge
+	mixtureVer    *telemetry.Gauge
 }
 
 // setSizes publishes the current group/leaf population after a handled
@@ -162,6 +164,7 @@ func newCoordTele(reg *telemetry.Registry) coordTele {
 	}
 	return coordTele{
 		reg:           reg,
+		tracer:        reg.Tracer(),
 		updates:       reg.Counter("coord.updates_handled"),
 		newModels:     reg.Counter("coord.new_models"),
 		weightUpdates: reg.Counter("coord.weight_updates"),
@@ -176,6 +179,7 @@ func newCoordTele(reg *telemetry.Registry) coordTele {
 		auditViol:     reg.Counter("coord.remerge_audit_violations"),
 		groups:        reg.Gauge("coord.groups"),
 		leaves:        reg.Gauge("coord.leaves"),
+		mixtureVer:    reg.Gauge("coord.mixture_version"),
 	}
 }
 
@@ -214,6 +218,15 @@ type Coordinator struct {
 	workScratch []int
 	keysScratch []MemberKey
 
+	// Trace context of the message being handled (zeros when untraced):
+	// installed from the update itself or via SetTraceContext, cleared by
+	// finishApply. mixtureVer numbers successfully applied mutations of
+	// the global mixture — the "global visibility" marker of the freshness
+	// SLO (apply→global-mixture-version lag).
+	curTrace   uint64
+	curParent  uint64
+	mixtureVer uint64
+
 	stats Stats
 	tele  coordTele
 }
@@ -245,9 +258,53 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
+// SetTraceContext installs the causal trace context of the next handled
+// message. Callers that route messages without a site.Update in hand
+// (deletions, the delivery layers) set it immediately before the Handle*
+// call; HandleUpdate reads the context off the update itself. The context
+// is cleared when the handle finishes. The coordinator is driven
+// single-threaded by its delivery layer (the facade's simulator loop or
+// the netio server's apply lock), so a plain field is safe.
+func (c *Coordinator) SetTraceContext(traceID, parentSpan uint64) {
+	c.curTrace, c.curParent = traceID, parentSpan
+}
+
+// beginApply opens the "apply" span for the message being handled and
+// re-parents deeper spans (the remerge sweep) under it.
+func (c *Coordinator) beginApply(siteID, modelID int) telemetry.SpanRef {
+	span := c.tele.tracer.Begin(c.curTrace, c.curParent, "apply", siteID, modelID)
+	if _, sid := span.Context(); sid != 0 {
+		c.curParent = sid
+	}
+	return span
+}
+
+// finishApply closes an apply span and clears the trace context. On
+// success the global mixture version advances and — when the message was
+// traced — the trace is marked globally visible, feeding the
+// decision→apply and apply→visible freshness histograms.
+func (c *Coordinator) finishApply(span telemetry.SpanRef, err error) {
+	trace := c.curTrace
+	c.curTrace, c.curParent = 0, 0
+	if err != nil {
+		span.End(0, "error")
+		return
+	}
+	c.mixtureVer++
+	c.tele.mixtureVer.Set(float64(c.mixtureVer))
+	span.End(int(c.mixtureVer), "")
+	if tr := c.tele.tracer; tr != nil && trace != 0 {
+		tr.CompleteVisible(trace, span.Start(), tr.Now())
+	}
+}
+
 // HandleUpdate applies one site update (Algorithm 2's trigger: "if remote
 // site r_i updated").
 func (c *Coordinator) HandleUpdate(u site.Update) error {
+	if u.TraceID != 0 {
+		c.curTrace, c.curParent = u.TraceID, u.SpanID
+	}
+	span := c.beginApply(u.SiteID, u.ModelID)
 	c.stats.UpdatesHandled++
 	c.tele.updates.Inc()
 	defer c.tele.setSizes(len(c.groups), len(c.location))
@@ -258,12 +315,15 @@ func (c *Coordinator) HandleUpdate(u site.Update) error {
 	case site.WeightUpdate:
 		err = c.handleWeightUpdate(u)
 	default:
-		return fmt.Errorf("coordinator: unknown update kind %v", u.Kind)
+		err = fmt.Errorf("coordinator: unknown update kind %v", u.Kind)
+		c.finishApply(span, err)
+		return err
 	}
 	if err == nil && c.cfg.RemergeAuditEvery > 0 && c.cfg.IncrementalRemerge == RemergeOn &&
 		c.stats.UpdatesHandled%c.cfg.RemergeAuditEvery == 0 {
 		c.auditStability()
 	}
+	c.finishApply(span, err)
 	return err
 }
 
@@ -328,14 +388,19 @@ func (c *Coordinator) handleWeightUpdate(u site.Update) error {
 // windows): count records of the given site model expired from the window.
 // When the model's counter reaches zero its components leave the tree.
 func (c *Coordinator) HandleDeletion(siteID, modelID, count int) error {
+	span := c.beginApply(siteID, modelID)
 	sm := c.lookup(siteID, modelID)
 	if sm == nil {
-		return fmt.Errorf("coordinator: deletion for unknown model %d of site %d", modelID, siteID)
+		err := fmt.Errorf("coordinator: deletion for unknown model %d of site %d", modelID, siteID)
+		c.finishApply(span, err)
+		return err
 	}
 	c.stats.Deletions++
 	c.tele.deletions.Inc()
 	defer c.tele.setSizes(len(c.groups), len(c.location))
-	return c.shiftWeight(sm, -count)
+	err := c.shiftWeight(sm, -count)
+	c.finishApply(span, err)
+	return err
 }
 
 // ResetSite discards every model registered by the given site, removing
@@ -528,6 +593,7 @@ func (c *Coordinator) checkSiteModel(sm *siteModel) {
 // stable against a representative that has not changed since, so checking
 // it again cannot do anything.
 func (c *Coordinator) stabilize() {
+	span := c.tele.tracer.Begin(c.curTrace, c.curParent, "remerge", 0, 0)
 	c.sweepGen++
 	work := c.workScratch[:0]
 	if c.cfg.IncrementalRemerge == RemergeExact {
@@ -557,6 +623,7 @@ func (c *Coordinator) stabilize() {
 	c.tele.remergeDirty.Add(int64(swept))
 	c.tele.remergeClean.Add(int64(total - swept))
 	c.compact()
+	span.End(swept, "")
 }
 
 // checkGroup re-evaluates one group's members against its representative,
@@ -817,6 +884,11 @@ func (c *Coordinator) ModelWeights() []ModelWeight {
 	})
 	return out
 }
+
+// MixtureVersion returns the number of successfully applied mutations of
+// the global mixture (updates and deletions) — the version the freshness
+// SLO's apply→visible lag is measured against.
+func (c *Coordinator) MixtureVersion() uint64 { return c.mixtureVer }
 
 // Stats returns a copy of the work counters.
 func (c *Coordinator) Stats() Stats { return c.stats }

@@ -33,6 +33,10 @@ type Artifact struct {
 	Fingerprint      uint64            `json:"fingerprint"`
 	CleanFingerprint uint64            `json:"clean_fingerprint"`
 	Journal          []telemetry.Event `json:"journal,omitempty"`
+	// Traces is the tracer snapshot at the violation: cumulative span
+	// counts plus the slowest ingest→visible exemplar traces. Like the
+	// journal it is debugging context, not part of the replay-stable Core.
+	Traces *telemetry.TracerSnapshot `json:"traces,omitempty"`
 }
 
 // Core is the deterministic portion of an artifact: two replays of the
@@ -72,6 +76,7 @@ func (r *Result) ToArtifact() *Artifact {
 		Fingerprint:      r.Fingerprint,
 		CleanFingerprint: r.CleanFingerprint,
 		Journal:          r.Journal,
+		Traces:           r.Traces,
 	}
 }
 

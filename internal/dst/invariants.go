@@ -36,6 +36,9 @@ type checker struct {
 	sc  Scenario
 	sys *cludistream.System
 	reg *telemetry.Registry
+	// tracer backs the trace-conservation invariant (DST always enables
+	// tracing before building the checker).
+	tracer *telemetry.Tracer
 
 	ref   *coordinator.Coordinator
 	marks map[int32]*shadowMark
@@ -67,6 +70,7 @@ func newChecker(sc Scenario, reg *telemetry.Registry) (*checker, error) {
 	c := &checker{
 		sc:       sc,
 		reg:      reg,
+		tracer:   reg.Tracer(),
 		ref:      ref,
 		marks:    make(map[int32]*shadowMark),
 		perEpoch: make(map[int32]*epochCounts),
@@ -77,6 +81,11 @@ func newChecker(sc Scenario, reg *telemetry.Registry) (*checker, error) {
 	}
 	for i := range c.curEpoch {
 		c.curEpoch[i] = 1
+	}
+	if c.tracer != nil {
+		// With tracing on, every message carries the 16-byte trace suffix,
+		// so the Theorem-3 wire bound prices it in.
+		c.smallWire += transport.TraceSuffixSize
 	}
 	c.newModelWire = c.smallWire + 8 + sc.K*8*(1+sc.Dim+linalg.PackedLen(sc.Dim))
 	return c, nil
@@ -171,8 +180,57 @@ func (c *checker) onApply(msg transport.Message) {
 	}
 	pc.bytes += msg.WireSize()
 
+	c.checkTrace(msg)
 	c.checkSite(int(msg.SiteID), false)
 	c.checkConservation()
+}
+
+// checkTrace is the per-update half of the trace-conservation invariant:
+// with tracing on, an applied message must carry trace context, its trace
+// must still be live, the span chain must be contiguous (exactly one root
+// "chunk" span; every other parent resolves within the trace), and an
+// "apply" span must exist by the time OnApply fires.
+func (c *checker) checkTrace(msg transport.Message) {
+	if c.violation != nil || c.tracer == nil {
+		return
+	}
+	if msg.TraceID == 0 {
+		c.fail("trace-conservation", fmt.Sprintf("site %d applied a message with no trace context while tracing is enabled", msg.SiteID))
+		return
+	}
+	tr, ok := c.tracer.TraceByID(msg.TraceID)
+	if !ok {
+		c.fail("trace-conservation", fmt.Sprintf("site %d: applied message's trace %d is missing from the active table", msg.SiteID, msg.TraceID))
+		return
+	}
+	ids := make(map[uint64]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		ids[sp.ID] = true
+	}
+	roots, applies := 0, 0
+	for _, sp := range tr.Spans {
+		switch {
+		case sp.Parent == 0:
+			roots++
+			if sp.Name != "chunk" {
+				c.fail("trace-conservation", fmt.Sprintf("trace %d: root span is %q, want \"chunk\"", tr.ID, sp.Name))
+				return
+			}
+		case !ids[sp.Parent]:
+			c.fail("trace-conservation", fmt.Sprintf("trace %d: span %q (id %d) has parent %d outside the trace — broken causal chain", tr.ID, sp.Name, sp.ID, sp.Parent))
+			return
+		}
+		if sp.Name == "apply" {
+			applies++
+		}
+	}
+	if roots != 1 {
+		c.fail("trace-conservation", fmt.Sprintf("trace %d: %d root spans, want exactly 1", tr.ID, roots))
+		return
+	}
+	if applies == 0 {
+		c.fail("trace-conservation", fmt.Sprintf("trace %d: message applied but no apply span was recorded", tr.ID))
+	}
 }
 
 // checkSite verifies the originating site's paper structures: the event
@@ -332,6 +390,34 @@ func (c *checker) checkConservation() {
 	} {
 		if got := c.reg.Counter(name).Value(); got != int64(want) {
 			c.fail("conservation", fmt.Sprintf("telemetry counter %s = %d disagrees with simulator accounting %d", name, got, want))
+			return
+		}
+	}
+
+	// Trace-conservation, aggregate half: the cumulative span counts must
+	// reconcile with the delivery-layer accounting. Every link transmission
+	// records exactly one wire-send span; every delivered payload records
+	// exactly one dedupe span (admitted → applied, dropped → Duplicates);
+	// and every live apply records exactly one apply span. WAL replay after
+	// a coordinator restart re-applies updates through the same handlers
+	// without OnApply, so apply spans may only exceed the applied count
+	// when the run actually restarted the coordinator.
+	if c.tracer != nil {
+		if got, want := c.tracer.SpanCount("wire-send"), int64(c.sys.TotalMessages()); got != want {
+			c.fail("trace-conservation", fmt.Sprintf("%d wire-send spans recorded but the links transmitted %d messages", got, want))
+			return
+		}
+		if got, want := c.tracer.SpanCount("dedupe"), int64(c.updates+d.Duplicates); got != want {
+			c.fail("trace-conservation", fmt.Sprintf("%d dedupe spans != %d applied + %d dedupe-dropped deliveries", got, c.updates, d.Duplicates))
+			return
+		}
+		applySpans := c.tracer.SpanCount("apply")
+		if applySpans < int64(c.updates) {
+			c.fail("trace-conservation", fmt.Sprintf("%d apply spans < %d applied updates", applySpans, c.updates))
+			return
+		}
+		if c.sys.Recovery().Restarts == 0 && applySpans != int64(c.updates) {
+			c.fail("trace-conservation", fmt.Sprintf("%d apply spans != %d applied updates with no coordinator restart to explain the surplus", applySpans, c.updates))
 			return
 		}
 	}

@@ -37,8 +37,10 @@ type Violation struct {
 	// to a state that differs from the persisted pre-crash state),
 	// "pruned-parity" (the default sublinear hot paths — k-d-pruned J_fit
 	// scoring, shared chunk statistics, incremental remerge — produced a
-	// different global state than the exact reference paths), or
-	// "delivery".
+	// different global state than the exact reference paths),
+	// "trace-conservation" (an applied update's causal trace is missing,
+	// has a broken span chain, or the cumulative span counts disagree with
+	// the delivery-layer accounting), or "delivery".
 	Invariant string `json:"invariant"`
 	Detail    string `json:"detail"`
 	// Update is how many applied coordinator updates had been observed
@@ -71,6 +73,10 @@ type Result struct {
 	// Journal is the tail of the telemetry decision journal (populated on
 	// violation; the artifact's debugging context).
 	Journal []telemetry.Event `json:"journal,omitempty"`
+	// Traces is the tracer snapshot — cumulative span-name counts plus the
+	// slowest ingest→visible exemplar traces on the virtual clock
+	// (populated on violation; the artifact's freshness-debugging context).
+	Traces *telemetry.TracerSnapshot `json:"traces,omitempty"`
 }
 
 // feedOp is one step of a site's feed plan: deliver a record, or crash.
@@ -104,6 +110,12 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	}
 
 	reg := telemetry.NewRegistry()
+	// Tracing is always on under DST: the trace-conservation invariant
+	// reads the span ledger, and the facade rebinds the tracer clock to
+	// the virtual clock so every span timestamp is replayable. MaxActive
+	// is sized so no trace is evicted mid-run — eviction would orphan the
+	// per-trace chain checks.
+	reg.EnableTracing(telemetry.TraceOptions{MaxActive: 1 << 20})
 	chk, err := newChecker(sc, reg)
 	if err != nil {
 		return nil, err
@@ -205,6 +217,8 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	res.Recovery = sys.Recovery()
 	if res.Violation != nil {
 		res.Journal = reg.Journal().Tail(opts.JournalTail)
+		snap := reg.Tracer().Snapshot()
+		res.Traces = &snap
 	}
 	return res, nil
 }

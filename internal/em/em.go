@@ -77,6 +77,12 @@ type Config struct {
 	// the fit computed anyway and never touches the rng, so fitted
 	// mixtures are bit-identical with or without it.
 	Telemetry *telemetry.Registry
+	// TraceID and TraceParent attach the fit to a chunk's causal trace
+	// (see internal/telemetry tracing): when Telemetry has tracing enabled
+	// and TraceID is non-zero, Fit records an "em" span under TraceParent
+	// carrying the iteration count. Zeros (the default) record nothing.
+	TraceID     uint64
+	TraceParent uint64
 }
 
 // converged reports whether the change from prev to avgLL satisfies the
@@ -137,6 +143,7 @@ func Fit(data []linalg.Vector, cfg Config) (*Result, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	span := cfg.Telemetry.Tracer().Begin(cfg.TraceID, cfg.TraceParent, "em", 0, 0)
 
 	mix, err := initialModel(data, cfg, rng)
 	if err != nil {
@@ -178,6 +185,11 @@ func Fit(data []linalg.Vector, cfg Config) (*Result, error) {
 		AvgLogLikelihood: mix.AvgLogLikelihood(data),
 		Iterations:       iter,
 		Converged:        converged,
+	}
+	if converged {
+		span.End(iter, "converged")
+	} else {
+		span.End(iter, "max-iter")
 	}
 	recordFit(cfg, "em-fit", res)
 	return res, nil

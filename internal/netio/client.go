@@ -116,12 +116,17 @@ type DeliveryStats struct {
 
 // pending is one queued outbox entry. Epoch and seq mirror the encoded
 // payload's delivery metadata so the restart handshake can prune without
-// decoding.
+// decoding. trace/span carry the producing chunk's trace context
+// side-band: the payload itself is encoded suffix-free, and the 16-byte
+// trace suffix is appended per transmission only when the connection has
+// negotiated the capability.
 type pending struct {
 	payload  []byte
 	epoch    uint32
 	seq      uint64
 	attempts int
+	trace    uint64
+	span     uint64
 }
 
 // connTele holds a Conn's transport instruments (all nil ⇒ no-op). The
@@ -203,6 +208,13 @@ type Conn struct {
 	highWater int // peak outbox depth
 	stats     DeliveryStats
 	tele      connTele
+
+	// tracer is the registry's tracer (nil when tracing is off). traceOK
+	// records that the current connection's handshake granted the
+	// trace-suffix capability; it resets with every reconnect, so a
+	// coordinator downgrade simply stops the suffixes.
+	tracer  *telemetry.Tracer
+	traceOK bool
 }
 
 // stormStreak is how many consecutive no-progress reconnects count as a
@@ -225,7 +237,7 @@ func DialConnRetry(addr string, pol RetryPolicy) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{addr: addr, pol: pol, nc: nc, tele: newConnTele(pol.Telemetry)}, nil
+	return &Conn{addr: addr, pol: pol, nc: nc, tele: newConnTele(pol.Telemetry), tracer: pol.Telemetry.Tracer()}, nil
 }
 
 // Send queues one message for delivery and opportunistically drains the
@@ -238,6 +250,16 @@ func (c *Conn) Send(msg transport.Message) error {
 	c.nextSeq++
 	msg.Seq = c.nextSeq
 	msg.Epoch = c.pol.Epoch
+	// The payload is encoded suffix-free; whether the trace suffix goes on
+	// the wire is the connection's per-transmission capability decision
+	// (see transmit), so the queued bytes stay bit-identical to v1/v2.
+	trace, span := msg.TraceID, msg.SpanID
+	msg.TraceID, msg.SpanID = 0, 0
+	if c.tracer != nil && trace != 0 {
+		now := c.tracer.Now()
+		c.tracer.Record(trace, span, "enqueue",
+			int(msg.SiteID), int(msg.ModelID), now, now, msg.WireSize(), "")
+	}
 	if len(c.outbox) >= c.pol.OutboxLimit {
 		// Drop the oldest entry: it is the most stale, and the site's
 		// model list will re-derive the coordinator's view anyway.
@@ -246,7 +268,7 @@ func (c *Conn) Send(msg transport.Message) error {
 		c.stats.Dropped++
 		c.tele.dropped.Inc()
 	}
-	c.outbox = append(c.outbox, pending{payload: transport.Encode(msg), epoch: msg.Epoch, seq: msg.Seq})
+	c.outbox = append(c.outbox, pending{payload: transport.Encode(msg), epoch: msg.Epoch, seq: msg.Seq, trace: trace, span: span})
 	c.tele.sends.Inc()
 	if n := len(c.outbox); n > c.highWater {
 		c.highWater = n
@@ -357,7 +379,7 @@ func (c *Conn) flushLocked(block bool, deadline time.Time) error {
 			c.stats.RetransmitBytes += len(head.payload)
 			c.tele.retransmit.Add(int64(len(head.payload)))
 		}
-		err := c.roundTrip(head.payload)
+		err := c.transmit(head)
 		switch {
 		case err == nil:
 			c.stats.Acked++
@@ -406,15 +428,22 @@ out:
 // after a coordinator restart, only the unapplied suffix is retransmitted.
 // Callers hold c.mu.
 func (c *Conn) handshake() error {
-	payload := transport.Encode(transport.Message{Kind: transport.MsgHello, SiteID: c.pol.SiteID})
+	hello := transport.Message{Kind: transport.MsgHello, SiteID: c.pol.SiteID}
+	if c.tracer != nil {
+		// Request the trace-suffix capability. Legacy servers ignore a
+		// hello's Count, so the bit is invisible to them.
+		hello.Count = helloTraceBit
+	}
+	payload := transport.Encode(hello)
 	c.nc.SetDeadline(time.Now().Add(c.pol.AttemptTimeout))
 	if err := writeFrame(c.nc, payload); err != nil {
 		return err
 	}
-	epoch, maxSeq, err := readWatermarkAck(c.nc)
+	epoch, maxSeq, traced, err := readWatermarkAck(c.nc)
 	if err != nil {
 		return err
 	}
+	c.traceOK = traced && c.tracer != nil
 	c.pruneOutbox(epoch, maxSeq)
 	c.helloDone = true
 	return nil
@@ -438,6 +467,32 @@ func (c *Conn) pruneOutbox(epoch uint32, maxSeq uint64) {
 		c.outbox[i] = pending{} // release pruned payloads
 	}
 	c.outbox = kept
+}
+
+// transmit performs one frame+ack round trip for the outbox head,
+// attaching the 16-byte trace suffix when the connection negotiated the
+// capability and recording a wire-send span per attempt (retransmits
+// included) under the producing chunk's trace.
+func (c *Conn) transmit(head *pending) error {
+	payload := head.payload
+	if c.traceOK && head.trace != 0 {
+		payload = transport.AppendTraceSuffix(append([]byte(nil), payload...), head.trace, head.span)
+	}
+	ref := c.tracer.Begin(head.trace, head.span, "wire-send", 0, 0)
+	err := c.roundTrip(payload)
+	note := ""
+	if head.attempts > 1 {
+		note = "retransmit"
+	}
+	if err != nil {
+		if note == "" {
+			note = "dropped"
+		} else {
+			note = "retransmit-dropped"
+		}
+	}
+	ref.End(len(payload), note)
+	return err
 }
 
 // roundTrip performs one frame+ack exchange under the attempt deadline.
@@ -571,12 +626,18 @@ func (c *Client) Observe(x linalg.Vector) error {
 		}
 	}
 	if c.tracker != nil {
+		// Deletions carry the trace of the chunk whose completion expired
+		// them (the site mints traces; LastTrace is zeros when tracing is
+		// off, leaving the messages untraced).
+		delTrace, delSpan := c.st.LastTrace()
 		for _, d := range c.tracker.Expire(c.siteID) {
 			msg := transport.Message{
 				Kind:    transport.MsgDeletion,
 				SiteID:  int32(d.SiteID),
 				ModelID: int32(d.ModelID),
 				Count:   int64(d.Count),
+				TraceID: delTrace,
+				SpanID:  delSpan,
 			}
 			if err := c.send(msg); err != nil && firstErr == nil {
 				firstErr = err

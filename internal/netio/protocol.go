@@ -47,6 +47,17 @@ const (
 	// ackWatermark introduces the 13-byte hello reply:
 	// [0x02][epoch u32 LE][maxSeq u64 LE].
 	ackWatermark byte = 0x02
+	// ackWatermarkTraced is ackWatermark with the trace capability granted:
+	// same 13-byte layout, but the status byte tells the site it may append
+	// the 16-byte trace suffix to subsequent frames. Sent only when the
+	// hello requested tracing (Count bit 0) AND the server has a tracer; a
+	// legacy peer on either side falls back to plain v1/v2 frames.
+	ackWatermarkTraced byte = 0x03
+
+	// helloTraceBit, set in a hello frame's Count field, requests the trace
+	// capability. Legacy servers ignore Count on hellos, so the request is
+	// invisible to them.
+	helloTraceBit = 1
 
 	// watermarkAckSize is the hello reply length (status + epoch + seq).
 	watermarkAckSize = 1 + 4 + 8
@@ -101,26 +112,30 @@ func writeAck(w io.Writer, ok bool) error {
 }
 
 // writeWatermarkAck answers a hello with the site's durable high-water
-// mark.
-func writeWatermarkAck(w io.Writer, epoch uint32, maxSeq uint64) error {
+// mark; traced grants the trace-suffix capability for this connection.
+func writeWatermarkAck(w io.Writer, epoch uint32, maxSeq uint64, traced bool) error {
 	var b [watermarkAckSize]byte
 	b[0] = ackWatermark
+	if traced {
+		b[0] = ackWatermarkTraced
+	}
 	binary.LittleEndian.PutUint32(b[1:], epoch)
 	binary.LittleEndian.PutUint64(b[5:], maxSeq)
 	_, err := w.Write(b[:])
 	return err
 }
 
-// readWatermarkAck reads a hello reply.
-func readWatermarkAck(r io.Reader) (epoch uint32, maxSeq uint64, err error) {
+// readWatermarkAck reads a hello reply. traced reports whether the server
+// granted the trace-suffix capability.
+func readWatermarkAck(r io.Reader) (epoch uint32, maxSeq uint64, traced bool, err error) {
 	var b [watermarkAckSize]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	if b[0] != ackWatermark {
-		return 0, 0, fmt.Errorf("netio: invalid watermark ack byte 0x%02x", b[0])
+	if b[0] != ackWatermark && b[0] != ackWatermarkTraced {
+		return 0, 0, false, fmt.Errorf("netio: invalid watermark ack byte 0x%02x", b[0])
 	}
-	return binary.LittleEndian.Uint32(b[1:]), binary.LittleEndian.Uint64(b[5:]), nil
+	return binary.LittleEndian.Uint32(b[1:]), binary.LittleEndian.Uint64(b[5:]), b[0] == ackWatermarkTraced, nil
 }
 
 // readAck reads a one-byte status.

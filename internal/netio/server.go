@@ -55,6 +55,7 @@ type Server struct {
 // (all nil ⇒ no-op).
 type serverTele struct {
 	reg        *telemetry.Registry
+	tracer     *telemetry.Tracer
 	bytesIn    *telemetry.Counter
 	applied    *telemetry.Counter
 	applyErrs  *telemetry.Counter
@@ -71,6 +72,7 @@ func newServerTele(reg *telemetry.Registry) serverTele {
 	}
 	return serverTele{
 		reg:        reg,
+		tracer:     reg.Tracer(),
 		bytesIn:    reg.Counter("srv.bytes_in"),
 		applied:    reg.Counter("srv.applied"),
 		applyErrs:  reg.Counter("srv.apply_errors"),
@@ -221,7 +223,10 @@ func (s *Server) respond(conn net.Conn, payload []byte) error {
 		w := s.ded.Watermark(msg.SiteID)
 		s.mu.Unlock()
 		s.tele.hellos.Inc()
-		return writeWatermarkAck(conn, w.Epoch, w.MaxSeq)
+		// Grant the trace-suffix capability only when the site asked for it
+		// and this server actually has a tracer to receive the context.
+		traced := msg.Count&helloTraceBit != 0 && s.tele.tracer != nil
+		return writeWatermarkAck(conn, w.Epoch, w.MaxSeq, traced)
 	}
 	return writeAck(conn, s.apply(payload, msg))
 }
@@ -240,13 +245,22 @@ func (s *Server) apply(payload []byte, msg transport.Message) bool {
 		// Log before mutating anything: a frame the WAL cannot hold is
 		// refused with the dedupe watermark untouched, so the site's retry
 		// of the same (epoch, seq) is admitted, not dropped as a duplicate.
-		if err := s.store.Append(payload); err != nil {
+		walSpan := s.tele.tracer.Begin(msg.TraceID, msg.SpanID, "wal-append", int(msg.SiteID), int(msg.ModelID))
+		err := s.store.Append(payload)
+		walSpan.End(len(payload), "")
+		if err != nil {
 			s.logf("netio: wal append: %v", err)
 			s.tele.walErrs.Inc()
 			return false
 		}
 	}
-	switch s.ded.Admit(msg.SiteID, msg.Epoch, msg.Seq) {
+	verdict := s.ded.Admit(msg.SiteID, msg.Epoch, msg.Seq)
+	if s.tele.tracer != nil && msg.TraceID != 0 {
+		now := s.tele.tracer.Now()
+		s.tele.tracer.Record(msg.TraceID, msg.SpanID, "dedupe",
+			int(msg.SiteID), int(msg.ModelID), now, now, 0, dedupeNote(verdict))
+	}
+	switch verdict {
 	case durable.DropStale, durable.DropDuplicate:
 		// Ack so the sender stops retrying, but never (re-)apply.
 		s.dup++
@@ -265,6 +279,9 @@ func (s *Server) apply(payload []byte, msg transport.Message) bool {
 	var err error
 	switch msg.Kind {
 	case transport.MsgDeletion:
+		// Deletions carry no site.Update, so the trace context rides in
+		// side-band; updates carry their own (see coordinator.HandleUpdate).
+		s.coord.SetTraceContext(msg.TraceID, msg.SpanID)
 		err = s.coord.HandleDeletion(int(msg.SiteID), int(msg.ModelID), int(msg.Count))
 	default:
 		err = s.coord.HandleUpdate(msg.ToSiteUpdate())
@@ -283,6 +300,21 @@ func (s *Server) apply(payload []byte, msg transport.Message) bool {
 		}
 	}
 	return ok
+}
+
+// dedupeNote maps a dedupe verdict to the note on the trace's "dedupe"
+// span.
+func dedupeNote(v durable.Verdict) string {
+	switch v {
+	case durable.DropDuplicate:
+		return "dup"
+	case durable.DropStale:
+		return "stale"
+	case durable.AdmitNewEpoch:
+		return "new-epoch"
+	default:
+		return "admit"
+	}
 }
 
 // Snapshot runs fn with the coordinator locked — the only safe way to read

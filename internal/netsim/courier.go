@@ -23,7 +23,7 @@ type Courier struct {
 	max  float64 // backoff cap, seconds
 	rng  *rand.Rand
 
-	queue    [][]byte
+	queue    []courierItem
 	attempts int  // transmissions of the current head
 	waiting  bool // a retry timer is pending
 
@@ -70,10 +70,23 @@ func (s *Simulator) NewCourier(link *Link, baseBackoff, maxBackoff float64, rng 
 	return &Courier{sim: s, link: link, base: baseBackoff, max: maxBackoff, rng: rng}, nil
 }
 
+// courierItem is one queued payload with the causal trace context of the
+// chunk that produced it: retransmissions of the same payload keep
+// recording wire-send spans under the same trace.
+type courierItem struct {
+	payload     []byte
+	trace, span uint64
+}
+
 // Send queues a payload and pumps the queue unless a retry timer is
 // already pending.
-func (c *Courier) Send(payload []byte) {
-	c.queue = append(c.queue, payload)
+func (c *Courier) Send(payload []byte) { c.SendTraced(payload, 0, 0) }
+
+// SendTraced is Send with trace context, forwarded to the link so every
+// transmission attempt (first send and each retry) records a wire-send
+// span under parentSpan.
+func (c *Courier) SendTraced(payload []byte, traceID, parentSpan uint64) {
+	c.queue = append(c.queue, courierItem{payload: payload, trace: traceID, span: parentSpan})
 	if !c.waiting {
 		c.pump()
 	}
@@ -83,8 +96,9 @@ func (c *Courier) Send(payload []byte) {
 // in which case a retry is scheduled.
 func (c *Courier) pump() {
 	for len(c.queue) > 0 {
-		if c.link.TrySend(c.queue[0], c.attempts > 0) {
-			c.queue[0] = nil
+		head := c.queue[0]
+		if c.link.TrySendTraced(head.payload, c.attempts > 0, head.trace, head.span) {
+			c.queue[0] = courierItem{}
 			c.queue = c.queue[1:]
 			c.attempts = 0
 			c.delivered++

@@ -200,6 +200,7 @@ type Link struct {
 // sharing a registry increments the same sim.* counters, so the registry
 // view is the whole simulated network.
 type linkTele struct {
+	tracer     *telemetry.Tracer // wire-send spans; nil unless tracing enabled
 	bytesSent  *telemetry.Counter
 	messages   *telemetry.Counter
 	goodput    *telemetry.Counter
@@ -218,6 +219,7 @@ func (l *Link) SetTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	l.tele = linkTele{
+		tracer:     reg.Tracer(),
 		bytesSent:  reg.Counter("sim.bytes_sent"),
 		messages:   reg.Counter("sim.messages"),
 		goodput:    reg.Counter("sim.goodput_bytes"),
@@ -269,6 +271,16 @@ func (l *Link) Send(payload []byte) { l.TrySend(payload, false) }
 // messages still consume wire bytes (and transmission time on a
 // finite-bandwidth link); only delivered payload counts as goodput.
 func (l *Link) TrySend(payload []byte, retransmit bool) bool {
+	return l.TrySendTraced(payload, retransmit, 0, 0)
+}
+
+// TrySendTraced is TrySend with causal trace context: when the link's
+// registry has tracing enabled and traceID is non-zero, a "wire-send"
+// span is recorded under parentSpan covering send-initiation → scheduled
+// arrival (noting "retransmit" and "dropped" transmissions), one span per
+// transmission attempt — so a trace's waterfall shows every time its
+// update touched the wire.
+func (l *Link) TrySendTraced(payload []byte, retransmit bool, traceID, parentSpan uint64) bool {
 	n := len(payload)
 	l.bytesSent += n
 	l.messages++
@@ -294,6 +306,7 @@ func (l *Link) TrySend(payload []byte, retransmit bool) bool {
 		l.droppedBytes += n
 		l.tele.dropped.Inc()
 		l.tele.dropBytes.Add(int64(n))
+		l.recordWireSpan(traceID, parentSpan, arrive, n, retransmit, true)
 		return false
 	}
 	l.goodputBytes += n
@@ -315,7 +328,27 @@ func (l *Link) TrySend(payload []byte, retransmit bool) bool {
 			l.sim.ScheduleAt(arrive+l.latency*0.5, func() { l.deliver(p) })
 		}
 	}
+	l.recordWireSpan(traceID, parentSpan, arrive, n, retransmit, false)
 	return true
+}
+
+// recordWireSpan emits one transmission attempt's "wire-send" span,
+// spanning send initiation to the (scheduled or hypothetical) arrival.
+func (l *Link) recordWireSpan(traceID, parentSpan uint64, arrive float64, n int, retransmit, dropped bool) {
+	tr := l.tele.tracer
+	if tr == nil || traceID == 0 {
+		return
+	}
+	note := ""
+	switch {
+	case dropped && retransmit:
+		note = "retransmit-dropped"
+	case dropped:
+		note = "dropped"
+	case retransmit:
+		note = "retransmit"
+	}
+	tr.Record(traceID, parentSpan, "wire-send", 0, 0, l.sim.Now(), arrive, n, note)
 }
 
 // BytesSent returns total bytes pushed onto the link, retransmissions

@@ -54,6 +54,12 @@ type Update struct {
 	// Count is the number of records this update accounts for (M for a new
 	// model's first chunk, M per re-fitted chunk for weight updates).
 	Count int
+	// TraceID and SpanID carry the causal trace of the chunk that produced
+	// this update (zero when tracing is disabled): the trace minted at
+	// chunk ingest and its root span, which downstream layers hang their
+	// own spans under (see internal/telemetry tracing).
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Model is one entry of the site's model list: a mixture, its reference
@@ -293,6 +299,7 @@ type Stats struct {
 // path the telemetry tests pin.
 type siteTele struct {
 	reg         *telemetry.Registry // journal access; nil when disabled
+	tracer      *telemetry.Tracer   // per-chunk causal traces; nil unless enabled
 	records     *telemetry.Counter
 	chunks      *telemetry.Counter
 	tested      *telemetry.Counter
@@ -319,6 +326,7 @@ func newSiteTele(reg *telemetry.Registry) siteTele {
 	}
 	return siteTele{
 		reg:         reg,
+		tracer:      reg.Tracer(),
 		records:     reg.Counter("site.records"),
 		chunks:      reg.Counter("site.chunks"),
 		tested:      reg.Counter("site.chunks_tested"),
@@ -378,6 +386,19 @@ type Site struct {
 
 	// warmSeq counts warm-start refit attempts, driving the audit cadence.
 	warmSeq int
+
+	// Trace bookkeeping (all zero while tracing is disabled). chunkIngestT
+	// is the clock reading when the first record of the in-progress chunk
+	// arrived; curTrace/curRoot identify the trace of the chunk being
+	// processed; lastTrace/lastRoot keep the most recently completed
+	// chunk's context so window deletions can be attributed to it.
+	chunkIngestT   float64
+	chunkIngestSet bool
+	curTrace       uint64
+	curRoot        uint64
+	lastTrace      uint64
+	lastRoot       uint64
+	fitNote        string // em-fit span outcome, set by fitChunk
 
 	stats Stats
 }
@@ -442,6 +463,13 @@ func (s *Site) ID() int { return s.cfg.SiteID }
 // heap allocations per record, with chunk storage recycled through the
 // chunker's two-buffer protocol.
 func (s *Site) Observe(x linalg.Vector) ([]Update, error) {
+	// Trace ingest time: the clock reading when a chunk's first record
+	// arrives. With tracing off this is one nil check per record, which is
+	// what keeps the steady-state path at zero allocations.
+	if s.tele.tracer != nil && s.chunker.Pending() == 0 {
+		s.chunkIngestT = s.tele.tracer.Now()
+		s.chunkIngestSet = true
+	}
 	full, err := s.chunker.Add(x)
 	if err != nil {
 		return nil, err
@@ -473,7 +501,43 @@ func (s *Site) ObserveAll(xs []linalg.Vector) ([]Update, error) {
 
 // ProcessChunk runs one iteration of Algorithm 1 on a complete chunk. It is
 // exported so the experiment harness can drive sites chunk-at-a-time.
+//
+// With tracing enabled it mints the chunk's trace (rooted at the ingest
+// time Observe captured, or at the current clock for direct callers),
+// stamps the trace context onto every emitted update, and marks the
+// site-decision point when Algorithm 1 settles the chunk's fate.
 func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
+	tr := s.tele.tracer
+	if tr != nil {
+		ingest := s.chunkIngestT
+		if !s.chunkIngestSet {
+			ingest = tr.Now()
+		}
+		s.chunkIngestSet = false
+		s.curTrace, s.curRoot = tr.StartTrace(s.cfg.SiteID, s.chunkNum+1, ingest)
+	}
+	ups, err := s.processChunk(data)
+	if tr != nil && s.curTrace != 0 {
+		tr.FinishDecision(s.curTrace, tr.Now())
+		for i := range ups {
+			ups[i].TraceID = s.curTrace
+			ups[i].SpanID = s.curRoot
+		}
+		s.lastTrace, s.lastRoot = s.curTrace, s.curRoot
+		s.curTrace, s.curRoot = 0, 0
+	}
+	return ups, err
+}
+
+// LastTrace returns the trace context of the most recently completed
+// chunk (zeros while tracing is disabled or before the first chunk).
+// Window expiry deletions are attributed to it: the deletion is caused by
+// the chunk whose arrival slid the window.
+func (s *Site) LastTrace() (traceID, spanID uint64) { return s.lastTrace, s.lastRoot }
+
+// processChunk is Algorithm 1's body, with the trace context of the
+// current chunk (if any) in s.curTrace/s.curRoot.
+func (s *Site) processChunk(data []linalg.Vector) ([]Update, error) {
 	if len(data) != s.m {
 		return nil, fmt.Errorf("site: chunk of %d records, want %d", len(data), s.m)
 	}
@@ -495,6 +559,7 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 	// exact best-scoring-model selection from the memo (re-scoring any
 	// probe whose verdict came from the pruned bound), so the warm-start
 	// seed is bit-identical to the exact path's.
+	testSpan := s.tele.tracer.Begin(s.curTrace, s.curRoot, "chunk-test", s.cfg.SiteID, s.current.ID)
 	s.stats.Tests++
 	s.tele.tests.Inc()
 	s.tele.tested.Inc()
@@ -502,6 +567,7 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 	s.tested = append(s.tested, testedModel{m: s.current, avg: avg, exact: exact})
 	s.tele.jfitMargin.Observe(margin)
 	if ok {
+		testSpan.End(1, "fit")
 		s.current.Counter += s.m
 		s.stats.Fits++
 		s.tele.fits.Inc()
@@ -535,6 +601,7 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 		s.tested = append(s.tested, testedModel{m: cand, avg: avg, exact: exact})
 		s.tele.jfitMargin.Observe(margin)
 		if ok {
+			testSpan.End(1+depth, "reactivated")
 			s.reactivate(i)
 			cand.Counter += s.m
 			s.stats.Reactivated++
@@ -559,6 +626,7 @@ func (s *Site) ProcessChunk(data []linalg.Vector) ([]Update, error) {
 	// but only if that model nearly fit (drift); a seed far past the
 	// WarmMargin bound describes a different regime and would steer EM
 	// into a worse basin than a cold start.
+	testSpan.End(len(s.tested), "refit")
 	bestSeed := s.refitSeed(data)
 	s.retireCurrent()
 	return s.clusterNewModel(data, bestSeed)
@@ -660,6 +728,10 @@ func (s *Site) fitScore(m *Model, data []linalg.Vector) (avg, margin float64, ok
 				Kind: "prune-fallback", Site: s.cfg.SiteID, Model: m.ID,
 				Value: hiM - loM, N: s.chunkNum,
 			})
+			if tr := s.tele.tracer; tr != nil {
+				now := tr.Now()
+				tr.Record(s.curTrace, s.curRoot, "prune-fallback", s.cfg.SiteID, m.ID, now, now, s.chunkNum, "")
+			}
 		}
 	}
 	if s.cfg.SharpTest {
@@ -733,6 +805,9 @@ func (s *Site) clusterNewModel(data []linalg.Vector, seed *gaussian.Mixture) ([]
 	s.tele.refits.Inc()
 	cfg := s.cfg.EM
 	cfg.Seed = s.cfg.Seed + int64(s.nextModelID) // deterministic but varying
+	fitSpan := s.tele.tracer.Begin(s.curTrace, s.curRoot, "em-fit", s.cfg.SiteID, s.nextModelID)
+	cfg.TraceID, cfg.TraceParent = fitSpan.Context()
+	s.fitNote = ""
 
 	var mixture *gaussian.Mixture
 	switch {
@@ -746,12 +821,14 @@ func (s *Site) clusterNewModel(data []linalg.Vector, seed *gaussian.Mixture) ([]
 			return nil, fmt.Errorf("site %d: K-sweep on chunk %d: %w", s.cfg.SiteID, s.chunkNum, err)
 		}
 		mixture = sel.Best.Mixture
+		s.fitNote = "auto-k"
 	case s.cfg.UseSMEM:
 		res, err := smem.Fit(data, smem.Config{EM: cfg})
 		if err != nil {
 			return nil, fmt.Errorf("site %d: SMEM on chunk %d: %w", s.cfg.SiteID, s.chunkNum, err)
 		}
 		mixture = res.Mixture
+		s.fitNote = "smem"
 	case em.IsIncomplete(data):
 		// Records with missing (NaN) attributes: the marginal-likelihood EM
 		// of §3's "incomplete data" claim.
@@ -760,6 +837,7 @@ func (s *Site) clusterNewModel(data []linalg.Vector, seed *gaussian.Mixture) ([]
 			return nil, fmt.Errorf("site %d: incomplete-data EM on chunk %d: %w", s.cfg.SiteID, s.chunkNum, err)
 		}
 		mixture = res.Mixture
+		s.fitNote = "incomplete"
 	default:
 		res, err := s.fitChunk(data, cfg, seed)
 		if err != nil {
@@ -767,6 +845,7 @@ func (s *Site) clusterNewModel(data []linalg.Vector, seed *gaussian.Mixture) ([]
 		}
 		mixture = res.Mixture
 	}
+	fitSpan.End(s.nextModelID, s.fitNote)
 
 	var refLL float64
 	if s.cfg.SharpTest {
@@ -813,6 +892,7 @@ func (s *Site) fitChunk(data []linalg.Vector, cfg em.Config, seed *gaussian.Mixt
 	if !warmOK {
 		s.stats.ColdRefits++
 		s.tele.coldRefits.Inc()
+		s.fitNote = "cold"
 		return em.Fit(data, cfg)
 	}
 
@@ -833,6 +913,7 @@ func (s *Site) fitChunk(data []linalg.Vector, cfg em.Config, seed *gaussian.Mixt
 	if healthy && !audit {
 		s.stats.WarmRefits++
 		s.tele.warmRefits.Inc()
+		s.fitNote = "warm"
 		s.tele.reg.Record(telemetry.Event{
 			Kind: "warm-refit", Site: s.cfg.SiteID, Model: s.nextModelID,
 			Value: warm.AvgLogLikelihood, N: warm.Iterations, Note: "warm",
@@ -846,6 +927,7 @@ func (s *Site) fitChunk(data []linalg.Vector, cfg em.Config, seed *gaussian.Mixt
 		// discard it; the cold result — whatever it is — is the answer.
 		s.stats.WarmFallbacks++
 		s.tele.warmFalls.Inc()
+		s.fitNote = "fallback-cold"
 		s.tele.reg.Record(telemetry.Event{
 			Kind: "warm-refit", Site: s.cfg.SiteID, Model: s.nextModelID,
 			Note: "fallback-cold",
@@ -856,6 +938,7 @@ func (s *Site) fitChunk(data []linalg.Vector, cfg em.Config, seed *gaussian.Mixt
 		// Warm succeeded, cold audit failed — keep the warm model.
 		s.stats.WarmRefits++
 		s.tele.warmRefits.Inc()
+		s.fitNote = "warm"
 		return warm, nil
 	}
 	s.stats.WarmAudits++
@@ -864,6 +947,7 @@ func (s *Site) fitChunk(data []linalg.Vector, cfg em.Config, seed *gaussian.Mixt
 	if cold.AvgLogLikelihood > warm.AvgLogLikelihood {
 		s.stats.WarmFallbacks++
 		s.tele.warmFalls.Inc()
+		s.fitNote = "audit-cold-win"
 		s.tele.reg.Record(telemetry.Event{
 			Kind: "warm-refit", Site: s.cfg.SiteID, Model: s.nextModelID,
 			Value: cold.AvgLogLikelihood, N: cold.Iterations, Note: "audit-cold-win",
@@ -872,6 +956,7 @@ func (s *Site) fitChunk(data []linalg.Vector, cfg em.Config, seed *gaussian.Mixt
 	}
 	s.stats.WarmRefits++
 	s.tele.warmRefits.Inc()
+	s.fitNote = "audit-warm-win"
 	s.tele.reg.Record(telemetry.Event{
 		Kind: "warm-refit", Site: s.cfg.SiteID, Model: s.nextModelID,
 		Value: warm.AvgLogLikelihood, N: warm.Iterations, Note: "audit-warm-win",

@@ -14,6 +14,8 @@ import (
 //	/debug/vars          — JSON Snapshot (expvar-style, but structured)
 //	/debug/events        — JSON journal events; ?after=SEQ tails from a
 //	                       sequence number, ?limit=N bounds the reply
+//	/debug/traces        — JSON TracerSnapshot (slowest-trace exemplars and
+//	                       span counts); ?id=TRACE returns one trace
 //	/debug/pprof/...     — net/http/pprof (profile, heap, goroutine, trace)
 //	/                    — tiny index of the above
 //
@@ -48,6 +50,24 @@ func Handler(r *Registry) http.Handler {
 			Events  []Event `json:"events"`
 		}{r.Journal().LastSeq(), events})
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		t := r.Tracer()
+		if idStr := req.URL.Query().Get("id"); idStr != "" {
+			id, err := parseUint(idStr)
+			if err != nil {
+				http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			tr, ok := t.TraceByID(id)
+			if !ok {
+				http.Error(w, "trace not found (completed traces age out of the active table)", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, tr)
+			return
+		}
+		writeJSON(w, t.Snapshot())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -62,6 +82,7 @@ func Handler(r *Registry) http.Handler {
 		w.Write([]byte("cludistream debug endpoints:\n" +
 			"  /debug/vars    telemetry snapshot (JSON)\n" +
 			"  /debug/events  decision journal (JSON; ?after=SEQ&limit=N)\n" +
+			"  /debug/traces  slowest-trace exemplars + span counts (JSON; ?id=TRACE for one trace)\n" +
 			"  /debug/pprof/  runtime profiles\n"))
 	})
 	return mux

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramIgnoresNaNAndClampsInf pins the non-finite input policy:
+// NaN observations are dropped entirely (a single NaN would otherwise
+// poison Sum forever), +Inf lands in the overflow bucket and −Inf in the
+// first bucket — both counted but excluded from the sum.
+func TestHistogramIgnoresNaNAndClampsInf(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(1.5)
+
+	s := h.snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4 (NaN dropped, ±Inf counted)", s.Count)
+	}
+	if s.Sum != 2.0 || math.IsNaN(s.Sum) || math.IsInf(s.Sum, 0) {
+		t.Fatalf("sum = %v, want 2.0 untouched by non-finite inputs", s.Sum)
+	}
+	// 0.5 and −Inf in bucket 0, 1.5 in bucket 1, +Inf overflows.
+	if s.Buckets[0].Count != 2 || s.Buckets[1].Count != 1 || s.Overflow != 1 {
+		t.Fatalf("buckets = %+v overflow = %d", s.Buckets, s.Overflow)
+	}
+	var total int64 = s.Overflow
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatal("histogram mass lost on non-finite input")
+	}
+}
+
+// TestJournalTailEdges covers Tail's corner cases around a wrapped ring.
+func TestJournalTailEdges(t *testing.T) {
+	j := NewJournal(4)
+	if got := j.Tail(0); len(got) != 0 {
+		t.Fatalf("Tail(0) on empty journal = %+v", got)
+	}
+	if got := j.Tail(10); len(got) != 0 {
+		t.Fatalf("Tail(10) on empty journal = %+v", got)
+	}
+	for i := 1; i <= 7; i++ { // wraps: retains events 4..7
+		j.Record(Event{Kind: "e", N: i})
+	}
+	// n <= 0 returns everything retained, oldest first.
+	for _, n := range []int{0, -1} {
+		got := j.Tail(n)
+		if len(got) != 4 || got[0].N != 4 || got[3].N != 7 {
+			t.Fatalf("Tail(%d) = %+v", n, got)
+		}
+	}
+	// n > retained is clamped, not padded or panicking.
+	if got := j.Tail(100); len(got) != 4 || got[0].N != 4 {
+		t.Fatalf("Tail(100) = %+v", got)
+	}
+	// n < retained keeps the newest n.
+	if got := j.Tail(2); len(got) != 2 || got[0].N != 6 || got[1].N != 7 {
+		t.Fatalf("Tail(2) = %+v", got)
+	}
+	// Seq numbering survives the wrap.
+	got := j.Tail(0)
+	for i, e := range got {
+		if e.Seq != uint64(i+4) {
+			t.Fatalf("seq[%d] = %d after wrap", i, e.Seq)
+		}
+	}
+	var nilJ *Journal
+	if nilJ.Tail(5) != nil {
+		t.Fatal("nil journal Tail not nil")
+	}
+}
+
+// TestJournalConcurrentAppenders hammers a small ring from many goroutines
+// (run under -race in `make race`): every record is either retained or
+// counted dropped, and Tail stays consistent mid-flight.
+func TestJournalConcurrentAppenders(t *testing.T) {
+	j := NewJournal(8)
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Record(Event{Kind: "e", Site: id, N: i})
+				if i%64 == 0 {
+					if tail := j.Tail(4); len(tail) > 4 {
+						t.Errorf("Tail(4) returned %d events", len(tail))
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if j.LastSeq() != goroutines*per {
+		t.Fatalf("last seq = %d, want %d", j.LastSeq(), goroutines*per)
+	}
+	info := j.Info()
+	if info.Len != 8 || info.Dropped != goroutines*per-8 {
+		t.Fatalf("info = %+v", info)
+	}
+	tail := j.Tail(0)
+	if len(tail) != 8 {
+		t.Fatalf("retained = %d", len(tail))
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].Seq != tail[i-1].Seq+1 {
+			t.Fatalf("retained window not contiguous: %+v", tail)
+		}
+	}
+}

@@ -121,12 +121,27 @@ func NewHistogram(bounds ...float64) *Histogram {
 	return h
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite inputs cannot be allowed to reach
+// the running sum — a single NaN or ±Inf would poison Sum() (and every
+// mean derived from it) forever. NaN is ignored outright; ±Inf still
+// counts as an observation, clamped into the outermost bucket, but its
+// magnitude is left out of the sum.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	if math.IsNaN(v) {
+		return
+	}
 	h.n.Add(1)
+	if math.IsInf(v, 0) {
+		if v > 0 {
+			h.over.Add(1)
+		} else {
+			h.counts[0].Add(1)
+		}
+		return
+	}
 	h.sum.Add(v)
 	// Linear scan: instrument bucket counts are small (4–20) and the scan
 	// is branch-predictable; sort.SearchFloat64s would allocate nothing
@@ -198,6 +213,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	journal  *Journal
+	tracer   *Tracer // non-nil once EnableTracing has run (see trace.go)
 }
 
 // DefaultJournalCap is the event-journal capacity NewRegistry provisions.

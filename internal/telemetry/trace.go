@@ -1,0 +1,439 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracing follows every chunk from the record that opened it at a site to
+// the moment the coordinator's global mixture reflects it. A trace is
+// minted per chunk at the site; child spans cover the chunk test, J_fit
+// prune fallback, the EM fit, outbox enqueue, each wire send (including
+// retransmits), the coordinator WAL append, the dedupe verdict, the apply
+// and the incremental remerge. The same three design constraints as the
+// rest of the package apply:
+//
+//  1. Tracing must never change clustering output — spans only read
+//     values and timestamps the algorithms already produced.
+//  2. Disabled tracing costs a nil check: every method is safe on a nil
+//     *Tracer, and instrumented layers resolve the tracer pointer once.
+//  3. Stdlib only, concurrent-safe. Traces are per-chunk (not per-record),
+//     so a single mutex is fine; nothing here runs in the record hot path.
+//
+// Time is a float64 in seconds from an injectable clock: netsim's virtual
+// clock in tests and DST (deterministic traces), wall clock in daemons.
+
+// Span is one timed step in a trace. Parent is 0 for the root span; all
+// other parents resolve to another span ID inside the same trace.
+type Span struct {
+	ID     uint64  `json:"id"`
+	Parent uint64  `json:"parent,omitempty"`
+	Name   string  `json:"name"`
+	Site   int     `json:"site,omitempty"`
+	Model  int     `json:"model,omitempty"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	N      int     `json:"n,omitempty"`
+	Note   string  `json:"note,omitempty"`
+}
+
+// Trace is the causal record of one chunk. Origin is true in the process
+// that minted the trace (the site): only origin traces know the ingest and
+// decision times, so cross-process coordinators (netio server side) track
+// apply→visible lag only.
+type Trace struct {
+	ID        uint64  `json:"id"`
+	Site      int     `json:"site"`
+	Chunk     int     `json:"chunk"`
+	Origin    bool    `json:"origin"`
+	IngestT   float64 `json:"ingest_t"`
+	DecisionT float64 `json:"decision_t"`
+	VisibleT  float64 `json:"visible_t"`
+	Completed bool    `json:"completed"`
+	Spans     []Span  `json:"spans"`
+}
+
+// lag is the trace's ingest→global-visibility latency (origin traces) or
+// first-span→visibility latency (traces reconstructed from the wire).
+func (t *Trace) lag() float64 {
+	if t.Origin {
+		return t.VisibleT - t.IngestT
+	}
+	if len(t.Spans) > 0 {
+		return t.VisibleT - t.Spans[0].Start
+	}
+	return 0
+}
+
+// SpanRef is a begun, not-yet-ended span. The zero value (from a nil
+// tracer) is inert: End on it is a no-op.
+type SpanRef struct {
+	t     *Tracer
+	trace uint64
+	span  uint64
+	start float64
+}
+
+// TraceOptions tunes EnableTracing.
+type TraceOptions struct {
+	// Clock returns the current time in seconds. Defaults to wall clock;
+	// the facade overrides it with netsim's virtual clock.
+	Clock func() float64
+	// MaxActive bounds the in-memory trace table; the oldest trace is
+	// evicted first (default 4096).
+	MaxActive int
+	// SlowestN bounds the slowest-trace exemplar reservoir (default 16).
+	SlowestN int
+}
+
+const (
+	defaultMaxActive = 4096
+	defaultSlowestN  = 16
+)
+
+// Tracer mints traces and spans and derives the freshness-SLO histograms.
+// All methods are nil-receiver safe; a nil *Tracer is the disabled state.
+type Tracer struct {
+	mu         sync.Mutex
+	clock      func() float64
+	nextID     uint64
+	maxActive  int
+	slowestN   int
+	active     map[uint64]*Trace
+	order      []uint64 // FIFO eviction order of active trace IDs
+	slowest    []*Trace // completed exemplars, descending lag
+	spanCounts map[string]int64
+	evicted    uint64
+
+	// Freshness SLO histograms, registered on the owning registry.
+	histDecision *Histogram // trace.ingest_to_decision_seconds
+	histApply    *Histogram // trace.decision_to_apply_seconds
+	histVisible  *Histogram // trace.apply_to_visible_seconds
+}
+
+// sloBounds are the lag histogram bucket bounds in seconds: sub-millisecond
+// in-process hops up through minute-scale outage recovery.
+var sloBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60}
+
+// EnableTracing switches the registry's tracing on and returns the tracer.
+// Idempotent: a second call returns the existing tracer unchanged.
+func (r *Registry) EnableTracing(opts TraceOptions) *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.tracer != nil {
+		t := r.tracer
+		r.mu.Unlock()
+		return t
+	}
+	t := &Tracer{
+		clock:      opts.Clock,
+		maxActive:  opts.MaxActive,
+		slowestN:   opts.SlowestN,
+		active:     make(map[uint64]*Trace),
+		spanCounts: make(map[string]int64),
+	}
+	if t.clock == nil {
+		t.clock = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	}
+	if t.maxActive <= 0 {
+		t.maxActive = defaultMaxActive
+	}
+	if t.slowestN <= 0 {
+		t.slowestN = defaultSlowestN
+	}
+	r.tracer = t
+	r.mu.Unlock()
+	t.histDecision = r.Histogram("trace.ingest_to_decision_seconds", sloBounds...)
+	t.histApply = r.Histogram("trace.decision_to_apply_seconds", sloBounds...)
+	t.histVisible = r.Histogram("trace.apply_to_visible_seconds", sloBounds...)
+	return t
+}
+
+// Tracer returns the registry's tracer, or nil when tracing is disabled
+// (or the registry itself is nil). Layers resolve this once at
+// construction, exactly like the other instruments.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// SetClock swaps the tracer's time source (virtual clock injection).
+func (t *Tracer) SetClock(clock func() float64) {
+	if t == nil || clock == nil {
+		return
+	}
+	t.mu.Lock()
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// Now reads the tracer's clock (0 on nil).
+func (t *Tracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	c := t.clock
+	t.mu.Unlock()
+	return c()
+}
+
+// mint returns the next ID. Trace and span IDs share one sequence, so a
+// span ID is unique across the process and parents are unambiguous.
+func (t *Tracer) mint() uint64 {
+	t.nextID++
+	return t.nextID
+}
+
+// insert adds tr to the active table, evicting the oldest trace when full.
+func (t *Tracer) insert(tr *Trace) {
+	for len(t.active) >= t.maxActive && len(t.order) > 0 {
+		victim := t.order[0]
+		t.order = t.order[1:]
+		if _, ok := t.active[victim]; ok {
+			delete(t.active, victim)
+			t.evicted++
+		}
+	}
+	t.active[tr.ID] = tr
+	t.order = append(t.order, tr.ID)
+}
+
+// ensure returns the trace for id, materializing a non-origin stub when
+// the ID arrived over the wire from a process that minted it elsewhere.
+func (t *Tracer) ensure(id uint64) *Trace {
+	tr := t.active[id]
+	if tr == nil {
+		tr = &Trace{ID: id}
+		t.insert(tr)
+	}
+	return tr
+}
+
+// StartTrace mints a trace for one chunk at a site, with a root "chunk"
+// span opened at ingestT. Returns the trace ID and root span ID (0, 0 on a
+// nil tracer).
+func (t *Tracer) StartTrace(site, chunk int, ingestT float64) (traceID, rootSpan uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := &Trace{ID: t.mint(), Site: site, Chunk: chunk, Origin: true, IngestT: ingestT}
+	root := Span{ID: t.mint(), Name: "chunk", Site: site, Start: ingestT, End: ingestT}
+	tr.Spans = append(tr.Spans, root)
+	t.spanCounts["chunk"]++
+	t.insert(tr)
+	return tr.ID, root.ID
+}
+
+// Begin opens a span under parent in trace traceID, stamped at the
+// tracer's current clock. A zero traceID yields an inert ref.
+func (t *Tracer) Begin(traceID, parent uint64, name string, site, model int) SpanRef {
+	if t == nil || traceID == 0 {
+		return SpanRef{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ref := SpanRef{t: t, trace: traceID, span: t.mint(), start: t.clock()}
+	tr := t.ensure(traceID)
+	tr.Spans = append(tr.Spans, Span{
+		ID: ref.span, Parent: parent, Name: name,
+		Site: site, Model: model, Start: ref.start, End: ref.start,
+	})
+	t.spanCounts[name]++
+	return ref
+}
+
+// Context returns the (trace ID, span ID) pair of a begun span, for
+// propagating it as the parent of deeper spans. Zeros on the zero ref.
+func (ref SpanRef) Context() (traceID, spanID uint64) { return ref.trace, ref.span }
+
+// Start returns the clock reading when the span was begun (0 on the zero
+// ref).
+func (ref SpanRef) Start() float64 { return ref.start }
+
+// End closes a begun span, recording a count and note. No-op on the zero
+// SpanRef.
+func (ref SpanRef) End(n int, note string) {
+	t := ref.t
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.active[ref.trace]
+	if tr == nil {
+		return // evicted mid-span
+	}
+	for i := len(tr.Spans) - 1; i >= 0; i-- {
+		if tr.Spans[i].ID == ref.span {
+			tr.Spans[i].End = t.clock()
+			tr.Spans[i].N = n
+			tr.Spans[i].Note = note
+			return
+		}
+	}
+}
+
+// Record adds a fully-formed span with explicit start/end times — used
+// where the duration is known at creation (netsim schedules the delivery
+// time when it sends). Returns the span ID (0 on nil tracer or traceID 0).
+func (t *Tracer) Record(traceID, parent uint64, name string, site, model int, start, end float64, n int, note string) uint64 {
+	if t == nil || traceID == 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.ensure(traceID)
+	id := t.mint()
+	tr.Spans = append(tr.Spans, Span{
+		ID: id, Parent: parent, Name: name,
+		Site: site, Model: model, Start: start, End: end, N: n, Note: note,
+	})
+	t.spanCounts[name]++
+	return id
+}
+
+// FinishDecision marks the site-side decision point of a trace and
+// observes the ingest→site-decision lag.
+func (t *Tracer) FinishDecision(traceID uint64, decisionT float64) {
+	if t == nil || traceID == 0 {
+		return
+	}
+	t.mu.Lock()
+	tr := t.active[traceID]
+	var origin bool
+	var lag float64
+	if tr != nil {
+		tr.DecisionT = decisionT
+		origin = tr.Origin
+		lag = decisionT - tr.IngestT
+		// The root "chunk" span covers the site-side processing: close it
+		// at the decision point.
+		for i := range tr.Spans {
+			if tr.Spans[i].Parent == 0 {
+				tr.Spans[i].End = decisionT
+				break
+			}
+		}
+	}
+	t.mu.Unlock()
+	if origin {
+		t.histDecision.Observe(lag)
+	}
+}
+
+// CompleteVisible marks a trace's update as applied into the global
+// mixture: applyStart is when the coordinator began applying, visibleT
+// when the new mixture version existed. Observes the site-decision→apply
+// and apply→visible lags and refreshes the slowest-trace reservoir. A
+// trace can complete more than once (a chunk may emit several updates and
+// later deletions); each apply is a visibility event.
+func (t *Tracer) CompleteVisible(traceID uint64, applyStart, visibleT float64) {
+	if t == nil || traceID == 0 {
+		return
+	}
+	t.mu.Lock()
+	tr := t.ensure(traceID)
+	tr.VisibleT = visibleT
+	tr.Completed = true
+	origin := tr.Origin
+	decisionLag := applyStart - tr.DecisionT
+	t.updateSlowest(tr)
+	t.mu.Unlock()
+	if origin {
+		// Only the minting process knows the decision time; a coordinator
+		// reached over TCP has a different clock and skips this lag.
+		t.histApply.Observe(decisionLag)
+	}
+	t.histVisible.Observe(visibleT - applyStart)
+}
+
+// updateSlowest inserts a snapshot of tr into the slowest-N reservoir
+// (descending lag, deduped by trace ID). Caller holds t.mu.
+func (t *Tracer) updateSlowest(tr *Trace) {
+	cp := *tr
+	cp.Spans = append([]Span(nil), tr.Spans...)
+	for i, s := range t.slowest {
+		if s.ID == cp.ID {
+			t.slowest = append(t.slowest[:i], t.slowest[i+1:]...)
+			break
+		}
+	}
+	t.slowest = append(t.slowest, &cp)
+	sort.SliceStable(t.slowest, func(i, j int) bool { return t.slowest[i].lag() > t.slowest[j].lag() })
+	if len(t.slowest) > t.slowestN {
+		t.slowest = t.slowest[:t.slowestN]
+	}
+}
+
+// SpanCount returns how many spans named name have been recorded — the
+// reconciliation hook for DST's trace-conservation invariant (e.g.
+// SpanCount("wire-send") must match the link-layer message counter).
+func (t *Tracer) SpanCount(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spanCounts[name]
+}
+
+// TraceByID returns a deep copy of one trace (ok=false if unknown or
+// evicted).
+func (t *Tracer) TraceByID(id uint64) (Trace, bool) {
+	if t == nil {
+		return Trace{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.active[id]
+	if tr == nil {
+		return Trace{}, false
+	}
+	cp := *tr
+	cp.Spans = append([]Span(nil), tr.Spans...)
+	return cp, true
+}
+
+// TracerSnapshot is the JSON document /debug/traces serves.
+type TracerSnapshot struct {
+	Now        float64          `json:"now"`
+	Active     int              `json:"active"`
+	Evicted    uint64           `json:"evicted"`
+	SpanCounts map[string]int64 `json:"span_counts"`
+	// Slowest is the bounded reservoir of slowest ingest→visible exemplar
+	// traces, worst first.
+	Slowest []Trace `json:"slowest"`
+}
+
+// Snapshot captures the tracer state: span-name counts and the slowest-N
+// exemplars. Safe on nil (empty snapshot).
+func (t *Tracer) Snapshot() TracerSnapshot {
+	s := TracerSnapshot{SpanCounts: map[string]int64{}, Slowest: []Trace{}}
+	if t == nil {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.Now = t.clock()
+	s.Active = len(t.active)
+	s.Evicted = t.evicted
+	for name, n := range t.spanCounts {
+		s.SpanCounts[name] = n
+	}
+	for _, tr := range t.slowest {
+		cp := *tr
+		cp.Spans = append([]Span(nil), tr.Spans...)
+		s.Slowest = append(s.Slowest, cp)
+	}
+	return s
+}

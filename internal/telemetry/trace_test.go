@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// manualClock is a settable virtual clock for deterministic tracer tests.
+type manualClock struct{ t float64 }
+
+func (c *manualClock) now() float64 { return c.t }
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if id, root := tr.StartTrace(1, 2, 0); id != 0 || root != 0 {
+		t.Fatal("nil StartTrace minted IDs")
+	}
+	ref := tr.Begin(1, 0, "x", 0, 0)
+	ref.End(3, "note") // must not panic
+	if tid, sid := ref.Context(); tid != 0 || sid != 0 {
+		t.Fatal("zero SpanRef has context")
+	}
+	if tr.Record(1, 0, "x", 0, 0, 0, 1, 0, "") != 0 {
+		t.Fatal("nil Record minted a span")
+	}
+	tr.FinishDecision(1, 2)
+	tr.CompleteVisible(1, 2, 3)
+	tr.SetClock(func() float64 { return 9 })
+	if tr.Now() != 0 {
+		t.Fatal("nil Now")
+	}
+	if tr.SpanCount("x") != 0 {
+		t.Fatal("nil SpanCount")
+	}
+	if _, ok := tr.TraceByID(1); ok {
+		t.Fatal("nil TraceByID found a trace")
+	}
+	if s := tr.Snapshot(); s.Active != 0 || len(s.SpanCounts) != 0 || len(s.Slowest) != 0 {
+		t.Fatalf("nil Snapshot not empty: %+v", s)
+	}
+	var r *Registry
+	if r.EnableTracing(TraceOptions{}) != nil || r.Tracer() != nil {
+		t.Fatal("nil registry produced a tracer")
+	}
+}
+
+func TestEnableTracingIdempotent(t *testing.T) {
+	r := NewRegistry()
+	if r.Tracer() != nil {
+		t.Fatal("tracer enabled before EnableTracing")
+	}
+	tr := r.EnableTracing(TraceOptions{MaxActive: 10})
+	if tr == nil || r.Tracer() != tr {
+		t.Fatal("EnableTracing did not install the tracer")
+	}
+	if again := r.EnableTracing(TraceOptions{MaxActive: 999}); again != tr {
+		t.Fatal("second EnableTracing replaced the tracer")
+	}
+	// The SLO histograms are registered on enable.
+	for _, name := range []string{
+		"trace.ingest_to_decision_seconds",
+		"trace.decision_to_apply_seconds",
+		"trace.apply_to_visible_seconds",
+	} {
+		if _, ok := r.Snapshot().Histograms[name]; !ok {
+			t.Fatalf("missing SLO histogram %q", name)
+		}
+	}
+}
+
+// TestTracerLifecycle walks one chunk through the full pipeline on a
+// virtual clock and checks the trace, the span chain, and the three
+// freshness-SLO lags.
+func TestTracerLifecycle(t *testing.T) {
+	clk := &manualClock{}
+	r := NewRegistry()
+	tr := r.EnableTracing(TraceOptions{Clock: clk.now})
+
+	clk.t = 1.0
+	traceID, root := tr.StartTrace(3, 7, clk.t)
+	if traceID == 0 || root == 0 || traceID == root {
+		t.Fatalf("StartTrace ids: trace=%d root=%d", traceID, root)
+	}
+
+	clk.t = 1.5
+	fit := tr.Begin(traceID, root, "em-fit", 3, 2)
+	clk.t = 2.0
+	fit.End(4096, "warm")
+
+	tr.FinishDecision(traceID, 2.5) // ingest→decision = 1.5s
+
+	// Wire send with explicit times (netsim knows the delivery time).
+	tr.Record(traceID, root, "wire-send", 3, 2, 2.5, 2.6, 200, "")
+
+	clk.t = 4.0
+	tr.CompleteVisible(traceID, 4.0, 4.25) // decision→apply = 1.5s, apply→visible = 0.25s
+
+	got, ok := tr.TraceByID(traceID)
+	if !ok {
+		t.Fatal("trace vanished")
+	}
+	if got.Site != 3 || got.Chunk != 7 || !got.Origin || !got.Completed {
+		t.Fatalf("trace fields: %+v", got)
+	}
+	if got.IngestT != 1.0 || got.DecisionT != 2.5 || got.VisibleT != 4.25 {
+		t.Fatalf("trace times: %+v", got)
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("span count = %d", len(got.Spans))
+	}
+	rootSpan, fitSpan, sendSpan := got.Spans[0], got.Spans[1], got.Spans[2]
+	if rootSpan.Name != "chunk" || rootSpan.Parent != 0 || rootSpan.End != 2.5 {
+		t.Fatalf("root span: %+v (FinishDecision must close it)", rootSpan)
+	}
+	if fitSpan.Name != "em-fit" || fitSpan.Parent != root ||
+		fitSpan.Start != 1.5 || fitSpan.End != 2.0 || fitSpan.N != 4096 || fitSpan.Note != "warm" {
+		t.Fatalf("fit span: %+v", fitSpan)
+	}
+	if sendSpan.Start != 2.5 || sendSpan.End != 2.6 || sendSpan.N != 200 {
+		t.Fatalf("send span: %+v", sendSpan)
+	}
+	if tr.SpanCount("chunk") != 1 || tr.SpanCount("em-fit") != 1 || tr.SpanCount("wire-send") != 1 {
+		t.Fatal("span counts off")
+	}
+
+	check := func(name string, wantSum float64) {
+		h := r.Snapshot().Histograms[name]
+		if h.Count != 1 || h.Sum != wantSum {
+			t.Fatalf("%s: count=%d sum=%v, want sum %v", name, h.Count, h.Sum, wantSum)
+		}
+	}
+	check("trace.ingest_to_decision_seconds", 1.5)
+	check("trace.decision_to_apply_seconds", 1.5)
+	check("trace.apply_to_visible_seconds", 0.25)
+}
+
+// TestTracerWireArrivalStub covers the coordinator side of a TCP
+// deployment: a trace ID arrives on the wire from a process that minted it
+// elsewhere, so the local tracer materializes a non-origin stub and tracks
+// only the apply→visible lag (the other clocks aren't comparable).
+func TestTracerWireArrivalStub(t *testing.T) {
+	clk := &manualClock{t: 10}
+	r := NewRegistry()
+	tr := r.EnableTracing(TraceOptions{Clock: clk.now})
+
+	const foreignTrace, foreignSpan = 500, 501
+	ref := tr.Begin(foreignTrace, foreignSpan, "wal-append", 2, 1)
+	clk.t = 10.5
+	ref.End(64, "")
+	tr.CompleteVisible(foreignTrace, 10.5, 11.0)
+
+	got, ok := tr.TraceByID(foreignTrace)
+	if !ok || got.Origin {
+		t.Fatalf("stub trace: ok=%v origin=%v", ok, got.Origin)
+	}
+	if got.Spans[0].Parent != foreignSpan {
+		t.Fatalf("wire parent lost: %+v", got.Spans[0])
+	}
+	snap := r.Snapshot()
+	if h := snap.Histograms["trace.apply_to_visible_seconds"]; h.Count != 1 || h.Sum != 0.5 {
+		t.Fatalf("apply→visible: %+v", h)
+	}
+	// Ingest/decision lags need the origin clock — a stub must not observe.
+	if h := snap.Histograms["trace.decision_to_apply_seconds"]; h.Count != 0 {
+		t.Fatalf("non-origin trace polluted decision→apply: %+v", h)
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	clk := &manualClock{}
+	r := NewRegistry()
+	tr := r.EnableTracing(TraceOptions{Clock: clk.now, MaxActive: 3})
+
+	var first uint64
+	var firstRef SpanRef
+	for i := 0; i < 5; i++ {
+		id, root := tr.StartTrace(1, i, clk.t)
+		if i == 0 {
+			first = id
+			firstRef = tr.Begin(id, root, "em-fit", 1, 0)
+		}
+	}
+	s := tr.Snapshot()
+	if s.Active != 3 {
+		t.Fatalf("active = %d, want 3", s.Active)
+	}
+	if s.Evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", s.Evicted)
+	}
+	if _, ok := tr.TraceByID(first); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	firstRef.End(1, "") // ending a span on an evicted trace is a no-op
+	if tr.SpanCount("chunk") != 5 {
+		t.Fatal("eviction must not lose cumulative span counts")
+	}
+}
+
+func TestTracerSlowestReservoir(t *testing.T) {
+	clk := &manualClock{}
+	r := NewRegistry()
+	tr := r.EnableTracing(TraceOptions{Clock: clk.now, SlowestN: 2})
+
+	mk := func(ingest, visible float64) uint64 {
+		clk.t = ingest
+		id, _ := tr.StartTrace(1, 0, ingest)
+		tr.FinishDecision(id, ingest)
+		tr.CompleteVisible(id, visible, visible)
+		return id
+	}
+	a := mk(0, 1) // lag 1
+	mk(0, 5)      // lag 5
+	mk(0, 3)      // lag 3 — evicts the lag-1 exemplar
+
+	s := tr.Snapshot()
+	if len(s.Slowest) != 2 {
+		t.Fatalf("reservoir size = %d", len(s.Slowest))
+	}
+	if s.Slowest[0].VisibleT != 5 || s.Slowest[1].VisibleT != 3 {
+		t.Fatalf("not worst-first: %+v", s.Slowest)
+	}
+	for _, e := range s.Slowest {
+		if e.ID == a {
+			t.Fatal("lag-1 trace should have been displaced")
+		}
+	}
+	// Re-completing an already-held trace dedupes rather than duplicating.
+	tr.CompleteVisible(s.Slowest[0].ID, 6, 6)
+	if s = tr.Snapshot(); len(s.Slowest) != 2 {
+		t.Fatalf("re-completion duplicated the exemplar: %d entries", len(s.Slowest))
+	}
+}
+
+// TestTracerSnapshotIsolation pins that snapshots and TraceByID return deep
+// copies: mutating them must not reach the tracer's internal state.
+func TestTracerSnapshotIsolation(t *testing.T) {
+	clk := &manualClock{}
+	r := NewRegistry()
+	tr := r.EnableTracing(TraceOptions{Clock: clk.now})
+	id, root := tr.StartTrace(1, 0, 0)
+	tr.Begin(id, root, "em-fit", 1, 0).End(1, "")
+	tr.FinishDecision(id, 1)
+	tr.CompleteVisible(id, 1, 2)
+
+	cp, _ := tr.TraceByID(id)
+	cp.Spans[0].Name = "mutated"
+	s := tr.Snapshot()
+	s.Slowest[0].Spans[0].Name = "mutated-too"
+	s.SpanCounts["chunk"] = 999
+
+	fresh, _ := tr.TraceByID(id)
+	if fresh.Spans[0].Name != "chunk" {
+		t.Fatal("TraceByID returned shared span storage")
+	}
+	if got := tr.Snapshot(); got.Slowest[0].Spans[0].Name != "chunk" || got.SpanCounts["chunk"] != 1 {
+		t.Fatal("Snapshot returned shared storage")
+	}
+}

@@ -16,6 +16,16 @@
 // dedupe. Encode picks v2 exactly when Seq or Epoch is set, so legacy
 // senders (and the byte-for-byte cost model of the figures) are untouched;
 // Decode accepts both.
+//
+// # Trace suffix
+//
+// A traced message (TraceID or SpanID set) appends a 16-byte suffix —
+// trace ID then parent span ID, both uint64 little-endian — after the
+// payload. The suffix rides behind every existing layout, so untraced
+// bytes are bit-identical to what they always were; Decode recognizes the
+// suffix by the exact 16 bytes remaining after the body. Over TCP the
+// suffix is additionally gated by a handshake capability (see
+// internal/netio), so an unupgraded coordinator never sees it.
 package transport
 
 import (
@@ -77,6 +87,14 @@ type Message struct {
 	// frames are exactly-once in effect. Zero (with Epoch zero) selects the
 	// legacy v1 encoding.
 	Seq uint64
+	// TraceID and SpanID carry the causal trace context of the chunk that
+	// produced this message (see internal/telemetry): the trace minted at
+	// the site and the parent span the receiver should hang its own spans
+	// under. Both zero (the default) means untraced and the encoding emits
+	// no suffix, keeping untraced wire bytes bit-identical to earlier
+	// releases.
+	TraceID uint64
+	SpanID  uint64
 	// Mixture is present iff Kind == MsgNewModel.
 	Mixture *gaussian.Mixture
 }
@@ -93,14 +111,24 @@ const (
 	v2ExtraSize = 1 + 4 + 8
 )
 
+// TraceSuffixSize is the encoded size of the trace context suffix a traced
+// message carries: trace ID + parent span ID, uint64 little-endian each.
+const TraceSuffixSize = 8 + 8
+
 // versioned reports whether the message needs the v2 encoding.
 func (m Message) versioned() bool { return m.Seq != 0 || m.Epoch != 0 }
+
+// traced reports whether the message carries the trace suffix.
+func (m Message) traced() bool { return m.TraceID != 0 || m.SpanID != 0 }
 
 // WireSize returns the exact encoded size in bytes.
 func (m Message) WireSize() int {
 	n := headerSize
 	if m.versioned() {
 		n += v2ExtraSize
+	}
+	if m.traced() {
+		n += TraceSuffixSize
 	}
 	if m.Kind == MsgNewModel && m.Mixture != nil {
 		k, d := m.Mixture.K(), m.Mixture.Dim()
@@ -145,7 +173,19 @@ func Encode(m Message) []byte {
 			}
 		}
 	}
+	if m.traced() {
+		buf = AppendTraceSuffix(buf, m.TraceID, m.SpanID)
+	}
 	return buf
+}
+
+// AppendTraceSuffix appends the 16-byte trace context suffix to an
+// already-encoded payload. Conn-layer senders use it to attach trace
+// context at transmit time, after the handshake has negotiated the
+// capability, without re-encoding the queued payload.
+func AppendTraceSuffix(buf []byte, traceID, spanID uint64) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, traceID)
+	return binary.LittleEndian.AppendUint64(buf, spanID)
 }
 
 // Decode parses a message produced by Encode, accepting both the legacy
@@ -173,6 +213,7 @@ func Decode(b []byte) (Message, error) {
 	}
 	switch m.Kind {
 	case MsgWeightUpdate, MsgDeletion, MsgHello:
+		m.readTraceSuffix(b)
 		return m, nil
 	case MsgNewModel:
 	default:
@@ -223,7 +264,20 @@ func Decode(b []byte) (Message, error) {
 		return Message{}, fmt.Errorf("transport: %w", err)
 	}
 	m.Mixture = mix
+	m.readTraceSuffix(b)
 	return m, nil
+}
+
+// readTraceSuffix parses the optional 16-byte trace context from the
+// bytes remaining after the message body. Anything other than exactly
+// TraceSuffixSize remaining is treated as the historical "ignore trailing
+// bytes" behavior, keeping Decode tolerant of unknown future extensions.
+func (m *Message) readTraceSuffix(b []byte) {
+	if len(b) != TraceSuffixSize {
+		return
+	}
+	m.TraceID = binary.LittleEndian.Uint64(b)
+	m.SpanID = binary.LittleEndian.Uint64(b[8:])
 }
 
 // FromSiteUpdate converts a site.Update into a wire message.
@@ -237,6 +291,8 @@ func FromSiteUpdate(u site.Update) Message {
 		SiteID:  int32(u.SiteID),
 		ModelID: int32(u.ModelID),
 		Count:   int64(u.Count),
+		TraceID: u.TraceID,
+		SpanID:  u.SpanID,
 		Mixture: u.Mixture,
 	}
 }
@@ -254,6 +310,8 @@ func (m Message) ToSiteUpdate() site.Update {
 		ModelID: int(m.ModelID),
 		Kind:    kind,
 		Count:   int(m.Count),
+		TraceID: m.TraceID,
+		SpanID:  m.SpanID,
 		Mixture: m.Mixture,
 	}
 }
