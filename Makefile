@@ -3,7 +3,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS := -ldflags "-X cludistream/internal/buildinfo.Version=$(VERSION) -X cludistream/internal/buildinfo.Commit=$(COMMIT)"
 
-.PHONY: all build vet lint test race race-em race-parallel race-score alloc-gate recover check tier1 fuzz bench bench-compare obs-demo trace-demo dst dst-long
+.PHONY: all build vet lint test race race-em race-parallel race-score race-query alloc-gate alloc-gate-query recover check tier1 fuzz bench bench-compare obs-demo trace-demo dst dst-long
 
 all: check
 
@@ -49,6 +49,22 @@ race-score:
 		  ./internal/site/ ./internal/gaussian/ ./internal/coordinator/ || exit 1; \
 	done
 
+# The RCU query tier under the race detector at several GOMAXPROCS
+# settings: concurrent readers hammer Classify/LogDensity/TopK while a
+# writer keeps ingesting and republishing snapshots, plus the deep-copy
+# immutability pin.
+race-query:
+	for procs in 1 2 4; do \
+		GOMAXPROCS=$$procs $(GO) test -race -count=1 \
+		  -run 'TestQueryRaceHammer|TestSnapshotImmutableUnderIngest' \
+		  ./internal/query/ || exit 1; \
+	done
+
+# The query read path must not allocate: Classify, LogDensity, TopK and
+# Current are all asserted at 0 allocs/op via testing.AllocsPerRun.
+alloc-gate-query:
+	$(GO) test -run 'TestQueryReadPathZeroAlloc' -count=1 ./internal/query/
+
 # Steady-state ingest must not allocate: the benchmark itself asserts
 # 0 allocs/record via testing.AllocsPerRun before timing, so a handful of
 # iterations is enough to enforce the gate. The regex is a prefix match,
@@ -66,7 +82,7 @@ recover:
 	$(GO) test -race -run 'TestServerRestartRecoveryOverTCP|TestHandshakePrunesRecoveredSuffix' ./internal/netio/
 
 # Full pre-merge gate.
-check: build lint race-em race-parallel race-score alloc-gate recover race dst
+check: build lint race-em race-parallel race-score race-query alloc-gate alloc-gate-query recover race dst
 
 # Deterministic simulation testing (internal/dst): sweep seeded
 # whole-system scenarios — random deployments, drift programs, and fault
@@ -101,7 +117,8 @@ fuzz:
 # when performance-relevant code changes.
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry|BenchmarkMultiTest|BenchmarkRemerge' -benchmem . ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry|BenchmarkMultiTest|BenchmarkRemerge' -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchmem ./internal/query/ ; } \
 	  | tee /dev/stderr | $(GO) run $(LDFLAGS) ./cmd/benchjson > BENCH_quick.json
 
 # Regression check against the committed snapshot: rerun the hot-path
@@ -111,7 +128,8 @@ bench:
 # in the snapshot show up as informational "(no baseline)" rows.
 bench-compare:
 	@tmp=$$(mktemp) && \
-	$(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry|BenchmarkMultiTest|BenchmarkRemerge' -benchmem . \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry|BenchmarkMultiTest|BenchmarkRemerge' -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchmem ./internal/query/ ; } \
 	  | $(GO) run $(LDFLAGS) ./cmd/benchjson > $$tmp && \
 	$(GO) run ./cmd/benchjson -compare BENCH_quick.json $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc

@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -25,8 +26,10 @@ import (
 	"cludistream/internal/buildinfo"
 	"cludistream/internal/coordinator"
 	"cludistream/internal/durable"
+	"cludistream/internal/gaussian"
 	"cludistream/internal/netio"
 	"cludistream/internal/persist"
+	"cludistream/internal/query"
 	"cludistream/internal/telemetry"
 )
 
@@ -41,14 +44,27 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "graceful-shutdown wait for connected sites")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/events and pprof on this address (empty = off)")
 	trace := flag.Bool("trace", false, "with -debug-addr: record apply/remerge traces and grant sites the wire trace suffix (/debug/traces)")
+	queryAddr := flag.String("query-addr", "", "serve the lock-free query tier (/query/classify, /query/density, /query/topk, /query/batch) on this address (empty = off)")
+	publishEvery := flag.Duration("publish-every", 200*time.Millisecond, "with -query-addr: snapshot publication interval (only changed mixtures are republished)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("coordd"))
 		return
 	}
+	// Validate the flag set before recovery replay starts: a -query-addr
+	// that collides with -debug-addr or -listen would otherwise surface
+	// as a bind failure only after a potentially long WAL replay.
 	if _, err := persist.ParseFsyncMode(*fsync); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := validateAddrs(*listen, *debugAddr, *queryAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "coordd:", err)
+		os.Exit(2)
+	}
+	if *queryAddr != "" && *publishEvery <= 0 {
+		fmt.Fprintln(os.Stderr, "coordd: -publish-every must be positive when -query-addr is set")
 		os.Exit(2)
 	}
 
@@ -111,6 +127,53 @@ func main() {
 	fmt.Printf("coordd: version=%s listen=%v dim=%d status=%v state_dir=%s fsync=%s debug_addr=%s\n",
 		buildinfo.Version, srv.Addr(), *dim, *status, *stateDir, *fsync, *debugAddr)
 
+	if *queryAddr != "" {
+		pub := query.NewPublisher(query.Options{Telemetry: reg})
+		qsrv, err := query.Serve(*queryAddr, pub)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coordd: query listener:", err)
+			os.Exit(2)
+		}
+		defer qsrv.Close()
+		fmt.Printf("coordd: query tier on http://%v/query/classify (publish every %v)\n", qsrv.Addr(), *publishEvery)
+		stopPub := make(chan struct{})
+		defer close(stopPub)
+		go func() {
+			t := time.NewTicker(*publishEvery)
+			defer t.Stop()
+			var lastVer uint64
+			for {
+				select {
+				case <-stopPub:
+					return
+				case <-t.C:
+				}
+				// Capture mixture, version and mass atomically under the
+				// apply lock so the snapshot equals the coordinator state
+				// at an exact applied-update prefix; the deep copy and
+				// kd-index build happen outside the lock (the captured
+				// mixture is immutable).
+				var mix *gaussian.Mixture
+				var ver uint64
+				var mass float64
+				srv.Snapshot(func(c *coordinator.Coordinator) {
+					if ver = c.MixtureVersion(); ver != lastVer {
+						mix = c.GlobalMixture()
+						mass = c.TotalWeight()
+					}
+				})
+				if mix == nil { // unchanged since last publish, or still empty
+					continue
+				}
+				if _, err := pub.Publish(mix, ver, mass); err != nil {
+					fmt.Fprintln(os.Stderr, "coordd: publish:", err)
+					continue
+				}
+				lastVer = ver
+			}
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
@@ -158,4 +221,41 @@ func main() {
 			return
 		}
 	}
+}
+
+// validateAddrs rejects listen/debug/query address collisions up front,
+// before recovery replay, instead of letting the second bind fail late.
+// Two addresses collide when their ports match and their hosts overlap —
+// equal hosts, or either side binding the wildcard.
+func validateAddrs(listen, debug, query string) error {
+	type bound struct{ flag, addr string }
+	var bounds []bound
+	for _, b := range []bound{{"-listen", listen}, {"-debug-addr", debug}, {"-query-addr", query}} {
+		if b.addr != "" {
+			bounds = append(bounds, b)
+		}
+	}
+	for i := 0; i < len(bounds); i++ {
+		for j := i + 1; j < len(bounds); j++ {
+			if addrsCollide(bounds[i].addr, bounds[j].addr) {
+				return fmt.Errorf("%s and %s would both bind %s — pick distinct addresses",
+					bounds[i].flag, bounds[j].flag, bounds[j].addr)
+			}
+		}
+	}
+	return nil
+}
+
+func addrsCollide(a, b string) bool {
+	ha, pa, errA := net.SplitHostPort(a)
+	hb, pb, errB := net.SplitHostPort(b)
+	if errA != nil || errB != nil {
+		// Unparseable addresses fail at bind with their own clear error.
+		return a == b
+	}
+	if pa != pb || pa == "0" {
+		return false // different ports, or ephemeral ports that never collide
+	}
+	wild := func(h string) bool { return h == "" || h == "0.0.0.0" || h == "::" }
+	return ha == hb || wild(ha) || wild(hb)
 }

@@ -10,6 +10,7 @@
 //	obsdump -addr localhost:7171 -events -follow 1s   # tail it forever
 //	obsdump -addr localhost:7171 trace        # slowest-trace span waterfalls
 //	obsdump -addr localhost:7171 trace 42     # waterfall of one trace by ID
+//	obsdump -addr localhost:7171 query        # query-tier view: version, qps, staleness
 //	obsdump out.json                          # pretty-print a saved snapshot
 package main
 
@@ -37,6 +38,7 @@ func main() {
 	limit := flag.Int("limit", 0, "with -events: at most this many events per fetch (0 = all)")
 	follow := flag.Duration("follow", 0, "with -events: poll at this interval forever (0 = once)")
 	raw := flag.Bool("json", false, "emit raw JSON instead of formatted text")
+	interval := flag.Duration("interval", time.Second, "with query: sample window for per-op qps")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -52,6 +54,8 @@ func main() {
 			id = flag.Arg(1)
 		}
 		err = dumpTrace(*addr, id, *raw)
+	case *addr != "" && flag.NArg() >= 1 && flag.Arg(0) == "query":
+		err = dumpQuery(*addr, *interval, *raw)
 	case *addr == "" && flag.NArg() == 1:
 		err = dumpFile(flag.Arg(0), *raw)
 	case *addr != "" && *events:
@@ -59,7 +63,7 @@ func main() {
 	case *addr != "":
 		err = dumpSnapshot(*addr, *raw)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: obsdump -addr host:port [-events] [-json] [trace [ID]] | obsdump snapshot.json")
+		fmt.Fprintln(os.Stderr, "usage: obsdump -addr host:port [-events] [-json] [trace [ID] | query] | obsdump snapshot.json")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -283,6 +287,78 @@ func printTrace(tr *telemetry.Trace) {
 		}
 		fmt.Println(line)
 	}
+}
+
+// queryOps are the per-op query counters rated into qps by dumpQuery,
+// in display order.
+var queryOps = []string{"query.classify", "query.density", "query.topk", "query.publishes"}
+
+// dumpQuery renders the query-tier view of a daemon's /debug/vars: the
+// served snapshot version (against the coordinator's mixture version),
+// per-op qps computed from two samples an interval apart, and the
+// read-path staleness histogram.
+func dumpQuery(addr string, interval time.Duration, raw bool) error {
+	grab := func() (*telemetry.Snapshot, error) {
+		body, err := fetch("http://" + addr + "/debug/vars")
+		if err != nil {
+			return nil, err
+		}
+		var snap telemetry.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return nil, fmt.Errorf("decode snapshot: %w", err)
+		}
+		return &snap, nil
+	}
+	first, err := grab()
+	if err != nil {
+		return err
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t0 := time.Now()
+	time.Sleep(interval)
+	snap, err := grab()
+	if err != nil {
+		return err
+	}
+	dt := time.Since(t0).Seconds()
+	if raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	if _, ok := snap.Gauges["query.snapshot_version"]; !ok {
+		fmt.Println("no query tier published yet (query.snapshot_version gauge absent)")
+		return nil
+	}
+	fmt.Printf("query tier @ %s (window %.3gs)\n\n", addr, dt)
+	fmt.Printf("  %-28s %.0f\n", "snapshot version", snap.Gauges["query.snapshot_version"])
+	if v, ok := snap.Gauges["coord.mixture_version"]; ok {
+		fmt.Printf("  %-28s %.0f\n", "coordinator mixture version", v)
+		if lag := v - snap.Gauges["query.snapshot_version"]; lag > 0 {
+			fmt.Printf("  %-28s %.0f version(s) behind\n", "publish lag", lag)
+		}
+	}
+	fmt.Println("\nper-op rates:")
+	for _, name := range queryOps {
+		delta := snap.Counters[name] - first.Counters[name]
+		fmt.Printf("  %-28s %12.4g qps  (total %d)\n", name, float64(delta)/dt, snap.Counters[name])
+	}
+	for _, name := range []string{"query.staleness_seconds", "query.refresh_seconds"} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Printf("\n%s: count=%d mean=%.4g\n", name, h.Count, h.Sum/float64(h.Count))
+		for _, b := range h.Buckets {
+			fmt.Printf("  ≤ %-10g %-8d %s\n", b.Le, b.Count, bar(b.Count, h.Count))
+		}
+		if h.Overflow > 0 {
+			fmt.Printf("  > %-10g %-8d %s\n", h.Buckets[len(h.Buckets)-1].Le, h.Overflow, bar(h.Overflow, h.Count))
+		}
+	}
+	return nil
 }
 
 // eventsPage mirrors the /debug/events response shape.

@@ -1,0 +1,265 @@
+// Command queryload is the load generator behind the query tier's Mqps
+// claim: it stands up one or more coordinator shards, keeps them churning
+// (site-model replacement + snapshot publication, plus shard-reduce when
+// sharded) and hammers the lock-free read path with a configurable worker
+// pool, then reports aggregate and per-worker throughput.
+//
+// Usage:
+//
+//	queryload -workers 8 -duration 5s -op classify
+//	queryload -shards 4 -op mix -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cludistream/internal/buildinfo"
+	"cludistream/internal/coordinator"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/query"
+	"cludistream/internal/site"
+	"cludistream/internal/telemetry"
+)
+
+func main() {
+	dim := flag.Int("dim", 4, "data dimensionality d")
+	shards := flag.Int("shards", 1, "coordinator shards (each owns a site subset; >1 adds the reduce layer)")
+	sites := flag.Int("sites", 8, "sites per shard")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "query worker goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	op := flag.String("op", "classify", "query op: classify, density, topk or mix")
+	k := flag.Int("k", 3, "k for topk queries")
+	reduceEvery := flag.Duration("reduce-every", 5*time.Millisecond, "shard-reduce interval (shards > 1)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("queryload"))
+		return
+	}
+	switch *op {
+	case "classify", "density", "topk", "mix":
+	default:
+		fmt.Fprintf(os.Stderr, "queryload: unknown -op %q (want classify, density, topk or mix)\n", *op)
+		os.Exit(2)
+	}
+
+	reg := telemetry.NewRegistry()
+	rng := rand.New(rand.NewSource(1))
+
+	// Build the shards: each coordinator owns its own site subset and
+	// publisher; with >1 shards a ShardSet reduces them into the served
+	// mixture, exercising the same source interface either way.
+	coords := make([]*coordinator.Coordinator, *shards)
+	pubs := make([]*query.Publisher, *shards)
+	for s := range coords {
+		c, err := coordinator.New(coordinator.Config{Dim: *dim, Merge: gaussian.MergeOptions{MomentOnly: true}})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "queryload:", err)
+			os.Exit(1)
+		}
+		for st := 1; st <= *sites; st++ {
+			u := site.Update{SiteID: st, ModelID: 1, Kind: site.NewModel,
+				Mixture: clusteredMixture(rng, *dim), Count: 100}
+			if err := c.HandleUpdate(u); err != nil {
+				fmt.Fprintln(os.Stderr, "queryload:", err)
+				os.Exit(1)
+			}
+		}
+		coords[s] = c
+		popts := query.Options{}
+		if *shards == 1 {
+			popts.Telemetry = reg // single shard: its publisher is the serving tier
+		}
+		pubs[s] = query.NewPublisher(popts)
+		if _, err := pubs[s].Publish(c.GlobalMixture(), c.MixtureVersion(), c.TotalWeight()); err != nil {
+			fmt.Fprintln(os.Stderr, "queryload:", err)
+			os.Exit(1)
+		}
+	}
+
+	var src query.Source = pubs[0]
+	var ss *query.ShardSet
+	if *shards > 1 {
+		ss = query.NewShardSet(pubs, query.Options{Telemetry: reg})
+		if _, err := ss.Reduce(); err != nil {
+			fmt.Fprintln(os.Stderr, "queryload:", err)
+			os.Exit(1)
+		}
+		src = ss
+	}
+
+	// Writer side: one ingest goroutine per shard replaces site models
+	// and republishes; a reducer goroutine folds shard snapshots into the
+	// served mixture. All of it keeps running through the measurement.
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for s := range coords {
+		writers.Add(1)
+		go func(s int) {
+			defer writers.Done()
+			wrng := rand.New(rand.NewSource(int64(100 + s)))
+			c, p := coords[s], pubs[s]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				siteID := 1 + i%*sites
+				c.ResetSite(siteID)
+				_ = c.HandleUpdate(site.Update{SiteID: siteID, ModelID: 1, Kind: site.NewModel,
+					Mixture: clusteredMixture(wrng, *dim), Count: 80})
+				if _, err := p.Publish(c.GlobalMixture(), c.MixtureVersion(), c.TotalWeight()); err != nil {
+					fmt.Fprintln(os.Stderr, "queryload: publish:", err)
+					return
+				}
+			}
+		}(s)
+	}
+	if ss != nil {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			t := time.NewTicker(*reduceEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					if _, err := ss.Reduce(); err != nil {
+						fmt.Fprintln(os.Stderr, "queryload: reduce:", err)
+					}
+				}
+			}
+		}()
+	}
+
+	// Reader side: workers stride through pre-generated points until the
+	// deadline, counting locally (one atomic add per worker at the end).
+	pts := make([][]float64, 1024)
+	for i := range pts {
+		x := make([]float64, *dim)
+		for d := range x {
+			x[d] = rng.NormFloat64() * 20
+		}
+		pts[i] = x
+	}
+	var total atomic.Int64
+	deadline := time.Now().Add(*duration)
+	var readers sync.WaitGroup
+	perWorker := make([]int64, *workers)
+	for w := 0; w < *workers; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			q := src.NewQuerier()
+			defer q.Flush()
+			var n int64
+			for time.Now().Before(deadline) {
+				// Check the clock every 4096 ops, not every op.
+				for i := 0; i < 4096; i++ {
+					x := pts[int(n)&1023]
+					var ok bool
+					switch {
+					case *op == "classify" || (*op == "mix" && n%3 == 0):
+						_, ok = q.Classify(x)
+					case *op == "density" || (*op == "mix" && n%3 == 1):
+						_, ok = q.LogDensity(x)
+					default:
+						_, ok = q.TopK(x, *k)
+					}
+					if !ok {
+						fmt.Fprintln(os.Stderr, "queryload: no snapshot published")
+						os.Exit(1)
+					}
+					n++
+				}
+			}
+			perWorker[w] = n
+			total.Add(n)
+		}(w)
+	}
+	start := time.Now()
+	readers.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	writers.Wait()
+
+	sn := src.Current()
+	snap := reg.Snapshot()
+	report := struct {
+		Op         string  `json:"op"`
+		Shards     int     `json:"shards"`
+		Workers    int     `json:"workers"`
+		DurationS  float64 `json:"duration_s"`
+		Queries    int64   `json:"queries"`
+		QPS        float64 `json:"qps"`
+		QPSWorker  float64 `json:"qps_per_worker"`
+		Publishes  int64   `json:"publishes"`
+		Version    uint64  `json:"served_version"`
+		K          int     `json:"served_k"`
+		Classify   int64   `json:"classify_ops"`
+		Density    int64   `json:"density_ops"`
+		TopK       int64   `json:"topk_ops"`
+		StaleCount int64   `json:"staleness_observations"`
+	}{
+		Op: *op, Shards: *shards, Workers: *workers,
+		DurationS: elapsed.Seconds(), Queries: total.Load(),
+		QPS:       float64(total.Load()) / elapsed.Seconds(),
+		QPSWorker: float64(total.Load()) / elapsed.Seconds() / float64(*workers),
+		Publishes: snap.Counters["query.publishes"],
+		Version:   sn.Version(), K: sn.K(),
+		Classify: snap.Counters["query.classify"],
+		Density:  snap.Counters["query.density"],
+		TopK:     snap.Counters["query.topk"],
+		StaleCount: func() int64 {
+			if h, ok := snap.Histograms["query.staleness_seconds"]; ok {
+				return h.Count
+			}
+			return 0
+		}(),
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+		return
+	}
+	fmt.Printf("queryload: op=%s shards=%d workers=%d duration=%.2fs\n",
+		report.Op, report.Shards, report.Workers, report.DurationS)
+	fmt.Printf("  %d queries  |  %.3g qps aggregate  |  %.3g qps/worker\n",
+		report.Queries, report.QPS, report.QPSWorker)
+	fmt.Printf("  served version %d (K=%d), %d publishes during run\n",
+		report.Version, report.K, report.Publishes)
+	fmt.Printf("  op counts: classify=%d density=%d topk=%d\n",
+		report.Classify, report.Density, report.TopK)
+}
+
+// clusteredMixture mirrors the benchmark's steady-state site model: three
+// components jittered around fixed well-separated centers, so coordinator
+// grouping keeps the served K bounded while churn still forces remerges.
+func clusteredMixture(rng *rand.Rand, dim int) *gaussian.Mixture {
+	comps := make([]*gaussian.Component, 3)
+	ws := make([]float64, 3)
+	for j := range comps {
+		center := float64(rng.Intn(4)) * 20
+		mean := make(linalg.Vector, dim)
+		for d := range mean {
+			mean[d] = center + rng.NormFloat64()*0.1
+		}
+		comps[j] = gaussian.Spherical(mean, 1)
+		ws[j] = 0.5 + rng.Float64()
+	}
+	return gaussian.MustMixture(ws, comps)
+}

@@ -890,6 +890,19 @@ func (c *Coordinator) ModelWeights() []ModelWeight {
 // SLO's apply→visible lag is measured against.
 func (c *Coordinator) MixtureVersion() uint64 { return c.mixtureVer }
 
+// TotalWeight returns the total record mass across all groups — the
+// absolute weight behind GlobalMixture's normalized weights. The query
+// tier's shard-reduce layer uses it to mass-weight shard snapshots.
+func (c *Coordinator) TotalWeight() float64 {
+	var total float64
+	for _, g := range c.groups {
+		if g.weight > 0 {
+			total += g.weight
+		}
+	}
+	return total
+}
+
 // Stats returns a copy of the work counters.
 func (c *Coordinator) Stats() Stats { return c.stats }
 

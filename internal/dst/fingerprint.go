@@ -21,10 +21,19 @@ func Fingerprint(m *gaussian.Mixture) uint64 {
 	if m == nil {
 		return 0
 	}
-	recs := make([][]byte, 0, m.K())
-	for j := 0; j < m.K(); j++ {
-		c := m.Component(j)
-		b := appendBits(nil, m.Weight(j))
+	return fingerprintModel(m.K(), m.Weight, m.Component)
+}
+
+// fingerprintModel is the accessor-based core of Fingerprint, shared with
+// the query tier's snapshot fingerprinting (a query.Snapshot exposes the
+// same (weight, component) accessors without materializing a Mixture —
+// and rebuilding one would renormalize the weights, perturbing last-ulp
+// bits and defeating the bit-identity the invariant pins).
+func fingerprintModel(k int, weight func(int) float64, comp func(int) *gaussian.Component) uint64 {
+	recs := make([][]byte, 0, k)
+	for j := 0; j < k; j++ {
+		c := comp(j)
+		b := appendBits(nil, weight(j))
 		for _, v := range c.Mean() {
 			b = appendBits(b, v)
 		}

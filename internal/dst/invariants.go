@@ -6,6 +6,7 @@ import (
 	"cludistream"
 	"cludistream/internal/coordinator"
 	"cludistream/internal/linalg"
+	"cludistream/internal/query"
 	"cludistream/internal/telemetry"
 	"cludistream/internal/transport"
 )
@@ -52,6 +53,13 @@ type checker struct {
 	// on updates from the live epoch — in-flight messages from a dead
 	// incarnation may still legitimately arrive right after a crash.
 	curEpoch []uint32
+
+	// Query-tier state (snapshot-consistency invariant): the real RCU
+	// publisher driven on the virtual clock, a scratch for read-op parity
+	// checks, and the pinned snapshots re-verified on every update.
+	pub      *query.Publisher
+	qscratch *query.Scratch
+	held     []heldSnap
 
 	updates   int
 	violation *Violation
@@ -183,6 +191,7 @@ func (c *checker) onApply(msg transport.Message) {
 	c.checkTrace(msg)
 	c.checkSite(int(msg.SiteID), false)
 	c.checkConservation()
+	c.checkQueryTier()
 }
 
 // checkTrace is the per-update half of the trace-conservation invariant:
@@ -440,6 +449,9 @@ func (c *checker) finalChecks(cleanFP uint64, cleanWeights []coordinator.ModelWe
 		c.checkSite(i+1, true)
 	}
 	c.checkConservation()
+	// Snapshots pinned mid-run must still serve their publish-time state
+	// after the drain's final merges and compactions.
+	c.recheckHeldSnapshots()
 	if c.violation != nil {
 		return
 	}

@@ -40,7 +40,11 @@ type Violation struct {
 	// different global state than the exact reference paths),
 	// "trace-conservation" (an applied update's causal trace is missing,
 	// has a broken span chain, or the cumulative span counts disagree with
-	// the delivery-layer accounting), or "delivery".
+	// the delivery-layer accounting), "snapshot-consistency" (a query-tier
+	// snapshot published through the RCU publisher stopped matching the
+	// coordinator state at its applied-update prefix, its read ops
+	// diverged from the mixture's own scoring, or a pinned snapshot's
+	// bytes changed under later ingest), or "delivery".
 	Invariant string `json:"invariant"`
 	Detail    string `json:"detail"`
 	// Update is how many applied coordinator updates had been observed

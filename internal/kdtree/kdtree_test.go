@@ -322,3 +322,100 @@ func BenchmarkNearestKVsBrute(b *testing.B) {
 		}
 	})
 }
+
+// TestNearestKIntoKExceedsPoints: asking for more neighbors than the tree
+// holds clamps to Len() — every point comes back, exactly once, sorted —
+// and stays allocation-free when the destination has capacity.
+func TestNearestKIntoKExceedsPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	tree := New(3)
+	pts := map[int]linalg.Vector{}
+	const n = 7
+	for id := 0; id < n; id++ {
+		p := randPt(rng, 3)
+		tree.Insert(id, p)
+		pts[id] = p
+	}
+	q := randPt(rng, 3)
+	buf := make([]Neighbor, 0, n)
+	for _, k := range []int{n, n + 1, n * 10} {
+		got := tree.NearestKInto(q, k, buf[:0])
+		if len(got) != n {
+			t.Fatalf("k=%d: got %d neighbors, want all %d points", k, len(got), n)
+		}
+		want := bruteNearestK(pts, q, n)
+		seen := map[int]bool{}
+		for i := range got {
+			if seen[got[i].ID] {
+				t.Fatalf("k=%d: point %d returned twice", k, got[i].ID)
+			}
+			seen[got[i].ID] = true
+			if got[i].DistSq != want[i].DistSq {
+				t.Fatalf("k=%d: result[%d].DistSq = %v, want %v", k, i, got[i].DistSq, want[i].DistSq)
+			}
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = tree.NearestKInto(q, n*10, buf[:0])
+	}); allocs != 0 {
+		t.Fatalf("NearestKInto with k>Len allocated %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestNearestKIntoDuplicateCoordinates: several IDs at the same exact
+// coordinates must all be returned (distinct IDs, equal distances), and
+// the query must not lose non-duplicate points behind them.
+func TestNearestKIntoDuplicateCoordinates(t *testing.T) {
+	tree := New(2)
+	dup := linalg.Vector{1, 1}
+	for id := 0; id < 4; id++ {
+		tree.Insert(id, dup.Clone())
+	}
+	tree.Insert(9, linalg.Vector{5, 5})
+	q := linalg.Vector{1, 1}
+	buf := make([]Neighbor, 0, 5)
+	got := tree.NearestKInto(q, 5, buf)
+	if len(got) != 5 {
+		t.Fatalf("got %d neighbors, want 5", len(got))
+	}
+	seen := map[int]bool{}
+	for i, nb := range got {
+		if seen[nb.ID] {
+			t.Fatalf("id %d returned twice", nb.ID)
+		}
+		seen[nb.ID] = true
+		if i < 4 {
+			if nb.DistSq != 0 {
+				t.Fatalf("duplicate-coordinate neighbor %d has DistSq %v, want 0", i, nb.DistSq)
+			}
+		} else if nb.ID != 9 || nb.DistSq != 32 {
+			t.Fatalf("last neighbor = %+v, want id 9 at DistSq 32", nb)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = tree.NearestKInto(q, 5, buf[:0])
+	}); allocs != 0 {
+		t.Fatalf("duplicate-coordinate query allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestNearestKIntoSinglePoint: the 1-point tree — the smallest non-empty
+// kd-tree — answers any k with its single point, alloc-free.
+func TestNearestKIntoSinglePoint(t *testing.T) {
+	tree := New(4)
+	p := linalg.Vector{1, 2, 3, 4}
+	tree.Insert(42, p)
+	q := linalg.Vector{2, 2, 3, 4}
+	buf := make([]Neighbor, 0, 1)
+	for _, k := range []int{1, 2, 100} {
+		got := tree.NearestKInto(q, k, buf[:0])
+		if len(got) != 1 || got[0].ID != 42 || got[0].DistSq != 1 {
+			t.Fatalf("k=%d: got %+v, want [{42 1}]", k, got)
+		}
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = tree.NearestKInto(q, 1, buf[:0])
+	}); allocs != 0 {
+		t.Fatalf("1-point query allocated %.1f times, want 0", allocs)
+	}
+}

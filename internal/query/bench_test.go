@@ -1,0 +1,196 @@
+package query
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+	"cludistream/internal/telemetry"
+)
+
+// benchSites is how many sites feed the benchmarked coordinator.
+const benchSites = 8
+
+// clusteredMixture draws a 3-component site mixture whose means jitter
+// around fixed well-separated centers — the steady-state shape of a real
+// deployment, where sites see the same underlying clusters and the
+// coordinator's grouping keeps the global K bounded (rather than letting
+// every update mint fresh far-apart components and grow K without limit).
+func clusteredMixture(rng *rand.Rand, dim int) *gaussian.Mixture {
+	comps := make([]*gaussian.Component, 3)
+	ws := make([]float64, 3)
+	for j := range comps {
+		center := float64(rng.Intn(4)) * 20
+		mean := make(linalg.Vector, dim)
+		for d := range mean {
+			mean[d] = center + rng.NormFloat64()*0.1
+		}
+		comps[j] = gaussian.Spherical(mean, 1)
+		ws[j] = 0.5 + rng.Float64()
+	}
+	return gaussian.MustMixture(ws, comps)
+}
+
+// startIngest spins up the writer side of the Mqps claim: a goroutine
+// that keeps replacing site models (reset + re-cluster, the drift case)
+// and republishing the mixture, so the benchmarked read path runs
+// against a snapshot stream that is actually churning through merges,
+// splits and remerges.
+func startIngest(b *testing.B, p *Publisher, c *coordinator.Coordinator, dim int) func() {
+	b.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := 1 + i%benchSites
+			c.ResetSite(s)
+			_ = c.HandleUpdate(site.Update{SiteID: s, ModelID: 1, Kind: site.NewModel,
+				Mixture: clusteredMixture(rng, dim), Count: 80})
+			if _, err := p.Publish(c.GlobalMixture(), c.MixtureVersion(), c.TotalWeight()); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	return func() { close(stop); wg.Wait() }
+}
+
+// benchSetup builds a published snapshot (dim=4, a realistic global K),
+// asserts the read op is allocation-free while everything is still
+// quiet, then starts the concurrent ingest+remerge+publish churn.
+func benchSetup(b *testing.B, assertZeroAlloc func(q *Querier, x []float64)) (*Publisher, func()) {
+	b.Helper()
+	const dim = 4
+	rng := rand.New(rand.NewSource(42))
+	c, err := coordinator.New(coordinator.Config{Dim: dim, Merge: gaussian.MergeOptions{MomentOnly: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 1; s <= benchSites; s++ {
+		u := site.Update{SiteID: s, ModelID: 1, Kind: site.NewModel,
+			Mixture: clusteredMixture(rng, dim), Count: 100}
+		if err := c.HandleUpdate(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := NewPublisher(Options{Telemetry: telemetry.NewRegistry()})
+	sn := publishCoord(b, p, c)
+	b.Logf("serving K=%d components, dim=%d", sn.K(), dim)
+
+	// The 0 allocs/op gate: measured before the churn starts, because
+	// AllocsPerRun counts process-global allocations and the writer
+	// goroutine legitimately allocates snapshots.
+	q := p.NewQuerier()
+	x := randPoint(rng, dim)
+	assertZeroAlloc(q, x)
+
+	stopIngest := startIngest(b, p, c, dim)
+	return p, stopIngest
+}
+
+// queryPoints pre-generates query points so the timed loop does no rng
+// work; readers stride through them.
+func queryPoints(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = randPoint(rng, dim)
+	}
+	return pts
+}
+
+// BenchmarkQueryClassify is the acceptance benchmark: argmax-posterior
+// classification through the RCU snapshot at 0 allocs/op while ingest,
+// remerge and publication churn underneath. Run with -cpu 1,2,4 to see
+// the linear scaling claim; the qps metric is aggregate across readers.
+func BenchmarkQueryClassify(b *testing.B) {
+	p, stop := benchSetup(b, func(q *Querier, x []float64) {
+		q.Classify(x) // warm scratch
+		if allocs := testing.AllocsPerRun(500, func() { q.Classify(x) }); allocs != 0 {
+			b.Fatalf("Classify allocates %v per op, want 0", allocs)
+		}
+	})
+	defer stop()
+	pts := queryPoints(1024, 4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		q := p.NewQuerier()
+		defer q.Flush()
+		i := 0
+		for pb.Next() {
+			if _, ok := q.Classify(pts[i&1023]); !ok {
+				b.Error("no snapshot")
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkQueryDensity: log-likelihood evaluation under churn.
+func BenchmarkQueryDensity(b *testing.B) {
+	p, stop := benchSetup(b, func(q *Querier, x []float64) {
+		q.LogDensity(x)
+		if allocs := testing.AllocsPerRun(500, func() { q.LogDensity(x) }); allocs != 0 {
+			b.Fatalf("LogDensity allocates %v per op, want 0", allocs)
+		}
+	})
+	defer stop()
+	pts := queryPoints(1024, 4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		q := p.NewQuerier()
+		defer q.Flush()
+		i := 0
+		for pb.Next() {
+			if _, ok := q.LogDensity(pts[i&1023]); !ok {
+				b.Error("no snapshot")
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkQueryTopK: kd-indexed nearest-components under churn.
+func BenchmarkQueryTopK(b *testing.B) {
+	p, stop := benchSetup(b, func(q *Querier, x []float64) {
+		q.TopK(x, 4)
+		if allocs := testing.AllocsPerRun(500, func() { q.TopK(x, 4) }); allocs != 0 {
+			b.Fatalf("TopK allocates %v per op, want 0", allocs)
+		}
+	})
+	defer stop()
+	pts := queryPoints(1024, 4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		q := p.NewQuerier()
+		defer q.Flush()
+		i := 0
+		for pb.Next() {
+			if _, ok := q.TopK(pts[i&1023], 4); !ok {
+				b.Error("no snapshot")
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}

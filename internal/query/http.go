@@ -1,0 +1,328 @@
+package query
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Source is anything that serves snapshots: a Publisher or a ShardSet.
+type Source interface {
+	Current() *Snapshot
+	NewQuerier() *Querier
+}
+
+// Handler serves the query tier over HTTP:
+//
+//	/query/classify?x=1,2,3       — argmax-posterior component (JSON)
+//	/query/density?x=1,2,3        — log p(x) (JSON)
+//	/query/topk?x=1,2,3&k=4       — k nearest components (JSON)
+//	/query/snapshot               — snapshot metadata (JSON)
+//	POST /query/batch             — binary batch protocol (see wire.go)
+//
+// All endpoints answer 503 until the first snapshot is published. Query
+// scratch is pooled, so steady-state request handling does not allocate
+// on the scoring path (the HTTP stack itself still allocates per
+// request; the binary batch endpoint amortizes that across records).
+func Handler(src Source) http.Handler {
+	h := &httpHandler{src: src}
+	h.pool.New = func() any { return src.NewQuerier() }
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query/classify", h.classify)
+	mux.HandleFunc("/query/density", h.density)
+	mux.HandleFunc("/query/topk", h.topk)
+	mux.HandleFunc("/query/snapshot", h.snapshot)
+	mux.HandleFunc("/query/batch", h.batch)
+	return mux
+}
+
+type httpHandler struct {
+	src  Source
+	pool sync.Pool // of *Querier
+}
+
+// observe records serve-time staleness when the source carries telemetry.
+func (h *httpHandler) observe(sn *Snapshot) {
+	switch s := h.src.(type) {
+	case *Publisher:
+		s.ObserveStaleness(sn)
+	case *ShardSet:
+		s.Merged().ObserveStaleness(sn)
+	}
+}
+
+// acquire returns a pooled Querier plus the current snapshot; a nil
+// snapshot means nothing is published and the caller already got a 503.
+func (h *httpHandler) acquire(w http.ResponseWriter) (*Querier, *Snapshot) {
+	sn := h.src.Current()
+	if sn == nil {
+		http.Error(w, "query: no snapshot published yet", http.StatusServiceUnavailable)
+		return nil, nil
+	}
+	q := h.pool.Get().(*Querier)
+	h.observe(sn)
+	return q, sn
+}
+
+func (h *httpHandler) release(q *Querier) {
+	q.Flush()
+	h.pool.Put(q)
+}
+
+// parseX decodes the comma-separated x= query parameter into dim floats.
+func parseX(r *http.Request, dim int) ([]float64, error) {
+	raw := r.URL.Query().Get("x")
+	if raw == "" {
+		return nil, fmt.Errorf("missing x= parameter (comma-separated floats)")
+	}
+	parts := strings.Split(raw, ",")
+	if len(parts) != dim {
+		return nil, fmt.Errorf("x has %d values, snapshot dimension is %d", len(parts), dim)
+	}
+	x := make([]float64, dim)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("x[%d]: %v", i, err)
+		}
+		x[i] = v
+	}
+	return x, nil
+}
+
+func (h *httpHandler) classify(w http.ResponseWriter, r *http.Request) {
+	q, sn := h.acquire(w)
+	if q == nil {
+		return
+	}
+	defer h.release(q)
+	x, err := parseX(r, sn.Dim())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res := sn.Classify(x, q.scratch)
+	q.nClassify++
+	writeJSON(w, struct {
+		Version      uint64  `json:"version"`
+		Component    int     `json:"component"`
+		LogPosterior float64 `json:"log_posterior"`
+		LogDensity   float64 `json:"log_density"`
+	}{sn.Version(), res.Component, res.LogPosterior, res.LogDensity})
+}
+
+func (h *httpHandler) density(w http.ResponseWriter, r *http.Request) {
+	q, sn := h.acquire(w)
+	if q == nil {
+		return
+	}
+	defer h.release(q)
+	x, err := parseX(r, sn.Dim())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ld := sn.LogDensity(x, q.scratch)
+	q.nDensity++
+	writeJSON(w, struct {
+		Version    uint64  `json:"version"`
+		LogDensity float64 `json:"log_density"`
+	}{sn.Version(), ld})
+}
+
+func (h *httpHandler) topk(w http.ResponseWriter, r *http.Request) {
+	q, sn := h.acquire(w)
+	if q == nil {
+		return
+	}
+	defer h.release(q)
+	x, err := parseX(r, sn.Dim())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	k := 3
+	if s := r.URL.Query().Get("k"); s != "" {
+		k, err = strconv.Atoi(s)
+		if err != nil || k < 1 {
+			http.Error(w, "bad k: must be a positive integer", http.StatusBadRequest)
+			return
+		}
+	}
+	nbrs := sn.TopK(x, k, q.scratch)
+	q.nTopK++
+	type nbr struct {
+		Component int     `json:"component"`
+		DistSq    float64 `json:"dist_sq"`
+		Weight    float64 `json:"weight"`
+	}
+	out := make([]nbr, len(nbrs))
+	for i, n := range nbrs {
+		out[i] = nbr{n.ID, n.DistSq, sn.Weight(n.ID)}
+	}
+	writeJSON(w, struct {
+		Version   uint64 `json:"version"`
+		Neighbors []nbr  `json:"neighbors"`
+	}{sn.Version(), out})
+}
+
+func (h *httpHandler) snapshot(w http.ResponseWriter, r *http.Request) {
+	sn := h.src.Current()
+	if sn == nil {
+		http.Error(w, "query: no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, struct {
+		Version     uint64  `json:"version"`
+		K           int     `json:"k"`
+		Dim         int     `json:"dim"`
+		Mass        float64 `json:"mass"`
+		PublishedAt float64 `json:"published_at"`
+	}{sn.Version(), sn.K(), sn.Dim(), sn.Mass(), sn.PublishedAt()})
+}
+
+// Binary batch protocol (all little-endian):
+//
+//	request:  "CLUQ" | ver u8 (=1) | op u8 | k u16 | n u32 | dim u16 | n·dim f64
+//	response: "CLUR" | ver u8 (=1) | op u8 | snapshot version u64 | n u32 | payload
+//
+// payload per record: classify → comp u32, log-posterior f64, log-density
+// f64; density → f64; topk → k·(comp u32, dist² f64). One round trip
+// scores n points, amortizing HTTP overhead to nothing at batch sizes in
+// the hundreds.
+const (
+	OpClassify = 1
+	OpDensity  = 2
+	OpTopK     = 3
+
+	batchMagicQ = "CLUQ"
+	batchMagicR = "CLUR"
+	batchVer    = 1
+	// maxBatch bounds one request's record count (64 MiB of f64s at
+	// dim=16) so a bad length prefix cannot balloon allocation.
+	maxBatch = 1 << 19
+)
+
+func (h *httpHandler) batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	q, sn := h.acquire(w)
+	if q == nil {
+		return
+	}
+	defer h.release(q)
+
+	var hdr [14]byte
+	if _, err := io.ReadFull(r.Body, hdr[:]); err != nil {
+		http.Error(w, "short batch header", http.StatusBadRequest)
+		return
+	}
+	if string(hdr[0:4]) != batchMagicQ || hdr[4] != batchVer {
+		http.Error(w, "bad batch magic/version", http.StatusBadRequest)
+		return
+	}
+	op := int(hdr[5])
+	k := int(binary.LittleEndian.Uint16(hdr[6:8]))
+	n := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	dim := int(binary.LittleEndian.Uint16(hdr[12:14]))
+	if dim != sn.Dim() {
+		http.Error(w, fmt.Sprintf("batch dim %d, snapshot dim %d", dim, sn.Dim()), http.StatusBadRequest)
+		return
+	}
+	if n < 1 || n > maxBatch {
+		http.Error(w, fmt.Sprintf("batch n %d out of range [1,%d]", n, maxBatch), http.StatusBadRequest)
+		return
+	}
+	if op == OpTopK && k < 1 {
+		http.Error(w, "topk batch needs k >= 1", http.StatusBadRequest)
+		return
+	}
+	raw := make([]byte, n*dim*8)
+	if _, err := io.ReadFull(r.Body, raw); err != nil {
+		http.Error(w, "short batch payload", http.StatusBadRequest)
+		return
+	}
+
+	out := make([]byte, 0, 14+n*20)
+	out = append(out, batchMagicR...)
+	out = append(out, batchVer, byte(op))
+	out = binary.LittleEndian.AppendUint64(out, sn.Version())
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+
+	x := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dim; d++ {
+			x[d] = math.Float64frombits(binary.LittleEndian.Uint64(raw[(i*dim+d)*8:]))
+		}
+		switch op {
+		case OpClassify:
+			res := sn.Classify(x, q.scratch)
+			q.nClassify++
+			out = binary.LittleEndian.AppendUint32(out, uint32(res.Component))
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(res.LogPosterior))
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(res.LogDensity))
+		case OpDensity:
+			ld := sn.LogDensity(x, q.scratch)
+			q.nDensity++
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(ld))
+		case OpTopK:
+			nbrs := sn.TopK(x, k, q.scratch)
+			q.nTopK++
+			// Pad with sentinel ^uint32(0) entries when k > K so every
+			// record occupies exactly k slots and the client can index.
+			for j := 0; j < k; j++ {
+				if j < len(nbrs) {
+					out = binary.LittleEndian.AppendUint32(out, uint32(nbrs[j].ID))
+					out = binary.LittleEndian.AppendUint64(out, math.Float64bits(nbrs[j].DistSq))
+				} else {
+					out = binary.LittleEndian.AppendUint32(out, ^uint32(0))
+					out = binary.LittleEndian.AppendUint64(out, math.Float64bits(math.Inf(1)))
+				}
+			}
+		default:
+			http.Error(w, fmt.Sprintf("unknown op %d", op), http.StatusBadRequest)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(v) // best-effort, like telemetry's debug surface
+}
+
+// Server is a running query HTTP listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the query endpoints on addr (":0" for ephemeral) in a
+// background goroutine.
+func Serve(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(src), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln) // returns when ln closes; nothing to report
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and closes idle connections.
+func (s *Server) Close() error { return s.srv.Close() }

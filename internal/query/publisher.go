@@ -1,0 +1,181 @@
+package query
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cludistream/internal/gaussian"
+	"cludistream/internal/telemetry"
+)
+
+// Publisher is the RCU write side: Publish builds an immutable Snapshot
+// and swaps it in with one atomic pointer store; Current is the read side
+// — a single atomic load, no locks, no allocation. Old snapshots remain
+// fully usable by readers that still hold them.
+type Publisher struct {
+	cur   atomic.Pointer[Snapshot]
+	clock func() float64
+	tele  pubTele
+}
+
+// Options configures a Publisher. All fields are optional.
+type Options struct {
+	// Telemetry receives query.* metrics; nil disables instrumentation.
+	Telemetry *telemetry.Registry
+	// Clock supplies float64 seconds for PublishedAt and staleness
+	// measurement. Defaults to wall clock; DST injects the virtual clock.
+	Clock func() float64
+}
+
+type pubTele struct {
+	version   *telemetry.Gauge     // query.snapshot_version
+	published *telemetry.Counter   // query.publishes
+	refresh   *telemetry.Histogram // query.refresh_seconds: age of the snapshot being replaced
+	staleness *telemetry.Histogram // query.staleness_seconds: snapshot age observed at serve time
+	classify  *telemetry.Counter   // query.classify
+	density   *telemetry.Counter   // query.density
+	topk      *telemetry.Counter   // query.topk
+}
+
+// stalenessBounds also bounds query.refresh_seconds: publication cadence
+// and serve-time staleness live on the same scale.
+var stalenessBounds = []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// NewPublisher returns a Publisher with no current snapshot; Current
+// returns nil until the first Publish.
+func NewPublisher(opts Options) *Publisher {
+	p := &Publisher{clock: opts.Clock}
+	if p.clock == nil {
+		start := time.Now()
+		p.clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	if r := opts.Telemetry; r != nil {
+		p.tele = pubTele{
+			version:   r.Gauge("query.snapshot_version"),
+			published: r.Counter("query.publishes"),
+			refresh:   r.Histogram("query.refresh_seconds", stalenessBounds...),
+			staleness: r.Histogram("query.staleness_seconds", stalenessBounds...),
+			classify:  r.Counter("query.classify"),
+			density:   r.Counter("query.density"),
+			topk:      r.Counter("query.topk"),
+		}
+	}
+	return p
+}
+
+// Publish deep-copies mix into a new Snapshot stamped with version and
+// mass and makes it the current snapshot. Returns the snapshot so the
+// caller can pin it. Publish may run concurrently with any number of
+// readers; concurrent Publish calls are safe but last-writer-wins.
+func (p *Publisher) Publish(mix *gaussian.Mixture, version uint64, mass float64) (*Snapshot, error) {
+	now := p.clock()
+	sn, err := newSnapshot(mix, version, mass, now)
+	if err != nil {
+		return nil, err
+	}
+	old := p.cur.Swap(sn)
+	p.tele.version.Set(float64(version))
+	p.tele.published.Inc()
+	if old != nil {
+		p.tele.refresh.Observe(now - old.publishedAt)
+	}
+	return sn, nil
+}
+
+// Current returns the latest published snapshot, or nil before the first
+// Publish. Lock-free and allocation-free: one atomic pointer load.
+func (p *Publisher) Current() *Snapshot { return p.cur.Load() }
+
+// Now reads the publisher's clock (float64 seconds).
+func (p *Publisher) Now() float64 { return p.clock() }
+
+// ObserveStaleness records the age of a snapshot at serve time into the
+// query.staleness_seconds histogram. No-op without telemetry.
+func (p *Publisher) ObserveStaleness(sn *Snapshot) {
+	if sn != nil {
+		p.tele.staleness.Observe(p.clock() - sn.publishedAt)
+	}
+}
+
+// counterFlushEvery is how many locally-counted ops a Querier batches
+// before flushing to the shared telemetry counters. Batching keeps the
+// Mqps read path off the shared cache lines; the shared counters lag by
+// at most this many ops per goroutine.
+const counterFlushEvery = 1024
+
+// Querier is a per-goroutine handle bundling the publisher, a private
+// Scratch, and batched op counters. Exactly one goroutine may use a
+// Querier at a time.
+type Querier struct {
+	pub     *Publisher
+	scratch *Scratch
+	// local op counts since the last flush
+	nClassify, nDensity, nTopK int64
+}
+
+// NewQuerier returns a Querier for one goroutine's use.
+func (p *Publisher) NewQuerier() *Querier {
+	return &Querier{pub: p, scratch: NewScratch()}
+}
+
+// Snapshot returns the current snapshot (nil before the first publish).
+func (q *Querier) Snapshot() *Snapshot { return q.pub.Current() }
+
+// Classify classifies x against the current snapshot. ok is false when
+// nothing has been published yet.
+func (q *Querier) Classify(x []float64) (Classification, bool) {
+	sn := q.pub.Current()
+	if sn == nil {
+		return Classification{}, false
+	}
+	res := sn.Classify(x, q.scratch)
+	if q.nClassify++; q.nClassify >= counterFlushEvery {
+		q.pub.tele.classify.Add(q.nClassify)
+		q.nClassify = 0
+	}
+	return res, true
+}
+
+// LogDensity evaluates log p(x) against the current snapshot.
+func (q *Querier) LogDensity(x []float64) (float64, bool) {
+	sn := q.pub.Current()
+	if sn == nil {
+		return 0, false
+	}
+	ld := sn.LogDensity(x, q.scratch)
+	if q.nDensity++; q.nDensity >= counterFlushEvery {
+		q.pub.tele.density.Add(q.nDensity)
+		q.nDensity = 0
+	}
+	return ld, true
+}
+
+// TopK returns the k nearest components to x. The slice aliases the
+// Querier's scratch and is valid until the next TopK call.
+func (q *Querier) TopK(x []float64, k int) ([]Neighbor, bool) {
+	sn := q.pub.Current()
+	if sn == nil {
+		return nil, false
+	}
+	nbrs := sn.TopK(x, k, q.scratch)
+	if q.nTopK++; q.nTopK >= counterFlushEvery {
+		q.pub.tele.topk.Add(q.nTopK)
+		q.nTopK = 0
+	}
+	return nbrs, true
+}
+
+// Flush pushes the residual (un-batched) op counts to the shared
+// telemetry counters. Call when the goroutine retires the Querier.
+func (q *Querier) Flush() {
+	if q.nClassify > 0 {
+		q.pub.tele.classify.Add(q.nClassify)
+	}
+	if q.nDensity > 0 {
+		q.pub.tele.density.Add(q.nDensity)
+	}
+	if q.nTopK > 0 {
+		q.pub.tele.topk.Add(q.nTopK)
+	}
+	q.nClassify, q.nDensity, q.nTopK = 0, 0, 0
+}

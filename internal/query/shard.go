@@ -1,0 +1,78 @@
+package query
+
+import (
+	"fmt"
+
+	"cludistream/internal/gaussian"
+)
+
+// ShardSet is the thin reduce layer over N coordinator shards (the
+// paper's Section 7 multi-layer sketch): each shard owns a subset of
+// sites and publishes its own mixture snapshots; Reduce merges the
+// current per-shard snapshots into one served mixture, weighting each
+// shard's components by the shard's record mass. The merged snapshot is
+// published through the set's own Publisher, so readers use the same
+// lock-free Current/Querier path whether the tier is sharded or not.
+type ShardSet struct {
+	shards []*Publisher
+	merged *Publisher
+}
+
+// NewShardSet builds a reduce layer over the given shard publishers.
+// opts configures the merged-output publisher (telemetry, clock).
+func NewShardSet(shards []*Publisher, opts Options) *ShardSet {
+	return &ShardSet{shards: shards, merged: NewPublisher(opts)}
+}
+
+// Shards returns the underlying shard publishers (for feeding).
+func (ss *ShardSet) Shards() []*Publisher { return ss.shards }
+
+// Merged returns the publisher serving the reduced mixture.
+func (ss *ShardSet) Merged() *Publisher { return ss.merged }
+
+// Current returns the latest reduced snapshot, so a ShardSet can stand in
+// anywhere a Publisher-backed source is expected (e.g. the HTTP handler).
+func (ss *ShardSet) Current() *Snapshot { return ss.merged.Current() }
+
+// NewQuerier returns a per-goroutine Querier over the reduced mixture.
+func (ss *ShardSet) NewQuerier() *Querier { return ss.merged.NewQuerier() }
+
+// Reduce merges the shards' current snapshots and publishes the result.
+// Shards that have not published yet are skipped; at least one shard must
+// have a snapshot. Each shard contributes its components with absolute
+// weight w_j·mass_s, so the merged mixture is the mass-weighted average
+// of the shard densities: p(x) = Σ_s (M_s/ΣM) p_s(x). The merged version
+// is the sum of shard versions — monotone because every shard's version
+// is — and the snapshot's mass is the total across shards.
+func (ss *ShardSet) Reduce() (*Snapshot, error) {
+	var (
+		weights []float64
+		comps   []*gaussian.Component
+		version uint64
+		mass    float64
+	)
+	for _, sh := range ss.shards {
+		sn := sh.Current()
+		if sn == nil {
+			continue
+		}
+		version += sn.Version()
+		mass += sn.Mass()
+		for j := 0; j < sn.K(); j++ {
+			// Shard snapshot components are immutable and already
+			// decoupled from their coordinator, so sharing them here is
+			// safe; Publish deep-copies once more into the merged
+			// snapshot.
+			weights = append(weights, sn.Weight(j)*sn.Mass())
+			comps = append(comps, sn.Component(j))
+		}
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("query: reduce: no shard has published a snapshot")
+	}
+	mix, err := gaussian.NewMixture(weights, comps)
+	if err != nil {
+		return nil, fmt.Errorf("query: reduce: %w", err)
+	}
+	return ss.merged.Publish(mix, version, mass)
+}

@@ -1,0 +1,105 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestReduceMergesByMass pins the reduce semantics: the merged density is
+// the mass-weighted average of shard densities, the merged version is the
+// sum of shard versions, and the merged mass is the total.
+func TestReduceMergesByMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	shardA, shardB := NewPublisher(Options{}), NewPublisher(Options{})
+	mixA, mixB := randMixture(rng, 3, 2), randMixture(rng, 5, 2)
+	if _, err := shardA.Publish(mixA, 4, 300); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shardB.Publish(mixB, 9, 100); err != nil {
+		t.Fatal(err)
+	}
+	ss := NewShardSet([]*Publisher{shardA, shardB}, Options{})
+	sn, err := ss.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Version() != 13 {
+		t.Fatalf("merged version = %d, want 4+9=13", sn.Version())
+	}
+	if sn.Mass() != 400 {
+		t.Fatalf("merged mass = %v, want 400", sn.Mass())
+	}
+	if sn.K() != mixA.K()+mixB.K() {
+		t.Fatalf("merged K = %d, want %d", sn.K(), mixA.K()+mixB.K())
+	}
+	if ss.Current() != sn {
+		t.Fatal("ShardSet.Current() != the snapshot Reduce returned")
+	}
+	s := NewScratch()
+	for i := 0; i < 100; i++ {
+		x := randPoint(rng, 2)
+		got := math.Exp(sn.LogDensity(x, s))
+		want := (300*mixA.PDF(x) + 100*mixB.PDF(x)) / 400
+		if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Fatalf("merged density(%v) = %g, want mass-weighted %g", x, got, want)
+		}
+	}
+}
+
+// TestReduceSkipsUnpublishedShards: shards that have not published yet do
+// not block the reduce; a fully-unpublished set errors.
+func TestReduceSkipsUnpublishedShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shardA, shardB := NewPublisher(Options{}), NewPublisher(Options{})
+	ss := NewShardSet([]*Publisher{shardA, shardB}, Options{})
+	if _, err := ss.Reduce(); err == nil {
+		t.Fatal("Reduce with no published shards did not error")
+	}
+	mixA := randMixture(rng, 3, 2)
+	if _, err := shardA.Publish(mixA, 2, 50); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := ss.Reduce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.K() != mixA.K() || sn.Version() != 2 || sn.Mass() != 50 {
+		t.Fatalf("single-shard reduce: K=%d version=%d mass=%v", sn.K(), sn.Version(), sn.Mass())
+	}
+	// One-shard reduce must serve the same densities as the shard.
+	s := NewScratch()
+	for i := 0; i < 50; i++ {
+		x := randPoint(rng, 2)
+		got, want := sn.LogDensity(x, s), shardA.Current().LogDensity(x, s)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("one-shard reduce density %v, shard density %v", got, want)
+		}
+	}
+}
+
+// TestReduceVersionMonotone: repeated reduces over advancing shards never
+// move the merged version backwards.
+func TestReduceVersionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	shards := []*Publisher{NewPublisher(Options{}), NewPublisher(Options{}), NewPublisher(Options{})}
+	ss := NewShardSet(shards, Options{})
+	var last uint64
+	for round := 1; round <= 10; round++ {
+		for i, sh := range shards {
+			if rng.Intn(2) == 0 || round == 1 {
+				if _, err := sh.Publish(randMixture(rng, 2+i, 2), uint64(round*(i+1)), float64(10*round)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		sn, err := ss.Reduce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sn.Version() < last {
+			t.Fatalf("round %d: merged version %d < previous %d", round, sn.Version(), last)
+		}
+		last = sn.Version()
+	}
+}
