@@ -3,7 +3,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 COMMIT ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS := -ldflags "-X cludistream/internal/buildinfo.Version=$(VERSION) -X cludistream/internal/buildinfo.Commit=$(COMMIT)"
 
-.PHONY: all build vet lint test race race-em race-parallel race-score race-query alloc-gate alloc-gate-query recover check tier1 fuzz bench bench-compare obs-demo trace-demo dst dst-long
+.PHONY: all build vet lint test race race-em race-parallel race-score race-query alloc-gate alloc-gate-query recover check tier1 fuzz bench bench-compare obs-demo trace-demo dst dst-tree dst-long
 
 all: check
 
@@ -82,7 +82,7 @@ recover:
 	$(GO) test -race -run 'TestServerRestartRecoveryOverTCP|TestHandshakePrunesRecoveredSuffix' ./internal/netio/
 
 # Full pre-merge gate.
-check: build lint race-em race-parallel race-score race-query alloc-gate alloc-gate-query recover race dst
+check: build lint race-em race-parallel race-score race-query alloc-gate alloc-gate-query recover race dst dst-tree
 
 # Deterministic simulation testing (internal/dst): sweep seeded
 # whole-system scenarios — random deployments, drift programs, and fault
@@ -92,10 +92,20 @@ check: build lint race-em race-parallel race-score race-query alloc-gate alloc-g
 dst:
 	$(GO) run ./cmd/dst run -seeds 150
 
-# Nightly depth: more seeds, larger deployments and drift programs.
+# Tree-topology DST: random 1-3-layer trees of 100+ sites with
+# heterogeneous links, interior-node partitions, and aggregator
+# crash/recovery, checked hop by hop (per-layer exactly-once, Theorem-3
+# byte/memory bounds, tree-vs-flat equivalence). Seeds fan out across
+# cores; `go run ./cmd/dst replay -tree -seed N` reproduces a failure.
+dst-tree:
+	$(GO) run ./cmd/dst run -tree -seeds 150
+
+# Nightly depth: more seeds, larger deployments and drift programs, and
+# tree topologies up to 1000 sites and 3 aggregator layers.
 dst-long:
 	$(GO) run ./cmd/dst run -seeds 500 -long
 	$(GO) run ./cmd/dst run -seeds 1500
+	$(GO) run ./cmd/dst run -tree -long -seeds 100
 
 # The repo's minimal health check (see ROADMAP.md).
 tier1:
@@ -118,7 +128,8 @@ fuzz:
 bench:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkAblation' -benchtime 1x . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkMixture|BenchmarkEMFit|BenchmarkSite|BenchmarkSystem|BenchmarkCholesky|BenchmarkFitMerge|BenchmarkSMEM|BenchmarkScore|BenchmarkPosterior|BenchmarkQuadForm|BenchmarkTelemetry|BenchmarkMultiTest|BenchmarkRemerge' -benchmem . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchmem ./internal/query/ ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchmem ./internal/query/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkTreeLoad' -benchtime 1x ./internal/tree/ ; } \
 	  | tee /dev/stderr | $(GO) run $(LDFLAGS) ./cmd/benchjson > BENCH_quick.json
 
 # Regression check against the committed snapshot: rerun the hot-path

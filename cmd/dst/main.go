@@ -7,14 +7,20 @@
 //
 //	dst run -seeds 100                 # sweep seeds 1..100 (short scenarios)
 //	dst run -seeds 500 -long           # nightly: bigger deployments
+//	dst run -tree -seeds 150           # tree topologies: 100+ sites behind aggregators
 //	dst replay -seed 42                # re-run one seed twice, prove bit-identical
+//	dst replay -tree -seed 42          # same, for a tree scenario
 //	dst replay -scenario fail.json     # replay a written scenario file
 //	dst shrink -scenario fail.json -o min.json
 //
-// A violating run writes a self-contained artifact
-// (dst-fail-seed<N>.json: seed, scenario, violation, journal slice) and
-// exits 1. replay exits 2 if two runs of the same input ever diverge —
-// that would mean the harness itself lost determinism.
+// A violating run writes a self-contained artifact (dst-fail-seed<N>.json
+// or dst-tree-fail-seed<N>.json: seed, scenario, violation) and exits 1.
+// replay exits 2 if two runs of the same input ever diverge — that would
+// mean the harness itself lost determinism.
+//
+// Tree scenarios are independent per seed, so the tree sweep fans out
+// across CPUs; flat scenarios stay sequential to preserve the exact
+// first-failure ordering older artifacts were minimized against.
 package main
 
 import (
@@ -23,6 +29,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"cludistream/internal/dst"
@@ -57,11 +66,16 @@ func cmdRun(args []string) {
 	seeds := fs.Int("seeds", 100, "number of seeds to run")
 	start := fs.Int64("start", 1, "first seed")
 	long := fs.Bool("long", false, "long mode: larger deployments and drift programs")
+	treeMode := fs.Bool("tree", false, "tree mode: random multi-layer topologies with interior faults")
 	inject := fs.Bool("inject-dedupe-bug", false, "deliberately break the coordinator dedupe (harness self-test)")
 	dir := fs.String("artifact-dir", ".", "directory for failure artifacts")
 	verbose := fs.Bool("v", false, "print each seed's summary")
 	fs.Parse(args)
 
+	if *treeMode {
+		runTreeSweep(*seeds, *start, *long, *inject, *dir, *verbose)
+		return
+	}
 	opts := dst.Options{InjectDedupeFault: *inject}
 	t0 := time.Now()
 	for seed := *start; seed < *start+int64(*seeds); seed++ {
@@ -88,6 +102,70 @@ func cmdRun(args []string) {
 	fmt.Printf("dst: %d seeds green in %.1fs\n", *seeds, time.Since(t0).Seconds())
 }
 
+// runTreeSweep sweeps tree-topology seeds across the CPUs. Each seed is
+// an independent pure function, so the fan-out changes nothing about the
+// results; the sweep runs every seed and reports the lowest failing one,
+// writing an artifact per failure.
+func runTreeSweep(seeds int, start int64, long, inject bool, dir string, verbose bool) {
+	opts := dst.TreeOptions{InjectDedupeFault: inject}
+	t0 := time.Now()
+	type outcome struct {
+		seed int64
+		res  *dst.TreeResult
+		err  error
+	}
+	jobs := make(chan int64)
+	results := make(chan outcome, seeds)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.NumCPU(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range jobs {
+				res, err := dst.RunTree(dst.GenerateTree(seed, !long), opts)
+				results <- outcome{seed: seed, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for seed := start; seed < start+int64(seeds); seed++ {
+			jobs <- seed
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	var failed []outcome
+	for o := range results {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "dst: tree seed %d: %v\n", o.seed, o.err)
+			os.Exit(1)
+		}
+		if verbose {
+			sc := o.res.Scenario
+			fmt.Printf("tree seed %-6d sites=%-4d layers=%d updates=%-5d crashes=%d restarts=%d t=%.1fs fp=%016x\n",
+				o.seed, sc.NumSites(), sc.Topology.Depth()-1, o.res.Updates, len(sc.Crashes), o.res.Recovery.Restarts, o.res.SimTime, o.res.Fingerprint)
+		}
+		if o.res.Violation != nil {
+			failed = append(failed, o)
+		}
+	}
+	if len(failed) > 0 {
+		sort.Slice(failed, func(i, j int) bool { return failed[i].seed < failed[j].seed })
+		for _, o := range failed {
+			path := filepath.Join(dir, fmt.Sprintf("dst-tree-fail-seed%d.json", o.seed))
+			if err := writeTreeArtifact(path, o.res); err != nil {
+				fmt.Fprintf(os.Stderr, "dst: writing artifact: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "dst: tree seed %d FAILED: %v\n  artifact: %s\n  replay:   dst replay -tree -seed %d%s\n",
+				o.seed, o.res.Violation, path, o.seed, longFlag(long))
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("dst: %d tree seeds green in %.1fs\n", seeds, time.Since(t0).Seconds())
+}
+
 // cmdReplay runs one seed (or scenario file) twice and proves the two
 // runs are bit-identical, printing the deterministic core.
 func cmdReplay(args []string) {
@@ -95,9 +173,14 @@ func cmdReplay(args []string) {
 	seed := fs.Int64("seed", 0, "seed to replay (generates the scenario)")
 	scenarioPath := fs.String("scenario", "", "scenario file to replay instead of a seed")
 	long := fs.Bool("long", false, "long mode (must match the run that failed)")
+	treeMode := fs.Bool("tree", false, "replay a tree scenario")
 	inject := fs.Bool("inject-dedupe-bug", false, "deliberately break the coordinator dedupe")
 	fs.Parse(args)
 
+	if *treeMode {
+		replayTree(*seed, *scenarioPath, *long, *inject)
+		return
+	}
 	sc, err := loadScenario(*seed, *scenarioPath, *long)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dst:", err)
@@ -121,6 +204,63 @@ func cmdReplay(args []string) {
 		os.Exit(2)
 	}
 	fmt.Printf("replay bit-identical across 2 runs:\n%s\n", cores[0])
+	if last.Violation != nil {
+		os.Exit(1)
+	}
+}
+
+// replayTree is cmdReplay for tree scenarios: two runs of the same input
+// must produce bit-identical deterministic cores.
+func replayTree(seed int64, path string, long, inject bool) {
+	var sc dst.TreeScenario
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dst:", err)
+			os.Exit(2)
+		}
+		var rerr error
+		sc, rerr = dst.ReadTreeScenario(f)
+		f.Close()
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "dst:", rerr)
+			os.Exit(2)
+		}
+	case seed != 0:
+		sc = dst.GenerateTree(seed, !long)
+	default:
+		fmt.Fprintln(os.Stderr, "dst: need -seed or -scenario")
+		os.Exit(2)
+	}
+	opts := dst.TreeOptions{InjectDedupeFault: inject}
+	var cores [2][]byte
+	var last *dst.TreeResult
+	for i := range cores {
+		res, err := dst.RunTree(sc, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dst: replay %d: %v\n", i+1, err)
+			os.Exit(2)
+		}
+		c := dst.TreeCore{
+			Seed:           res.Scenario.Seed,
+			Updates:        res.Updates,
+			SimTime:        res.SimTime,
+			Fingerprint:    res.Fingerprint,
+			RefFingerprint: res.RefFingerprint,
+		}
+		if res.Violation != nil {
+			c.Violation = *res.Violation
+		}
+		b, _ := json.Marshal(c)
+		cores[i] = b
+		last = res
+	}
+	if string(cores[0]) != string(cores[1]) {
+		fmt.Fprintf(os.Stderr, "dst: NON-DETERMINISTIC: tree replays diverged\nfirst:  %s\nsecond: %s\n", cores[0], cores[1])
+		os.Exit(2)
+	}
+	fmt.Printf("tree replay bit-identical across 2 runs:\n%s\n", cores[0])
 	if last.Violation != nil {
 		os.Exit(1)
 	}
@@ -181,6 +321,15 @@ func loadScenario(seed int64, path string, long bool) (dst.Scenario, error) {
 	default:
 		return dst.Scenario{}, fmt.Errorf("need -seed or -scenario")
 	}
+}
+
+func writeTreeArtifact(path string, res *dst.TreeResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return dst.WriteTreeArtifact(f, res.ToArtifact())
 }
 
 func writeArtifact(path string, res *dst.Result) error {

@@ -1,0 +1,109 @@
+package dst
+
+import (
+	"encoding/json"
+	"io"
+
+	"cludistream/internal/persist"
+	"cludistream/internal/tree"
+)
+
+const (
+	treeArtifactFormat = "cludistream-dst-tree-artifact"
+	treeScenarioFormat = "cludistream-dst-tree-scenario"
+	treeFormatVersion  = 1
+)
+
+// TreeArtifact is a self-contained tree-scenario failure report: the
+// seed, the full scenario (topology included), the violation, and the
+// run's layer-level accounting. A written artifact replays without the
+// process that found it.
+type TreeArtifact struct {
+	Seed           int64              `json:"seed"`
+	Scenario       TreeScenario       `json:"scenario"`
+	Violation      Violation          `json:"violation"`
+	Updates        int                `json:"updates"`
+	SimTime        float64            `json:"sim_time"`
+	Fingerprint    uint64             `json:"fingerprint"`
+	RefFingerprint uint64             `json:"ref_fingerprint"`
+	LayerBytes     []int              `json:"layer_bytes,omitempty"`
+	Recovery       tree.RecoveryStats `json:"recovery"`
+}
+
+// TreeCore is the deterministic portion of a tree artifact: two replays
+// of the same scenario must produce equal TreeCores bit for bit.
+type TreeCore struct {
+	Seed           int64     `json:"seed"`
+	Violation      Violation `json:"violation"`
+	Updates        int       `json:"updates"`
+	SimTime        float64   `json:"sim_time"`
+	Fingerprint    uint64    `json:"fingerprint"`
+	RefFingerprint uint64    `json:"ref_fingerprint"`
+}
+
+// Core projects the artifact onto its replay-stable fields.
+func (a *TreeArtifact) Core() TreeCore {
+	return TreeCore{
+		Seed:           a.Seed,
+		Violation:      a.Violation,
+		Updates:        a.Updates,
+		SimTime:        a.SimTime,
+		Fingerprint:    a.Fingerprint,
+		RefFingerprint: a.RefFingerprint,
+	}
+}
+
+// ToArtifact packages a violating tree result (nil for green runs).
+func (r *TreeResult) ToArtifact() *TreeArtifact {
+	if r.Violation == nil {
+		return nil
+	}
+	return &TreeArtifact{
+		Seed:           r.Scenario.Seed,
+		Scenario:       r.Scenario,
+		Violation:      *r.Violation,
+		Updates:        r.Updates,
+		SimTime:        r.SimTime,
+		Fingerprint:    r.Fingerprint,
+		RefFingerprint: r.RefFingerprint,
+		LayerBytes:     r.LayerBytes,
+		Recovery:       r.Recovery,
+	}
+}
+
+// WriteTreeArtifact serializes a tree artifact into persist's envelope.
+func WriteTreeArtifact(w io.Writer, a *TreeArtifact) error {
+	return persist.SaveJSONEnvelope(w, treeArtifactFormat, treeFormatVersion, a)
+}
+
+// ReadTreeArtifact loads an artifact written by WriteTreeArtifact.
+func ReadTreeArtifact(r io.Reader) (*TreeArtifact, error) {
+	payload, _, err := persist.LoadJSONEnvelope(r, treeArtifactFormat, treeFormatVersion)
+	if err != nil {
+		return nil, err
+	}
+	var a TreeArtifact
+	if err := json.Unmarshal(payload, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// WriteTreeScenario serializes a tree scenario alone.
+func WriteTreeScenario(w io.Writer, sc TreeScenario) error {
+	return persist.SaveJSONEnvelope(w, treeScenarioFormat, treeFormatVersion, sc)
+}
+
+// ReadTreeScenario loads a scenario written by WriteTreeScenario and
+// validates it.
+func ReadTreeScenario(r io.Reader) (TreeScenario, error) {
+	payload, _, err := persist.LoadJSONEnvelope(r, treeScenarioFormat, treeFormatVersion)
+	if err != nil {
+		return TreeScenario{}, err
+	}
+	var sc TreeScenario
+	if err := json.Unmarshal(payload, &sc); err != nil {
+		return TreeScenario{}, err
+	}
+	return sc, sc.Validate()
+}

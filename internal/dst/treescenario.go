@@ -1,0 +1,227 @@
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cludistream/internal/persist"
+	"cludistream/internal/tree"
+)
+
+// TreePartition is a receiver-down window on one internal node of a tree
+// scenario: nothing reaches the node while the window is open, its state
+// stays intact, and couriers retransmit after it lifts. Distinct from a
+// crash, which loses the node's in-memory state and recovers from disk.
+type TreePartition struct {
+	Node  int     `json:"node"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// TreeScenario is a complete multi-layer simulation test case: a random
+// tree topology (heterogeneous per-link latency/bandwidth embedded in the
+// spec), per-site drift programs, and a fault schedule that targets the
+// interior — iid loss and duplication on every edge, partition windows on
+// aggregators, and aggregator crash/recovery through the durable
+// checkpoint + WAL path. Like the flat Scenario, its JSON form alone
+// reproduces a run exactly.
+type TreeScenario struct {
+	Seed      int64 `json:"seed"`
+	Dim       int   `json:"dim"`
+	K         int   `json:"k"`
+	ChunkSize int   `json:"chunk_size"`
+
+	Topology tree.Topology `json:"topology"`
+
+	// Fault schedule.
+	DropProb   float64          `json:"drop_prob,omitempty"`
+	DupProb    float64          `json:"dup_prob,omitempty"`
+	Partitions []TreePartition  `json:"partitions,omitempty"`
+	Crashes    []tree.CrashSpec `json:"crashes,omitempty"`
+
+	// Aggregator durability knobs, set when the schedule crashes an
+	// aggregator so an artifact pins the exact checkpoint cadence and WAL
+	// sync policy the failing run used.
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+	WALFsync        string `json:"wal_fsync,omitempty"`
+
+	ArrivalRate float64 `json:"arrival_rate"`
+
+	Sites []SiteScript `json:"sites"`
+}
+
+// NumSites returns the scenario's leaf count.
+func (sc TreeScenario) NumSites() int { return sc.Topology.NumSites() }
+
+// GenerateTree derives a tree scenario from a seed. Short mode keeps the
+// sweep fast — 100–220 sites behind one or two aggregator layers with
+// short drift programs — while long mode explores up to 1000 sites and
+// three layers. Every site draws regimes from the shared palette with no
+// per-site offset, so sibling sites produce mergeable models and
+// aggregation genuinely compresses (the property the per-layer memory
+// bound is about).
+func GenerateTree(seed int64, short bool) TreeScenario {
+	rng := rand.New(rand.NewSource(seed*2654435761 + 9176))
+	sc := TreeScenario{
+		Seed:        seed,
+		Dim:         1 + rng.Intn(2),
+		K:           2,
+		ArrivalRate: 1000,
+	}
+	var numSites, layers int
+	if short {
+		numSites = 100 + rng.Intn(121)
+		layers = 1 + rng.Intn(2)
+		sc.ChunkSize = 60 + 20*rng.Intn(3)
+	} else {
+		numSites = 100 + rng.Intn(901)
+		layers = 1 + rng.Intn(3)
+		sc.ChunkSize = 100 + 50*rng.Intn(3)
+	}
+	fanOut := 4 + rng.Intn(13)
+	base := tree.LinkSpec{Latency: 0.01 + 0.04*rng.Float64()}
+	topo, err := tree.Spec{Leaves: numSites, AggLayers: layers, FanOut: fanOut, Link: base}.Build()
+	if err != nil {
+		panic(fmt.Sprintf("dst: generated spec invalid: %v", err)) // unreachable by construction
+	}
+	// Heterogeneous links: every edge gets its own latency around the base,
+	// and a minority of edges are bandwidth-starved (serialized frames).
+	hetero := func(l tree.LinkSpec) tree.LinkSpec {
+		l.Latency = base.Latency * (0.5 + rng.Float64())
+		if rng.Intn(10) == 0 {
+			l.Bandwidth = 50e3 + 150e3*rng.Float64()
+		}
+		return l
+	}
+	for i := range topo.Aggs {
+		topo.Aggs[i].Link = hetero(topo.Aggs[i].Link)
+	}
+	for i := range topo.Leaves {
+		topo.Leaves[i].Link = hetero(topo.Leaves[i].Link)
+	}
+	sc.Topology = topo
+
+	if rng.Intn(3) != 0 {
+		sc.DropProb = 0.05 + 0.2*rng.Float64()
+	}
+	if rng.Intn(3) != 0 {
+		sc.DupProb = 0.05 + 0.2*rng.Float64()
+	}
+
+	// Drift programs off the shared palette; leaves never crash in tree
+	// mode (CrashAfter stays zero — interior faults are the point here).
+	maxChunks := 0
+	for i := 0; i < numSites; i++ {
+		script := SiteScript{StreamSeed: seed ^ (int64(i+1) * 7919)}
+		nRegimes := 2
+		if !short {
+			nRegimes = 2 + rng.Intn(2)
+		}
+		prev := -1
+		for r := 0; r < nRegimes; r++ {
+			pi := rng.Intn(3)
+			if pi == prev {
+				pi = (pi + 1) % 3
+			}
+			prev = pi
+			script.Regimes = append(script.Regimes, Regime{
+				Mean:   regimePalette[pi],
+				Chunks: 1 + rng.Intn(2),
+			})
+		}
+		if rng.Intn(4) == 0 {
+			script.TailRecords = rng.Intn(sc.ChunkSize)
+		}
+		if n := script.chunks(); n > maxChunks {
+			maxChunks = n
+		}
+		sc.Sites = append(sc.Sites, script)
+	}
+
+	// Interior fault windows, placed inside the stream's simulated span.
+	dur := float64(maxChunks*sc.ChunkSize) / sc.ArrivalRate
+	numAggs := len(topo.Aggs)
+	for n := rng.Intn(3); n > 0 && numAggs > 0; n-- {
+		start := rng.Float64() * dur * 0.8
+		sc.Partitions = append(sc.Partitions, TreePartition{
+			Node:  1 + rng.Intn(numAggs),
+			Start: start,
+			End:   start + (0.05+0.3*rng.Float64())*dur,
+		})
+	}
+	// Half the scenarios crash aggregators: distinct nodes, windows inside
+	// the feed span so recovery and catch-up happen under live traffic.
+	if numAggs > 0 && rng.Intn(2) == 0 {
+		used := map[int]bool{}
+		for n := 1 + rng.Intn(2); n > 0; n-- {
+			node := 1 + rng.Intn(numAggs)
+			if used[node] {
+				continue
+			}
+			used[node] = true
+			start := (0.1 + 0.6*rng.Float64()) * dur
+			sc.Crashes = append(sc.Crashes, tree.CrashSpec{
+				Node:  node,
+				Start: start,
+				End:   start + (0.02+0.1*rng.Float64())*dur,
+			})
+		}
+		// A tiny checkpoint cadence makes most recoveries replay a WAL
+		// tail; "always" is the only policy under which recovery is
+		// lossless and the byte-level self-check can demand equality.
+		sc.CheckpointEvery = 1 + rng.Intn(8)
+		sc.WALFsync = "always"
+	}
+	return sc
+}
+
+// Validate rejects tree scenarios that cannot run (hand-edited artifacts).
+func (sc TreeScenario) Validate() error {
+	if err := sc.Topology.Validate(); err != nil {
+		return err
+	}
+	if sc.NumSites() != len(sc.Sites) {
+		return fmt.Errorf("dst: topology has %d leaves but %d site scripts", sc.NumSites(), len(sc.Sites))
+	}
+	if sc.Dim < 1 || sc.K < 1 || sc.ChunkSize < sc.K {
+		return fmt.Errorf("dst: bad dims: Dim=%d K=%d ChunkSize=%d", sc.Dim, sc.K, sc.ChunkSize)
+	}
+	if sc.ArrivalRate <= 0 {
+		return fmt.Errorf("dst: ArrivalRate %v", sc.ArrivalRate)
+	}
+	if sc.DropProb < 0 || sc.DropProb >= 1 || sc.DupProb < 0 || sc.DupProb > 1 {
+		return fmt.Errorf("dst: DropProb %v / DupProb %v", sc.DropProb, sc.DupProb)
+	}
+	for i, s := range sc.Sites {
+		if len(s.Regimes) == 0 {
+			return fmt.Errorf("dst: site %d has no regimes", i)
+		}
+		if s.CrashAfter != 0 {
+			return fmt.Errorf("dst: site %d sets CrashAfter — leaves do not crash in tree mode", i)
+		}
+	}
+	for i, p := range sc.Partitions {
+		if p.Node < 0 || p.Node >= sc.Topology.NumNodes() {
+			return fmt.Errorf("dst: partition %d targets node %d of %d", i, p.Node, sc.Topology.NumNodes())
+		}
+		if !(p.End > p.Start) || p.Start < 0 {
+			return fmt.Errorf("dst: partition %d window [%v, %v)", i, p.Start, p.End)
+		}
+	}
+	for i, c := range sc.Crashes {
+		if c.Node < 1 || c.Node >= sc.Topology.NumNodes() {
+			return fmt.Errorf("dst: crash %d targets node %d (want an aggregator, 1..%d)", i, c.Node, sc.Topology.NumNodes()-1)
+		}
+	}
+	if sc.CheckpointEvery < 0 {
+		return fmt.Errorf("dst: CheckpointEvery %d", sc.CheckpointEvery)
+	}
+	mode, err := persist.ParseFsyncMode(sc.WALFsync)
+	if err != nil {
+		return err
+	}
+	if len(sc.Crashes) > 0 && mode != persist.FsyncAlways {
+		return fmt.Errorf("dst: crash schedule requires WALFsync %q for the recovery self-check, got %q", persist.FsyncAlways, mode)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/site"
+)
+
+func testTreeSiteConfig() site.Config {
+	return site.Config{Dim: 1, K: 2, Epsilon: 0.5, Delta: 0.01, Seed: 1, ChunkSize: 200}
+}
+
+func testTreeCoordConfig() coordinator.Config {
+	return coordinator.Config{Dim: 1, Merge: gaussian.MergeOptions{MomentOnly: true}}
+}
+
+// TestSingleChildAggregatorChain: Branching 1 builds a relay chain — every
+// aggregator has exactly one child — and updates must still flow edge by
+// edge to the root with the upload-on-change rule applied at every hop.
+func TestSingleChildAggregatorChain(t *testing.T) {
+	tr := testTree(t, 1, 3)
+	if got := len(tr.Leaves()); got != 1 {
+		t.Fatalf("leaves = %d, want 1", got)
+	}
+	if got := tr.NumNodes(); got != 4 {
+		t.Fatalf("nodes = %d, want root + 2 relays + leaf", got)
+	}
+	rng := rand.New(rand.NewSource(21))
+	mix := regime(0)
+	for rec := 0; rec < 200*2; rec++ {
+		if err := tr.ObserveLeaf(0, mix.Sample(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gm := tr.GlobalMixture()
+	if gm == nil {
+		t.Fatal("no root model after two chunks through the chain")
+	}
+	probe := []linalg.Vector{{-2}, {2}}
+	if ll := gm.AvgLogLikelihood(probe); ll < -8 {
+		t.Fatalf("chain root model misses the regime: LL=%v", ll)
+	}
+	// Every interior edge carried traffic (the chain has no silent hops
+	// after a model change reaches it).
+	for _, n := range tr.nodes {
+		if n.parent != nil && n.BytesUploaded() == 0 {
+			t.Fatalf("node %d uploaded nothing on a single-path chain", n.ID())
+		}
+	}
+}
+
+// TestEmptyMixtureChildren: only one subtree of a fan-out-2, depth-2 tree
+// receives data. Aggregators over silent children must contribute nothing
+// — and cause no errors — while the active subtree propagates normally.
+func TestEmptyMixtureChildren(t *testing.T) {
+	tr := testTree(t, 2, 2)
+	rng := rand.New(rand.NewSource(22))
+	mix := regime(0)
+	for rec := 0; rec < 200*2; rec++ {
+		if err := tr.ObserveLeaf(0, mix.Sample(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gm := tr.GlobalMixture()
+	if gm == nil {
+		t.Fatal("no root model")
+	}
+	// The silent subtree's aggregator never uploaded.
+	var silentAgg *Node
+	for _, n := range tr.nodes {
+		if !n.IsLeaf() && n.parent != nil && n.Coordinator().NumModels() == 0 {
+			silentAgg = n
+		}
+	}
+	if silentAgg == nil {
+		t.Fatal("no empty aggregator found")
+	}
+	if silentAgg.BytesUploaded() != 0 {
+		t.Fatalf("empty aggregator uploaded %d bytes", silentAgg.BytesUploaded())
+	}
+	// Root model reflects only the fed leaf: one pseudo-site, ~2 groups.
+	if got := tr.Root().Coordinator().NumModels(); got != 1 {
+		t.Fatalf("root models = %d, want 1 pseudo-model", got)
+	}
+	if gm.K() > 3 {
+		t.Fatalf("root K = %d for a single bimodal regime", gm.K())
+	}
+	// A late joiner on the previously empty subtree must surface at the
+	// root once its first chunk closes.
+	last := len(tr.Leaves()) - 1
+	far := regime(80)
+	for rec := 0; rec < 200*2; rec++ {
+		if err := tr.ObserveLeaf(last, far.Sample(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Root().Coordinator().NumModels(); got != 2 {
+		t.Fatalf("root models after late join = %d, want 2", got)
+	}
+	if ll := tr.GlobalMixture().AvgLogLikelihood([]linalg.Vector{{78}, {82}}); ll < -8 {
+		t.Fatalf("late joiner's regime missing from root: LL=%v", ll)
+	}
+}
+
+// TestDeepCompositionMatchesShallow: the same leaf streams pushed through a
+// depth-3 tree and a flat depth-1 star must land on equivalent root
+// mixtures — Section 7's claim that layering is a composition, not an
+// approximation. Exact-change detection keeps every hop faithful.
+func TestDeepCompositionMatchesShallow(t *testing.T) {
+	build := func(branching, depth int) *Tree {
+		tr, err := NewTree(Config{
+			Branching: branching, Depth: depth,
+			Site:      testTreeSiteConfig(),
+			Coord:     testTreeCoordConfig(),
+			WeightTol: -1, MeanTol: -1, // exact replication at every hop
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	deep := build(2, 3)    // 8 leaves behind two aggregator layers
+	shallow := build(8, 1) // the same 8 leaves directly under the root
+	if len(deep.Leaves()) != 8 || len(shallow.Leaves()) != 8 {
+		t.Fatalf("leaves = %d / %d", len(deep.Leaves()), len(shallow.Leaves()))
+	}
+	rng := rand.New(rand.NewSource(23))
+	regimes := []*gaussian.Mixture{regime(0), regime(60), regime(-60), regime(120)}
+	for rec := 0; rec < 200*2; rec++ {
+		for li := 0; li < 8; li++ {
+			x := regimes[li%len(regimes)].Sample(rng)
+			if err := deep.ObserveLeaf(li, x); err != nil {
+				t.Fatal(err)
+			}
+			if err := shallow.ObserveLeaf(li, x); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	dm, sm := deep.GlobalMixture(), shallow.GlobalMixture()
+	if dm == nil || sm == nil {
+		t.Fatal("missing root mixture")
+	}
+	// Same record mass at both roots.
+	if d, s := deep.Root().Coordinator().TotalWeight(), shallow.Root().Coordinator().TotalWeight(); d != s {
+		t.Fatalf("root mass %v (deep) vs %v (flat)", d, s)
+	}
+	// Every regime mode is equally well represented by both roots.
+	for _, mean := range []float64{0, 60, -60, 120} {
+		probe := []linalg.Vector{{mean - 2}, {mean + 2}}
+		dLL, sLL := dm.AvgLogLikelihood(probe), sm.AvgLogLikelihood(probe)
+		if dLL < -8 || sLL < -8 {
+			t.Fatalf("regime %v: deep LL=%v flat LL=%v", mean, dLL, sLL)
+		}
+		if diff := dLL - sLL; diff > 0.5 || diff < -0.5 {
+			t.Fatalf("regime %v: deep/flat likelihood diverged: %v vs %v", mean, dLL, sLL)
+		}
+	}
+}

@@ -8,7 +8,6 @@ package hier
 
 import (
 	"fmt"
-	"math"
 
 	"cludistream/internal/coordinator"
 	"cludistream/internal/gaussian"
@@ -27,12 +26,10 @@ type Node struct {
 	st    *site.Site
 	coord *coordinator.Coordinator
 
-	// Upload state: internal nodes present themselves to their parent as a
-	// single pseudo-site whose model is replaced whenever the local global
-	// mixture changes materially.
-	lastModelID int
-	lastCount   int
-	lastMix     *gaussian.Mixture
+	// mirror holds the upload-on-change state: internal nodes present
+	// themselves to their parent as a single pseudo-site whose model is
+	// replaced whenever the local global mixture changes materially.
+	mirror *UploadMirror
 
 	bytesUp int // bytes sent to parent
 }
@@ -63,7 +60,9 @@ type Tree struct {
 
 // Config parameterizes NewTree.
 type Config struct {
-	// Branching is the fan-out of internal nodes (≥ 2).
+	// Branching is the fan-out of internal nodes (≥ 1). Branching 1 models
+	// a chain of single-child aggregators — a degenerate but legal Section-7
+	// deployment (e.g. a relay tier in front of a WAN uplink).
 	Branching int
 	// Depth is the number of edges from root to leaf (≥ 1). A tree of
 	// depth 1 is the flat star topology of the base paper.
@@ -81,13 +80,14 @@ type Config struct {
 
 // NewTree builds a balanced tree with Branching^Depth leaves.
 func NewTree(cfg Config) (*Tree, error) {
-	if cfg.Branching < 2 {
+	if cfg.Branching < 1 {
 		return nil, fmt.Errorf("hier: branching %d", cfg.Branching)
 	}
 	if cfg.Depth < 1 {
 		return nil, fmt.Errorf("hier: depth %d", cfg.Depth)
 	}
 	t := &Tree{weightTol: cfg.WeightTol, meanTol: cfg.MeanTol}
+	exact := t.weightTol < 0 || t.meanTol < 0
 	if t.weightTol == 0 {
 		t.weightTol = 0.05
 	}
@@ -122,6 +122,12 @@ func NewTree(cfg Config) (*Tree, error) {
 			return nil, err
 		}
 		n.coord = coord
+		n.mirror = &UploadMirror{
+			NodeID:    n.id,
+			WeightTol: t.weightTol,
+			MeanTol:   t.meanTol,
+			Exact:     exact,
+		}
 		for i := 0; i < cfg.Branching; i++ {
 			child, err := build(depth+1, n)
 			if err != nil {
@@ -173,44 +179,25 @@ func (t *Tree) ObserveLeaf(i int, x linalg.Vector) error {
 }
 
 // propagate walks from an updated internal node to the root, re-uploading
-// each node's global mixture when it changed.
+// each node's global mixture when it changed (via the node's UploadMirror —
+// the same rule cmd/aggd runs over real links).
 func (t *Tree) propagate(n *Node) error {
 	for ; n != nil && n.parent != nil; n = n.parent {
-		mix := n.coord.GlobalMixture()
-		if mix == nil {
-			return nil
-		}
-		if n.lastMix != nil && mix.ApproxEqual(n.lastMix, t.weightTol, t.meanTol) {
+		msgs := n.mirror.Sync(n.coord.GlobalMixture(), n.coord.TotalWeight())
+		if len(msgs) == 0 {
 			return nil // no material change: the upper links stay silent
 		}
-		n.lastMix = mix
-		// Replace the previous upload: delete the stale pseudo-model, then
-		// send the fresh one.
-		if n.lastModelID > 0 {
-			if err := n.parent.coord.HandleDeletion(n.id, n.lastModelID, n.lastCount); err != nil {
+		for _, m := range msgs {
+			n.bytesUp += m.WireSize()
+			if m.Kind == transport.MsgDeletion {
+				if err := n.parent.coord.HandleDeletion(int(m.SiteID), int(m.ModelID), int(m.Count)); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := n.parent.coord.HandleUpdate(m.ToSiteUpdate()); err != nil {
 				return err
 			}
-			n.bytesUp += transport.Message{Kind: transport.MsgDeletion}.WireSize()
-		}
-		n.lastModelID++
-		var total float64
-		for _, g := range n.coord.Groups() {
-			total += g.Weight()
-		}
-		n.lastCount = int(math.Round(total))
-		if n.lastCount < 1 {
-			n.lastCount = 1
-		}
-		u := site.Update{
-			SiteID:  n.id,
-			ModelID: n.lastModelID,
-			Kind:    site.NewModel,
-			Mixture: mix,
-			Count:   n.lastCount,
-		}
-		n.bytesUp += transport.FromSiteUpdate(u).WireSize()
-		if err := n.parent.coord.HandleUpdate(u); err != nil {
-			return err
 		}
 	}
 	return nil

@@ -58,8 +58,8 @@ func TestTreeShape(t *testing.T) {
 }
 
 func TestTreeValidation(t *testing.T) {
-	if _, err := NewTree(Config{Branching: 1, Depth: 1}); err == nil {
-		t.Error("branching 1 accepted")
+	if _, err := NewTree(Config{Branching: 0, Depth: 1}); err == nil {
+		t.Error("branching 0 accepted")
 	}
 	if _, err := NewTree(Config{Branching: 2, Depth: 0}); err == nil {
 		t.Error("depth 0 accepted")

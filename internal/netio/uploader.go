@@ -1,10 +1,8 @@
 package netio
 
 import (
-	"math"
-
 	"cludistream/internal/gaussian"
-	"cludistream/internal/transport"
+	"cludistream/internal/hier"
 )
 
 // Uploader maintains an internal node's presence at its parent coordinator
@@ -12,64 +10,32 @@ import (
 // compares the node's current merged mixture against the last uploaded one
 // and, when it changed, replaces the stale upload with a deletion followed
 // by a fresh model message. Unchanged mixtures transmit nothing — the same
-// stability property the leaf sites have.
+// stability property the leaf sites have. The change-detection and
+// message-construction logic lives in hier.UploadMirror (embedded, so
+// WeightTol/MeanTol remain settable fields); this type binds it to a
+// connection.
 type Uploader struct {
-	conn   *Conn
-	nodeID int
-
-	// WeightTol and MeanTol define a "material" model change (see
-	// gaussian.Mixture.ApproxEqual); drift inside the tolerance does not
-	// re-upload. Defaults: 0.05 and 0.25.
-	WeightTol, MeanTol float64
-
-	lastModelID int
-	lastCount   int
-	lastMix     *gaussian.Mixture
+	conn *Conn
+	*hier.UploadMirror
 }
 
 // NewUploader wraps a connection for node nodeID (the pseudo-site id the
 // parent sees).
 func NewUploader(conn *Conn, nodeID int) *Uploader {
-	return &Uploader{conn: conn, nodeID: nodeID, WeightTol: 0.05, MeanTol: 0.25}
+	return &Uploader{conn: conn, UploadMirror: hier.NewUploadMirror(nodeID)}
 }
 
 // Sync uploads mix (with total record weight) if it differs materially
 // from the last uploaded model. It reports whether a transmission
-// happened. A nil mix is a no-op.
+// happened. A nil mix is a no-op. On a send error the mirror is
+// invalidated so the next Sync retries the upload.
 func (u *Uploader) Sync(mix *gaussian.Mixture, totalWeight float64) (bool, error) {
-	if mix == nil {
-		return false, nil
-	}
-	if u.lastMix != nil && mix.ApproxEqual(u.lastMix, u.WeightTol, u.MeanTol) {
-		return false, nil
-	}
-	if u.lastModelID > 0 {
-		del := transport.Message{
-			Kind:    transport.MsgDeletion,
-			SiteID:  int32(u.nodeID),
-			ModelID: int32(u.lastModelID),
-			Count:   int64(u.lastCount),
-		}
-		if err := u.conn.Send(del); err != nil {
+	msgs := u.UploadMirror.Sync(mix, totalWeight)
+	for _, m := range msgs {
+		if err := u.conn.Send(m); err != nil {
+			u.Invalidate()
 			return false, err
 		}
 	}
-	u.lastModelID++
-	count := int(math.Round(totalWeight))
-	if count < 1 {
-		count = 1
-	}
-	msg := transport.Message{
-		Kind:    transport.MsgNewModel,
-		SiteID:  int32(u.nodeID),
-		ModelID: int32(u.lastModelID),
-		Count:   int64(count),
-		Mixture: mix,
-	}
-	if err := u.conn.Send(msg); err != nil {
-		return false, err
-	}
-	u.lastCount = count
-	u.lastMix = mix
-	return true, nil
+	return len(msgs) > 0, nil
 }

@@ -1,0 +1,280 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cludistream/internal/coordinator"
+	"cludistream/internal/gaussian"
+	"cludistream/internal/linalg"
+	"cludistream/internal/netsim"
+	"cludistream/internal/site"
+)
+
+func testSiteCfg() site.Config {
+	return site.Config{Dim: 1, K: 2, Epsilon: 0.5, Delta: 0.01, ChunkSize: 100}
+}
+
+func testCoordCfg() coordinator.Config {
+	return coordinator.Config{Dim: 1, Merge: gaussian.MergeOptions{MomentOnly: true}}
+}
+
+// feedAll pushes n records per leaf round-robin, drawing leaf i's records
+// from regimes[i % len(regimes)].
+func feedAll(t *testing.T, d *Deployment, regimes []float64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	for rec := 0; rec < n; rec++ {
+		for i := 0; i < d.NumSites(); i++ {
+			mean := regimes[i%len(regimes)]
+			x := linalg.Vector{mean + 4*float64(1-2*(rec%2)) + rng.NormFloat64()}
+			if err := d.Feed(i, x); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// refCoordinator builds the flat-deployment reference: every leaf update
+// teed straight into one coordinator.
+func refCoordinator(t *testing.T) (*coordinator.Coordinator, func(int, site.Update)) {
+	t.Helper()
+	ref, err := coordinator.New(testCoordCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, func(leafID int, u site.Update) {
+		if err := ref.HandleUpdate(u); err != nil {
+			t.Fatalf("reference apply (leaf %d): %v", leafID, err)
+		}
+	}
+}
+
+// assertEquivalent compares the root mixture against the flat reference:
+// same component count, same integer record mass, and positionally close
+// weights/means/covariances (both are canonically ordered). Bit-equality
+// is not expected — moment-preserving merges are associative only in
+// exact arithmetic — but the drift must be at floating-point scale.
+func assertEquivalent(t *testing.T, root, ref *coordinator.Coordinator) {
+	t.Helper()
+	rm, fm := root.GlobalMixture(), ref.GlobalMixture()
+	if (rm == nil) != (fm == nil) {
+		t.Fatalf("root mixture nil=%v, reference nil=%v", rm == nil, fm == nil)
+	}
+	if rm == nil {
+		return
+	}
+	if math.Round(root.TotalWeight()) != math.Round(ref.TotalWeight()) {
+		t.Fatalf("record mass %v (tree) vs %v (flat)", root.TotalWeight(), ref.TotalWeight())
+	}
+	if rm.K() != fm.K() {
+		t.Fatalf("root K=%d, reference K=%d", rm.K(), fm.K())
+	}
+	const tol = 1e-6
+	close := func(a, b float64) bool {
+		return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+	}
+	for j := 0; j < rm.K(); j++ {
+		if !close(rm.Weight(j), fm.Weight(j)) {
+			t.Fatalf("component %d weight %v vs %v", j, rm.Weight(j), fm.Weight(j))
+		}
+		cr, cf := rm.Component(j), fm.Component(j)
+		for i := 0; i < rm.Dim(); i++ {
+			if !close(cr.Mean()[i], cf.Mean()[i]) {
+				t.Fatalf("component %d mean %v vs %v", j, cr.Mean(), cf.Mean())
+			}
+		}
+		for r := 0; r < rm.Dim(); r++ {
+			for c := r; c < rm.Dim(); c++ {
+				if !close(cr.Cov().At(r, c), cf.Cov().At(r, c)) {
+					t.Fatalf("component %d cov[%d,%d] %v vs %v", j, r, c, cr.Cov().At(r, c), cf.Cov().At(r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if err := (&Topology{}).Validate(); err == nil {
+		t.Error("empty topology accepted")
+	}
+	// Aggregator with no children.
+	bad := Topology{
+		Aggs:   []AggSpec{{Parent: 0}},
+		Leaves: []LeafSpec{{Parent: 0}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("childless aggregator accepted")
+	}
+	// Forward parent reference (cycle attempt).
+	cyc := Topology{
+		Aggs:   []AggSpec{{Parent: 2}, {Parent: 1}},
+		Leaves: []LeafSpec{{Parent: 1}, {Parent: 2}},
+	}
+	if err := cyc.Validate(); err == nil {
+		t.Error("forward parent reference accepted")
+	}
+	if err := (&Topology{Leaves: []LeafSpec{{Parent: 5}}}).Validate(); err == nil {
+		t.Error("out-of-range leaf parent accepted")
+	}
+	if err := (&Topology{Leaves: []LeafSpec{{Link: LinkSpec{Latency: -1}}}}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestBalancedSpecShapes(t *testing.T) {
+	topo, err := Spec{Leaves: 500, AggLayers: 2, FanOut: 8, Link: LinkSpec{Latency: 0.01}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumSites() != 500 {
+		t.Fatalf("sites = %d", topo.NumSites())
+	}
+	// ceil(500/8)=63 bottom aggs, ceil(63/8)=8 above them.
+	if len(topo.Aggs) != 71 {
+		t.Fatalf("aggs = %d, want 63+8", len(topo.Aggs))
+	}
+	if topo.Depth() != 3 {
+		t.Fatalf("depth = %d", topo.Depth())
+	}
+	layers := topo.Layers()
+	if len(layers) != 3 || len(layers[0]) != 1 || len(layers[1]) != 8 || len(layers[2]) != 63 {
+		t.Fatalf("layer sizes = %v", [][]int{layers[0], layers[1], layers[2]})
+	}
+	// Flat star.
+	flat, err := Spec{Leaves: 10}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.NumNodes() != 1 || flat.Depth() != 1 {
+		t.Fatalf("flat star: nodes=%d depth=%d", flat.NumNodes(), flat.Depth())
+	}
+}
+
+func TestTreeMatchesFlatReference(t *testing.T) {
+	topo, err := Spec{Leaves: 6, AggLayers: 1, FanOut: 3, Link: LinkSpec{Latency: 0.01}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, onEmit := refCoordinator(t)
+	d, err := NewDeployment(Config{
+		Topology: topo, Site: testSiteCfg(), Coord: testCoordCfg(),
+		Seed: 3, ExactSync: true, OnEmit: onEmit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, d, []float64{0, 200, -200}, 250)
+	if err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("%d frames still queued after drain", d.Pending())
+	}
+	assertEquivalent(t, d.NodeCoordinator(0), ref)
+	// Byte accounting closes: per-edge wire bytes sum to the totals, and
+	// per-layer sums partition them.
+	var perEdge, perLayer int
+	for _, es := range d.EdgeStatsAll() {
+		perEdge += es.WireBytes
+	}
+	for _, b := range d.LayerBytes() {
+		perLayer += b
+	}
+	if perEdge != d.TotalBytes() || perLayer != d.TotalBytes() {
+		t.Fatalf("edge sum %d, layer sum %d, total %d", perEdge, perLayer, d.TotalBytes())
+	}
+	if d.TotalBytes() == 0 {
+		t.Fatal("no traffic at all")
+	}
+}
+
+func TestTreeMatchesFlatUnderFaults(t *testing.T) {
+	topo, err := Spec{Leaves: 8, AggLayers: 2, FanOut: 3, Link: LinkSpec{Latency: 0.02}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, onEmit := refCoordinator(t)
+	d, err := NewDeployment(Config{
+		Topology: topo, Site: testSiteCfg(), Coord: testCoordCfg(),
+		Seed: 4, ExactSync: true, OnEmit: onEmit,
+		DropProb: 0.2, DupProb: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, d, []float64{0, 300}, 250)
+	if err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, d.NodeCoordinator(0), ref)
+	// Loss under retransmission shows up as retransmit bytes, never as a
+	// broken ledger: wire = goodput + dropped on every edge.
+	sawRetransmit := false
+	for _, es := range d.EdgeStatsAll() {
+		if es.WireBytes != es.GoodputBytes+es.DroppedBytes {
+			t.Fatalf("edge %d->%d: wire %d != goodput %d + dropped %d",
+				es.From, es.To, es.WireBytes, es.GoodputBytes, es.DroppedBytes)
+		}
+		if es.RetransmitBytes > 0 {
+			sawRetransmit = true
+		}
+	}
+	if !sawRetransmit {
+		t.Fatal("20% loss produced no retransmissions")
+	}
+}
+
+func TestAggregatorCrashRecovery(t *testing.T) {
+	topo, err := Spec{Leaves: 6, AggLayers: 1, FanOut: 3, Link: LinkSpec{Latency: 0.01}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, onEmit := refCoordinator(t)
+	d, err := NewDeployment(Config{
+		Topology: topo, Site: testSiteCfg(), Coord: testCoordCfg(),
+		Seed: 5, ExactSync: true, OnEmit: onEmit,
+		DropProb: 0.1, DupProb: 0.1,
+		Crashes:  []CrashSpec{{Node: 1, Start: 0.12, End: 0.2}},
+		StateDir: t.TempDir(), CheckpointEvery: 4, SelfCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	feedAll(t, d, []float64{0, 250}, 400)
+	if err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rec := d.Recovery()
+	if rec.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", rec.Restarts)
+	}
+	// The recovered aggregator rejoined its parent under a bumped epoch.
+	if ep := d.SenderEpoch(0, d.NodePseudoID(1)); ep < 2 {
+		t.Fatalf("aggregator uplink epoch = %d after crash, want ≥ 2", ep)
+	}
+	assertEquivalent(t, d.NodeCoordinator(0), ref)
+}
+
+func TestPartitionedAggregatorCatchesUp(t *testing.T) {
+	topo, err := Spec{Leaves: 4, AggLayers: 1, FanOut: 2, Link: LinkSpec{Latency: 0.01}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, onEmit := refCoordinator(t)
+	d, err := NewDeployment(Config{
+		Topology: topo, Site: testSiteCfg(), Coord: testCoordCfg(),
+		Seed: 6, ExactSync: true, OnEmit: onEmit,
+		NodeOutages: map[int][]netsim.Outage{1: {{Start: 0.05, End: 0.25}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedAll(t, d, []float64{0, 200}, 300)
+	if err := d.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, d.NodeCoordinator(0), ref)
+}
